@@ -1,0 +1,158 @@
+// Package fairtcim's root benchmark harness: one testing.B benchmark per
+// paper table/figure (DESIGN.md §5) plus the ablations, each regenerating
+// the experiment in quick mode, and micro-benchmarks for the hot paths
+// (world sampling, marginal-gain BFS, RIS sampling).
+//
+//	go test -bench=. -benchmem
+package fairtcim
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/exp"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/influence"
+	"fairtcim/internal/ris"
+	"fairtcim/internal/xrand"
+)
+
+// benchExperiment runs a registered experiment end to end per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	o := exp.Options{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := table.WriteText(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkFig4a(b *testing.B) { benchExperiment(b, "fig4a") }
+func BenchmarkFig4b(b *testing.B) { benchExperiment(b, "fig4b") }
+func BenchmarkFig4c(b *testing.B) { benchExperiment(b, "fig4c") }
+func BenchmarkFig5a(b *testing.B) { benchExperiment(b, "fig5a") }
+func BenchmarkFig5b(b *testing.B) { benchExperiment(b, "fig5b") }
+func BenchmarkFig5c(b *testing.B) { benchExperiment(b, "fig5c") }
+func BenchmarkFig6a(b *testing.B) { benchExperiment(b, "fig6a") }
+func BenchmarkFig6b(b *testing.B) { benchExperiment(b, "fig6b") }
+func BenchmarkFig6c(b *testing.B) { benchExperiment(b, "fig6c") }
+
+func BenchmarkFig7a(b *testing.B)  { benchExperiment(b, "fig7a") }
+func BenchmarkFig7b(b *testing.B)  { benchExperiment(b, "fig7b") }
+func BenchmarkFig7c(b *testing.B)  { benchExperiment(b, "fig7c") }
+func BenchmarkFig8a(b *testing.B)  { benchExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { benchExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)  { benchExperiment(b, "fig8c") }
+func BenchmarkFig9a(b *testing.B)  { benchExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { benchExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B)  { benchExperiment(b, "fig9c") }
+func BenchmarkFig10a(b *testing.B) { benchExperiment(b, "fig10a") }
+func BenchmarkFig10b(b *testing.B) { benchExperiment(b, "fig10b") }
+func BenchmarkFig10c(b *testing.B) { benchExperiment(b, "fig10c") }
+
+func BenchmarkAblationCELF(b *testing.B)       { benchExperiment(b, "abl-celf") }
+func BenchmarkAblationRIS(b *testing.B)        { benchExperiment(b, "abl-ris") }
+func BenchmarkAblationCurvature(b *testing.B)  { benchExperiment(b, "abl-curvature") }
+func BenchmarkAblationLT(b *testing.B)         { benchExperiment(b, "abl-lt") }
+func BenchmarkAblationSamples(b *testing.B)    { benchExperiment(b, "abl-samples") }
+func BenchmarkAblationICM(b *testing.B)        { benchExperiment(b, "abl-icm") }
+func BenchmarkAblationDiscount(b *testing.B)   { benchExperiment(b, "abl-discount") }
+func BenchmarkAblationRobust(b *testing.B)     { benchExperiment(b, "abl-robust") }
+func BenchmarkAblationSaturation(b *testing.B) { benchExperiment(b, "abl-saturation") }
+func BenchmarkTabDatasets(b *testing.B)        { benchExperiment(b, "tab-datasets") }
+func BenchmarkTabBaselines(b *testing.B)       { benchExperiment(b, "tab-baselines") }
+
+// --- micro-benchmarks for the hot paths ---
+
+func benchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkSampleWorldsIC(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cascade.SampleWorlds(g, cascade.IC, 200, int64(i), 0)
+	}
+}
+
+func BenchmarkEvaluatorGain(b *testing.B) {
+	g := benchGraph(b)
+	worlds := cascade.SampleWorlds(g, cascade.IC, 200, 1, 0)
+	e, err := influence.NewEvaluator(g, worlds, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e.Add(0)
+	e.Add(100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Gain(graph.NodeID(i % g.N()))
+	}
+}
+
+func BenchmarkEvaluatorInitialGains(b *testing.B) {
+	g := benchGraph(b)
+	worlds := cascade.SampleWorlds(g, cascade.IC, 100, 1, 0)
+	e, err := influence.NewEvaluator(g, worlds, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cands := g.Nodes()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.InitialGains(cands, 0)
+	}
+}
+
+func BenchmarkRISSample(b *testing.B) {
+	g := benchGraph(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ris.Sample(g, 5, []int{2000, 2000}, int64(i), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunIC(b *testing.B) {
+	g := benchGraph(b)
+	for _, tau := range []int32{2, 20, cascade.NoDeadline} {
+		name := fmt.Sprintf("tau=%d", tau)
+		if tau == cascade.NoDeadline {
+			name = "tau=inf"
+		}
+		b.Run(name, func(b *testing.B) {
+			rng := xrand.New(1)
+			seeds := []graph.NodeID{0, 100, 200}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = cascade.RunIC(g, seeds, tau, rng)
+			}
+		})
+	}
+}

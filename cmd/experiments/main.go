@@ -1,0 +1,82 @@
+// Command experiments regenerates the paper's tables and figures (and the
+// extra ablations) as text tables. Experiment ids match DESIGN.md §5:
+//
+//	experiments -list
+//	experiments fig4a fig4c
+//	experiments -quick all
+//	experiments -seed 42 -csv fig1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fairtcim/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		seed  = fs.Int64("seed", 1, "master random seed")
+		quick = fs.Bool("quick", false, "reduced sizes/samples for a fast pass")
+		list  = fs.Bool("list", false, "list experiment ids and exit")
+		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("usage: experiments [-seed N] [-quick] [-csv] <id>... | all | -list")
+	}
+	var selected []exp.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		selected = exp.All()
+	} else {
+		for _, id := range ids {
+			e, ok := exp.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (use -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	o := exp.Options{Seed: *seed, Quick: *quick}
+	for i, e := range selected {
+		if i > 0 {
+			fmt.Fprintln(stdout)
+		}
+		table, err := e.Run(o)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			err = table.WriteCSV(stdout)
+		} else {
+			err = table.WriteText(stdout)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

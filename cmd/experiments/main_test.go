@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-list"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	listing := out.String()
+	for _, id := range []string{"fig1", "fig4a", "fig10c", "abl-celf", "tab-datasets"} {
+		if !strings.Contains(listing, id) {
+			t.Fatalf("listing missing %q:\n%s", id, listing)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quick", "-seed", "3", "fig5b"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"55:45", "P1", "P4"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real experiment")
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quick", "-csv", "fig6c"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "Q,") {
+		t.Fatalf("CSV header missing:\n%s", out.String())
+	}
+}
+
+func TestRunMultiple(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiments")
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-quick", "fig6c", "fig5b"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Fig 6c") || !strings.Contains(out.String(), "Fig 5b") {
+		t.Fatal("multiple experiments not concatenated")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{}, &out, &errw); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := run([]string{"nope"}, &out, &errw); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

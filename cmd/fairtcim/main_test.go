@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+// writeTestGraph creates a small graph file and returns its path.
+func writeTestGraph(t *testing.T) string {
+	t.Helper()
+	g, err := generate.TwoBlock(generate.TwoBlockConfig{
+		N: 80, G: 0.7, PHom: 0.08, PHet: 0.01, PActivate: 0.2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := graph.Write(f, g); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllProblems(t *testing.T) {
+	path := writeTestGraph(t)
+	for _, problem := range []string{"p1", "p4"} {
+		var out, errw bytes.Buffer
+		args := []string{"-graph", path, "-problem", problem, "-budget", "3", "-tau", "5", "-samples", "50"}
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", problem, err)
+		}
+		report := out.String()
+		for _, want := range []string{"seeds (3)", "disparity", "group 1", "group 2"} {
+			if !strings.Contains(report, want) {
+				t.Fatalf("%s report missing %q:\n%s", problem, want, report)
+			}
+		}
+	}
+	for _, problem := range []string{"p2", "p6"} {
+		var out, errw bytes.Buffer
+		args := []string{"-graph", path, "-problem", problem, "-quota", "0.1", "-tau", "5", "-samples", "50"}
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", problem, err)
+		}
+		if !strings.Contains(out.String(), "disparity") {
+			t.Fatalf("%s report malformed:\n%s", problem, out.String())
+		}
+	}
+}
+
+func TestRunExtensions(t *testing.T) {
+	path := writeTestGraph(t)
+	var out, errw bytes.Buffer
+	if err := run([]string{"-graph", path, "-problem", "p1", "-budget", "2", "-samples", "40",
+		"-meeting", "0.5"}, &out, &errw); err != nil {
+		t.Fatalf("meeting: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-graph", path, "-problem", "p4", "-budget", "2", "-samples", "40",
+		"-discount", "0.8"}, &out, &errw); err != nil {
+		t.Fatalf("discount: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-graph", path, "-problem", "p1", "-budget", "2", "-samples", "40",
+		"-model", "lt", "-tau", "-1"}, &out, &errw); err != nil {
+		t.Fatalf("lt/no-deadline: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestGraph(t)
+	var out, errw bytes.Buffer
+	cases := [][]string{
+		{},                         // missing graph
+		{"-graph", "/nonexistent"}, // unreadable
+		{"-graph", path, "-problem", "p9"},
+		{"-graph", path, "-model", "sir"},
+		{"-graph", path, "-h", "cube"},
+		{"-graph", path, "-meeting", "2"},
+		{"-graph", path, "-discount", "1.5"},
+		{"-graph", path, "-problem", "p1", "-budget", "0"},
+		{"-graph", path, "-problem", "p2", "-quota", "0"},
+	}
+	for i, args := range cases {
+		if err := run(args, &out, &errw); err == nil {
+			t.Fatalf("case %d (%v): invalid args accepted", i, args)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Command gengraph emits synthetic graphs and dataset stand-ins in the
+// fairtcim edge-list format, ready for cmd/fairtcim.
+//
+//	gengraph -kind twoblock -n 500 -g 0.7 -pe 0.05 > sbm.txt
+//	gengraph -kind rice > rice.txt
+//	gengraph -kind instagram -scale 0.05 > insta.txt
+//	gengraph -kind fig1 > fig1.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"fairtcim/internal/datasets"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("gengraph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind  = fs.String("kind", "twoblock", "twoblock | er | ba | fig1 | rice | instagram | snap")
+		n     = fs.Int("n", 500, "nodes (twoblock/er/ba)")
+		frac  = fs.Float64("g", 0.7, "majority fraction (twoblock)")
+		phom  = fs.Float64("phom", 0.025, "within-group edge probability (twoblock)")
+		phet  = fs.Float64("phet", 0.001, "across-group edge probability (twoblock)")
+		p     = fs.Float64("p", 0.1, "edge probability (er)")
+		m     = fs.Int("m", 3, "edges per new node (ba)")
+		pe    = fs.Float64("pe", 0.05, "activation probability on every edge")
+		scale = fs.Float64("scale", 0.1, "instagram scale in (0,1]")
+		seed  = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *kind {
+	case "twoblock":
+		g, err = generate.TwoBlock(generate.TwoBlockConfig{
+			N: *n, G: *frac, PHom: *phom, PHet: *phet, PActivate: *pe, Seed: *seed,
+		})
+	case "er":
+		g, err = generate.ErdosRenyi(*n, *p, *pe, *seed)
+	case "ba":
+		g, err = generate.BarabasiAlbert(*n, *m, []float64{*frac, 1 - *frac}, *pe, *seed)
+	case "fig1":
+		g, _ = generate.Fig1Example()
+	case "rice":
+		g, err = datasets.RiceFacebook(*pe, *seed)
+	case "instagram":
+		g, err = datasets.Instagram(*scale, *pe, *seed)
+	case "snap":
+		g, err = datasets.FacebookSnap(*pe, *seed)
+	default:
+		err = fmt.Errorf("unknown kind %q", *kind)
+	}
+	if err != nil {
+		return err
+	}
+	if err := graph.Write(stdout, g); err != nil {
+		return err
+	}
+	s := g.ComputeStats()
+	fmt.Fprintf(stderr, "gengraph: %d nodes, %d undirected edges, %d groups %v\n",
+		s.N, s.M/2, s.NumGroups, s.GroupSizes)
+	return nil
+}

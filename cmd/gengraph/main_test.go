@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairtcim/internal/graph"
+)
+
+func TestRunTwoBlock(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-kind", "twoblock", "-n", "100", "-seed", "2"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 || g.NumGroups() != 2 {
+		t.Fatalf("N=%d groups=%d", g.N(), g.NumGroups())
+	}
+	if !strings.Contains(errw.String(), "100 nodes") {
+		t.Fatalf("summary missing: %q", errw.String())
+	}
+}
+
+func TestRunAllKinds(t *testing.T) {
+	for _, kind := range []string{"er", "ba", "fig1"} {
+		var out, errw bytes.Buffer
+		args := []string{"-kind", kind, "-n", "50"}
+		if err := run(args, &out, &errw); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if _, err := graph.Read(&out); err != nil {
+			t.Fatalf("%s produced unparseable output: %v", kind, err)
+		}
+	}
+}
+
+func TestRunRice(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rice generation is larger")
+	}
+	var out, errw bytes.Buffer
+	if err := run([]string{"-kind", "rice"}, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Read(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1205 {
+		t.Fatalf("rice N = %d", g.N())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw bytes.Buffer
+	if err := run([]string{"-kind", "nope"}, &out, &errw); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "er", "-p", "1.5"}, &out, &errw); err == nil {
+		t.Fatal("bad probability accepted")
+	}
+	if err := run([]string{"-badflag"}, &out, &errw); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,69 @@
+// Flashsale: a retailer announces a 48-hour flash sale and wants at least
+// 20% of its customer network to hear about it while the deal is live —
+// with every demographic reaching that quota, not just the best-connected
+// one. This is the coverage formulation: TCIM-Cover (P2) finds the
+// cheapest seed set for the overall quota; FairTCIM-Cover (P6) insists on
+// the quota per group. The example prints the greedy iteration trace so
+// you can watch P2 saturate the majority while P6 lifts both groups
+// together (the paper's Figure 6a).
+//
+//	go run ./examples/flashsale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/generate"
+)
+
+func main() {
+	g, err := generate.TwoBlock(generate.TwoBlockConfig{
+		N: 500, G: 0.7, PHom: 0.025, PHet: 0.001, PActivate: 0.05, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := fairim.DefaultConfig(12)
+	cfg.Tau = 2 // two propagation rounds before the sale ends
+	cfg.Samples = 300
+	cfg.Trace = true
+	const quota = 0.2
+
+	p2, err := fairim.SolveTCIMCover(g, quota, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p6, err := fairim.SolveFairTCIMCover(g, quota, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("quota: %.0f%% of the network before the sale ends (tau=%d)\n\n", quota*100, cfg.Tau)
+	fmt.Printf("P2 (overall quota):   %d seeds; coverage total %.1f%%, group1 %.1f%%, group2 %.1f%%\n",
+		len(p2.Seeds), 100*p2.NormTotal, 100*p2.NormPerGroup[0], 100*p2.NormPerGroup[1])
+	fmt.Printf("P6 (per-group quota): %d seeds; coverage total %.1f%%, group1 %.1f%%, group2 %.1f%%\n\n",
+		len(p6.Seeds), 100*p6.NormTotal, 100*p6.NormPerGroup[0], 100*p6.NormPerGroup[1])
+
+	fmt.Println("greedy trace (optimization-world estimates):")
+	fmt.Println("iter   P2-g1%  P2-g2%     P6-g1%  P6-g2%")
+	rows := len(p2.Trace)
+	if len(p6.Trace) > rows {
+		rows = len(p6.Trace)
+	}
+	at := func(tr []fairim.IterationStat, i int) fairim.IterationStat {
+		if i < len(tr) {
+			return tr[i]
+		}
+		return tr[len(tr)-1]
+	}
+	for i := 0; i < rows; i++ {
+		a, b := at(p2.Trace, i), at(p6.Trace, i)
+		fmt.Printf("%4d   %6.2f  %6.2f     %6.2f  %6.2f\n",
+			i+1, 100*a.NormGroup[0], 100*a.NormGroup[1], 100*b.NormGroup[0], 100*b.NormGroup[1])
+	}
+	fmt.Printf("\nfairness premium: %d extra seeds buy per-group coverage (Theorem 2 bounds the overhead).\n",
+		len(p6.Seeds)-len(p2.Seeds))
+}

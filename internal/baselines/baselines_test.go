@@ -1,0 +1,227 @@
+package baselines
+
+import (
+	"math"
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+// starPlusPath: node 0 has high degree; 5..9 form a path.
+func starPlusPath(t *testing.T) *graph.Graph {
+	t.Helper()
+	b := graph.NewBuilder(10)
+	for v := 1; v <= 4; v++ {
+		b.AddUndirected(0, graph.NodeID(v), 0.5)
+	}
+	for v := 5; v < 9; v++ {
+		b.AddUndirected(graph.NodeID(v), graph.NodeID(v+1), 0.5)
+	}
+	return b.MustBuild()
+}
+
+func TestTopDegree(t *testing.T) {
+	g := starPlusPath(t)
+	seeds := TopDegree(g, 1)
+	if len(seeds) != 1 || seeds[0] != 0 {
+		t.Fatalf("TopDegree = %v", seeds)
+	}
+	if got := TopDegree(g, 100); len(got) != g.N() {
+		t.Fatalf("budget clamp failed: %d", len(got))
+	}
+	if TopDegree(g, 0) != nil {
+		t.Fatal("zero budget should be empty")
+	}
+}
+
+func TestTopDegreeDeterministicTieBreak(t *testing.T) {
+	// All path nodes 6,7,8 have degree 2; ties break by id.
+	g := starPlusPath(t)
+	a := TopDegree(g, 5)
+	b := TopDegree(g, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopDegree not deterministic")
+		}
+	}
+}
+
+func TestRandomDistinctAndSeeded(t *testing.T) {
+	g := starPlusPath(t)
+	a := Random(g, 5, 7)
+	b := Random(g, 5, 7)
+	if len(a) != 5 {
+		t.Fatalf("len = %d", len(a))
+	}
+	seen := map[graph.NodeID]bool{}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Random not deterministic for fixed seed")
+		}
+		if seen[a[i]] {
+			t.Fatal("Random repeated a node")
+		}
+		seen[a[i]] = true
+	}
+	if len(Random(g, 100, 1)) != g.N() {
+		t.Fatal("budget clamp failed")
+	}
+}
+
+func TestPageRankUniformOnRegular(t *testing.T) {
+	// On a symmetric cycle, PageRank is uniform.
+	n := 8
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddUndirected(graph.NodeID(v), graph.NodeID((v+1)%n), 0.5)
+	}
+	g := b.MustBuild()
+	scores, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, s := range scores {
+		if math.Abs(s-1.0/float64(n)) > 1e-6 {
+			t.Fatalf("node %d score %v", v, s)
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("PageRank sums to %v", sum)
+	}
+}
+
+func TestPageRankHubOutranksLeaf(t *testing.T) {
+	g := starPlusPath(t)
+	scores, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[0] <= scores[1] {
+		t.Fatalf("hub %v vs leaf %v", scores[0], scores[1])
+	}
+}
+
+func TestPageRankDanglingNodes(t *testing.T) {
+	// Directed chain: last node is dangling; scores must still sum to 1.
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.5)
+	g := b.MustBuild()
+	scores, err := PageRank(g, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := scores[0] + scores[1] + scores[2]
+	if math.Abs(sum-1) > 1e-6 {
+		t.Fatalf("sum = %v", sum)
+	}
+	if !(scores[2] > scores[1] && scores[1] > scores[0]) {
+		t.Fatalf("chain ordering wrong: %v", scores)
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	g := starPlusPath(t)
+	if _, err := PageRank(g, PageRankConfig{Damping: 1.0}); err == nil {
+		t.Fatal("damping=1 accepted")
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, err := PageRank(empty, PageRankConfig{}); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestPageRankEdgeProbsChangeResult(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1, 0.9)
+	b.AddEdge(0, 2, 0.1)
+	b.AddEdge(1, 0, 0.5)
+	b.AddEdge(2, 0, 0.5)
+	g := b.MustBuild()
+	plain, _ := PageRank(g, PageRankConfig{})
+	weighted, _ := PageRank(g, PageRankConfig{EdgeProbs: true})
+	if math.Abs(plain[1]-plain[2]) > 1e-9 {
+		t.Fatalf("unweighted should tie 1 and 2: %v", plain)
+	}
+	if weighted[1] <= weighted[2] {
+		t.Fatalf("weighted should favor node 1: %v", weighted)
+	}
+}
+
+func TestTopPageRank(t *testing.T) {
+	g := starPlusPath(t)
+	seeds, err := TopPageRank(g, 2, PageRankConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 2 || seeds[0] != 0 {
+		t.Fatalf("TopPageRank = %v", seeds)
+	}
+}
+
+func TestGroupProportionalDegree(t *testing.T) {
+	g, err := generate.TwoBlock(generate.TwoBlockConfig{
+		N: 100, G: 0.7, PHom: 0.1, PHet: 0.01, PActivate: 0.1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := GroupProportionalDegree(g, 10)
+	if len(seeds) != 10 {
+		t.Fatalf("len = %d", len(seeds))
+	}
+	counts := make([]int, g.NumGroups())
+	for _, s := range seeds {
+		counts[g.Group(s)]++
+	}
+	// 70:30 split over 10 seeds -> 7 and 3.
+	if counts[0] != 7 || counts[1] != 3 {
+		t.Fatalf("allocation = %v, want [7 3]", counts)
+	}
+}
+
+func TestGroupProportionalDegreeMinimumOne(t *testing.T) {
+	// Tiny minority still gets a seed when budget >= k.
+	b := graph.NewBuilder(50)
+	labels := make([]int, 50)
+	labels[49] = 1
+	b.SetGroups(labels)
+	for v := 0; v < 48; v++ {
+		b.AddUndirected(graph.NodeID(v), graph.NodeID(v+1), 0.1)
+	}
+	g := b.MustBuild()
+	seeds := GroupProportionalDegree(g, 5)
+	counts := make([]int, 2)
+	for _, s := range seeds {
+		counts[g.Group(s)]++
+	}
+	if counts[1] != 1 {
+		t.Fatalf("minority got %d seeds", counts[1])
+	}
+}
+
+func TestGroupProportionalDegreeEdgeCases(t *testing.T) {
+	g := starPlusPath(t)
+	if GroupProportionalDegree(g, 0) != nil {
+		t.Fatal("zero budget")
+	}
+	if len(GroupProportionalDegree(g, 1000)) != g.N() {
+		t.Fatal("budget clamp")
+	}
+}

@@ -1,0 +1,267 @@
+package cascade
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"fairtcim/internal/graph"
+	"fairtcim/internal/xrand"
+)
+
+// The paper adopts its deadline-utility notion from Chen, Lu & Zhang
+// (AAAI 2012), whose underlying diffusion model — IC-M, Independent
+// Cascade with Meeting events — delays each activation attempt: an active
+// node meets each neighbor only with probability m per step, and the
+// influence coin is flipped at the first meeting. The deadline interacts
+// with these delays, which is what makes time-criticality bite even on
+// short paths. This file implements delayed diffusion as a substrate:
+// delay distributions, weighted live-edge worlds, a bounded Dijkstra, and
+// the direct IC-M simulator.
+
+// DelayDist samples the integer delay (in time steps, >= 1) an influence
+// takes to traverse an edge once the activation coin succeeds.
+type DelayDist interface {
+	Sample(rng *xrand.RNG) int32
+	Name() string
+}
+
+// UnitDelay is the classic IC timing: influence crosses an edge in
+// exactly one step.
+type UnitDelay struct{}
+
+// Sample returns 1.
+func (UnitDelay) Sample(*xrand.RNG) int32 { return 1 }
+
+// Name returns "unit".
+func (UnitDelay) Name() string { return "unit" }
+
+// GeometricDelay models IC-M meeting events: a meeting happens each step
+// with probability M, so the delay is Geometric(M) with mean 1/M.
+type GeometricDelay struct{ M float64 }
+
+// Sample draws a Geometric(M) delay.
+func (g GeometricDelay) Sample(rng *xrand.RNG) int32 { return int32(rng.Geometric(g.M)) }
+
+// Name returns "geom<M>".
+func (g GeometricDelay) Name() string { return fmt.Sprintf("geom%g", g.M) }
+
+// ExponentialDelay discretizes the continuous-time IC model (transmission
+// delays ~ Exp(Rate), as in Gomez-Rodriguez et al.'s network-inference
+// line of work): the delay is ⌈X⌉ for X exponential with the given rate,
+// so the support is {1, 2, ...} and the mean is ≈ 1/Rate + 1/2.
+type ExponentialDelay struct{ Rate float64 }
+
+// Sample draws a discretized exponential delay.
+func (e ExponentialDelay) Sample(rng *xrand.RNG) int32 {
+	if e.Rate <= 0 {
+		panic("cascade: ExponentialDelay needs positive rate")
+	}
+	for {
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		x := -math.Log(u) / e.Rate
+		d := int32(math.Ceil(x))
+		if d < 1 {
+			d = 1
+		}
+		return d
+	}
+}
+
+// Name returns "exp<Rate>".
+func (e ExponentialDelay) Name() string { return fmt.Sprintf("exp%g", e.Rate) }
+
+// UniformDelay draws delays uniformly from {Min, ..., Max}.
+type UniformDelay struct{ Min, Max int32 }
+
+// Sample draws a uniform integer delay.
+func (u UniformDelay) Sample(rng *xrand.RNG) int32 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + rng.Int31n(u.Max-u.Min+1)
+}
+
+// Name returns "unif[Min,Max]".
+func (u UniformDelay) Name() string { return fmt.Sprintf("unif[%d,%d]", u.Min, u.Max) }
+
+// WeightedWorld is a live-edge world whose surviving edges carry integer
+// traversal delays. A node activates at the weighted shortest distance
+// from the seed set.
+type WeightedWorld struct {
+	offsets []int32
+	targets []graph.NodeID
+	delays  []int32
+}
+
+// N returns the number of nodes.
+func (w *WeightedWorld) N() int { return len(w.offsets) - 1 }
+
+// M returns the number of surviving edges.
+func (w *WeightedWorld) M() int { return len(w.targets) }
+
+// Out returns the surviving out-neighbors of v and their delays. The
+// slices are shared; callers must not modify them.
+func (w *WeightedWorld) Out(v graph.NodeID) ([]graph.NodeID, []int32) {
+	lo, hi := w.offsets[v], w.offsets[v+1]
+	return w.targets[lo:hi], w.delays[lo:hi]
+}
+
+// SampleDelayedWorld draws one weighted live-edge world: each edge
+// survives with its activation probability and carries a delay from dist.
+func SampleDelayedWorld(g *graph.Graph, dist DelayDist, rng *xrand.RNG) *WeightedWorld {
+	n := g.N()
+	w := &WeightedWorld{offsets: make([]int32, n+1)}
+	for v := 0; v < n; v++ {
+		w.offsets[v] = int32(len(w.targets))
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if rng.Bernoulli(e.P) {
+				w.targets = append(w.targets, e.To)
+				w.delays = append(w.delays, dist.Sample(rng))
+			}
+		}
+	}
+	w.offsets[n] = int32(len(w.targets))
+	return w
+}
+
+// SampleDelayedWorlds draws r weighted worlds in parallel, deterministic
+// for fixed (g, dist, r, seed) as in SampleWorlds.
+func SampleDelayedWorlds(g *graph.Graph, dist DelayDist, r int, seed int64, parallelism int) []*WeightedWorld {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > r {
+		parallelism = r
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	root := xrand.New(seed)
+	worlds := make([]*WeightedWorld, r)
+	var wg sync.WaitGroup
+	work := make(chan int, r)
+	for i := 0; i < r; i++ {
+		work <- i
+	}
+	close(work)
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				worlds[i] = SampleDelayedWorld(g, dist, root.SplitN(int64(i)))
+			}
+		}()
+	}
+	wg.Wait()
+	return worlds
+}
+
+// distHeap is a binary min-heap of (node, dist) pairs for the bounded
+// Dijkstra below.
+type distItem struct {
+	node graph.NodeID
+	d    int32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int            { return len(h) }
+func (h distHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h distHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x interface{}) { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// ReachableDelayed computes each node's weighted activation time from
+// seeds in w, bounded by tau: nodes farther than tau get NotActivated.
+// scratch, if non-nil and of length N, is reused for the result.
+func ReachableDelayed(w *WeightedWorld, seeds []graph.NodeID, tau int32, scratch []int32) []int32 {
+	n := w.N()
+	dist := scratch
+	if len(dist) != n {
+		dist = make([]int32, n)
+	}
+	for i := range dist {
+		dist[i] = NotActivated
+	}
+	h := make(distHeap, 0, len(seeds))
+	for _, s := range seeds {
+		if dist[s] != 0 {
+			dist[s] = 0
+			h = append(h, distItem{node: s, d: 0})
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(distItem)
+		if it.d != dist[it.node] {
+			continue // stale entry
+		}
+		targets, delays := w.Out(it.node)
+		for i, to := range targets {
+			nd := it.d + delays[i]
+			if nd > tau {
+				continue
+			}
+			if dist[to] == NotActivated || nd < dist[to] {
+				dist[to] = nd
+				heap.Push(&h, distItem{node: to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// RunICM simulates the IC-M model directly: when a node activates, it
+// schedules a meeting with each currently inactive neighbor after a
+// Geometric(m) delay; at the meeting the activation coin (edge
+// probability) is flipped once. Returns per-node activation times within
+// tau (NotActivated otherwise). This is the reference dynamics the
+// live-edge WeightedWorld representation must agree with.
+func RunICM(g *graph.Graph, seeds []graph.NodeID, tau int32, m float64, rng *xrand.RNG) []int32 {
+	times := make([]int32, g.N())
+	for i := range times {
+		times[i] = NotActivated
+	}
+	h := distHeap{}
+	activate := func(v graph.NodeID, t int32) {
+		times[v] = t
+		for _, e := range g.Out(v) {
+			if times[e.To] != NotActivated {
+				continue
+			}
+			if !rng.Bernoulli(e.P) {
+				continue // the influence coin fails; this edge never fires
+			}
+			at := t + int32(rng.Geometric(m))
+			if at <= tau {
+				heap.Push(&h, distItem{node: e.To, d: at})
+			}
+		}
+	}
+	for _, s := range seeds {
+		if times[s] == NotActivated {
+			activate(s, 0)
+		}
+	}
+	for h.Len() > 0 {
+		it := heap.Pop(&h).(distItem)
+		if times[it.node] != NotActivated {
+			continue // already activated earlier via another edge
+		}
+		activate(it.node, it.d)
+	}
+	return times
+}

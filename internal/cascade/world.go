@@ -1,0 +1,191 @@
+package cascade
+
+import (
+	"runtime"
+	"sync"
+
+	"fairtcim/internal/graph"
+	"fairtcim/internal/xrand"
+)
+
+// World is one deterministic live-edge subgraph sampled from the diffusion
+// model, stored in compressed sparse row form. Node ids are those of the
+// source graph.
+type World struct {
+	offsets []int32
+	targets []graph.NodeID
+}
+
+// Out returns the surviving out-neighbors of v in this world. The slice is
+// shared; callers must not modify it.
+func (w *World) Out(v graph.NodeID) []graph.NodeID {
+	return w.targets[w.offsets[v]:w.offsets[v+1]]
+}
+
+// N returns the number of nodes.
+func (w *World) N() int { return len(w.offsets) - 1 }
+
+// M returns the number of surviving edges.
+func (w *World) M() int { return len(w.targets) }
+
+// SampleICWorld draws one IC live-edge world: every edge survives
+// independently with its activation probability.
+func SampleICWorld(g *graph.Graph, rng *xrand.RNG) *World {
+	n := g.N()
+	w := &World{offsets: make([]int32, n+1)}
+	w.targets = make([]graph.NodeID, 0, g.M()/4+8)
+	for v := 0; v < n; v++ {
+		w.offsets[v] = int32(len(w.targets))
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if rng.Bernoulli(e.P) {
+				w.targets = append(w.targets, e.To)
+			}
+		}
+	}
+	w.offsets[n] = int32(len(w.targets))
+	return w
+}
+
+// SampleLTWorld draws one LT live-edge world: each node keeps at most one
+// incoming edge, chosen with probability proportional to its (normalized)
+// weight; the kept reverse edge is stored in forward orientation. This is
+// the classical LT live-edge distribution of Kempe et al.
+func SampleLTWorld(g *graph.Graph, rng *xrand.RNG) *World {
+	n := g.N()
+	scale := ltScales(g)
+	// chosen[v] = the single in-neighbor v keeps, or -1.
+	chosen := make([]graph.NodeID, n)
+	outDeg := make([]int32, n)
+	for v := 0; v < n; v++ {
+		chosen[v] = -1
+		in := g.In(graph.NodeID(v))
+		if len(in) == 0 {
+			continue
+		}
+		u := rng.Float64()
+		acc := 0.0
+		for _, e := range in {
+			acc += e.P * scale[v]
+			if u < acc {
+				chosen[v] = e.To
+				outDeg[e.To]++
+				break
+			}
+		}
+	}
+	w := &World{offsets: make([]int32, n+1)}
+	total := int32(0)
+	for v := 0; v < n; v++ {
+		w.offsets[v] = total
+		total += outDeg[v]
+	}
+	w.offsets[n] = total
+	w.targets = make([]graph.NodeID, total)
+	fill := make([]int32, n)
+	copy(fill, w.offsets[:n])
+	for v := 0; v < n; v++ {
+		if u := chosen[v]; u >= 0 {
+			w.targets[fill[u]] = graph.NodeID(v)
+			fill[u]++
+		}
+	}
+	return w
+}
+
+// Model selects the diffusion model worlds are sampled from.
+type Model int
+
+// Supported diffusion models.
+const (
+	IC Model = iota // Independent Cascade (the paper's model)
+	LT              // Linear Threshold (extension, §3.1)
+)
+
+// String returns the conventional abbreviation.
+func (m Model) String() string {
+	switch m {
+	case IC:
+		return "IC"
+	case LT:
+		return "LT"
+	default:
+		return "unknown"
+	}
+}
+
+// SampleWorlds draws r live-edge worlds in parallel. The result is
+// deterministic for a given (g, model, r, seed): world i is always drawn
+// from the i'th split of the seed stream, independent of scheduling.
+// parallelism <= 0 means GOMAXPROCS.
+func SampleWorlds(g *graph.Graph, model Model, r int, seed int64, parallelism int) []*World {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > r {
+		parallelism = r
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	root := xrand.New(seed)
+	worlds := make([]*World, r)
+	var wg sync.WaitGroup
+	next := make(chan int, r)
+	for i := 0; i < r; i++ {
+		next <- i
+	}
+	close(next)
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				rng := root.SplitN(int64(i))
+				switch model {
+				case LT:
+					worlds[i] = SampleLTWorld(g, rng)
+				default:
+					worlds[i] = SampleICWorld(g, rng)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return worlds
+}
+
+// Reachable runs a τ-bounded BFS in w from seeds and returns each node's
+// hop distance, or NotActivated for nodes beyond the deadline. The scratch
+// slice, if non-nil and of length N, is reused as the result to avoid
+// allocation in hot loops.
+func Reachable(w *World, seeds []graph.NodeID, tau int32, scratch []int32) []int32 {
+	n := w.N()
+	dist := scratch
+	if len(dist) != n {
+		dist = make([]int32, n)
+	}
+	for i := range dist {
+		dist[i] = NotActivated
+	}
+	queue := make([]graph.NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if dist[s] == NotActivated {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		d := dist[v]
+		if d >= tau {
+			continue
+		}
+		for _, to := range w.Out(v) {
+			if dist[to] == NotActivated {
+				dist[to] = d + 1
+				queue = append(queue, to)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,185 @@
+package community
+
+import (
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+// planted returns a k-block planted-partition graph with strong community
+// structure plus the ground-truth labels.
+func planted(t *testing.T, blocks []float64, n int, seed int64) (*graph.Graph, []int) {
+	t.Helper()
+	g, err := generate.SBM(generate.SBMConfig{
+		N:          n,
+		Fractions:  blocks,
+		PHom:       0.25,
+		PHet:       0.005,
+		PActivate:  0.1,
+		Seed:       seed,
+		Assignment: generate.BlockAssignment,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]int, g.N())
+	for v := 0; v < g.N(); v++ {
+		truth[v] = g.Group(graph.NodeID(v))
+	}
+	return g, truth
+}
+
+// agreement returns the fraction of same-community node pairs on which the
+// two labelings agree (pairwise Rand-style score, invariant to label
+// permutation).
+func agreement(a, b []int) float64 {
+	same, total := 0, 0
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(b); j++ {
+			total++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				same++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(same) / float64(total)
+}
+
+func TestLabelPropagationRecoversPlanted(t *testing.T) {
+	g, truth := planted(t, []float64{0.5, 0.5}, 120, 1)
+	labels := LabelPropagation(g, 2, 0)
+	if score := agreement(labels, truth); score < 0.9 {
+		t.Fatalf("label propagation agreement %v", score)
+	}
+}
+
+func TestLabelPropagationDeterministic(t *testing.T) {
+	g, _ := planted(t, []float64{0.5, 0.5}, 80, 3)
+	a := LabelPropagation(g, 7, 0)
+	b := LabelPropagation(g, 7, 0)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("label propagation not deterministic")
+		}
+	}
+}
+
+func TestLabelPropagationDenseLabels(t *testing.T) {
+	g, _ := planted(t, []float64{0.5, 0.5}, 60, 5)
+	labels := LabelPropagation(g, 1, 0)
+	maxL := 0
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	seen := make([]bool, maxL+1)
+	for _, l := range labels {
+		seen[l] = true
+	}
+	for l, ok := range seen {
+		if !ok {
+			t.Fatalf("label %d unused (labels not dense)", l)
+		}
+	}
+}
+
+func TestSpectralBisectionRecoversTwoBlocks(t *testing.T) {
+	g, truth := planted(t, []float64{0.5, 0.5}, 120, 8)
+	labels, err := SpectralClusters(g, 2, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score := agreement(labels, truth); score < 0.85 {
+		t.Fatalf("spectral agreement %v", score)
+	}
+}
+
+func TestSpectralFiveBlocks(t *testing.T) {
+	g, truth := planted(t, []float64{0.2, 0.2, 0.2, 0.2, 0.2}, 200, 10)
+	labels, err := SpectralClusters(g, 5, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for _, l := range labels {
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	if k != 5 {
+		t.Fatalf("got %d clusters", k)
+	}
+	if score := agreement(labels, truth); score < 0.7 {
+		t.Fatalf("five-block agreement %v", score)
+	}
+}
+
+func TestSpectralValidation(t *testing.T) {
+	g, _ := planted(t, []float64{0.5, 0.5}, 20, 1)
+	if _, err := SpectralClusters(g, 0, 1); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := SpectralClusters(g, 100, 1); err == nil {
+		t.Fatal("k>n accepted")
+	}
+	labels, err := SpectralClusters(g, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("k=1 should put everyone together")
+		}
+	}
+}
+
+func TestModularity(t *testing.T) {
+	g, truth := planted(t, []float64{0.5, 0.5}, 100, 12)
+	// Ground truth should beat the all-in-one labelling and random halves.
+	allOne := make([]int, g.N())
+	qTruth := Modularity(g, truth)
+	qOne := Modularity(g, allOne)
+	if qTruth <= qOne {
+		t.Fatalf("modularity truth %v <= trivial %v", qTruth, qOne)
+	}
+	alternating := make([]int, g.N())
+	for i := range alternating {
+		alternating[i] = i % 2
+	}
+	if qAlt := Modularity(g, alternating); qTruth <= qAlt {
+		t.Fatalf("modularity truth %v <= alternating %v", qTruth, qAlt)
+	}
+	if Modularity(graph.NewBuilder(3).MustBuild(), []int{0, 0, 0}) != 0 {
+		t.Fatal("edgeless modularity should be 0")
+	}
+}
+
+func TestSpectralBeatsRandomOnModularity(t *testing.T) {
+	g, _ := planted(t, []float64{0.4, 0.3, 0.3}, 150, 13)
+	labels, err := SpectralClusters(g, 3, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	random := make([]int, g.N())
+	for i := range random {
+		random[i] = i % 3
+	}
+	if Modularity(g, labels) <= Modularity(g, random) {
+		t.Fatal("spectral clustering no better than random on modularity")
+	}
+}
+
+func TestDensify(t *testing.T) {
+	out := densify([]int{7, 7, 3, 9, 3})
+	want := []int{0, 0, 1, 2, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("densify = %v", out)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package concave_test
+
+import (
+	"fmt"
+
+	"fairtcim/internal/concave"
+)
+
+// The diminishing-returns mechanism behind FairTCIM-Budget (paper Fig. 2):
+// the same absolute influence gain is worth more to a group that currently
+// has less.
+func ExampleLog() {
+	h := concave.Log{}
+	starved := h.Eval(10+5) - h.Eval(10)
+	saturated := h.Eval(100+5) - h.Eval(100)
+	fmt.Printf("gain when starved:   %.3f\n", starved)
+	fmt.Printf("gain when saturated: %.3f\n", saturated)
+	// Output:
+	// gain when starved:   0.375
+	// gain when saturated: 0.048
+}
+
+func ExampleByName() {
+	h, err := concave.ByName("pow0.25")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(h.Name(), h.Eval(16))
+	// Output: pow0.25 2
+}
+
+// Saturation removes all reward beyond a cap — the budgeted-parity knob.
+func ExampleSaturated() {
+	h := concave.Saturated{Cap: 10, Inner: concave.Identity{}}
+	fmt.Println(h.Eval(7), h.Eval(25))
+	// Output: 7 10
+}

@@ -1,0 +1,173 @@
+package datasets
+
+import (
+	"testing"
+
+	"fairtcim/internal/community"
+	"fairtcim/internal/graph"
+)
+
+func TestRiceFacebookPublishedStats(t *testing.T) {
+	g, err := RiceFacebook(0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1205 {
+		t.Fatalf("N = %d, want 1205", g.N())
+	}
+	if g.M() != 2*42443 {
+		t.Fatalf("M = %d, want %d directed edges", g.M(), 2*42443)
+	}
+	sizes := g.GroupSizes()
+	if sizes[0] != 97 || sizes[1] != 344 {
+		t.Fatalf("V1/V2 sizes = %v, want 97/344", sizes[:2])
+	}
+	s := g.ComputeStats()
+	if s.WithinEdges[0] != 2*513 {
+		t.Fatalf("within-V1 = %d directed, want %d", s.WithinEdges[0], 2*513)
+	}
+	if s.WithinEdges[1] != 2*7441 {
+		t.Fatalf("within-V2 = %d directed, want %d", s.WithinEdges[1], 2*7441)
+	}
+	// V1-V2 across edges: count directly.
+	v1v2 := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Group(graph.NodeID(v)) != 0 {
+			continue
+		}
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if g.Group(e.To) == 1 {
+				v1v2++
+			}
+		}
+	}
+	if v1v2 != 3350 {
+		t.Fatalf("V1-V2 edges = %d, want 3350", v1v2)
+	}
+	// The paper's disparity mechanism: V2 is much denser per capita than V1.
+	d1 := float64(s.WithinEdges[0]) / float64(sizes[0])
+	d2 := float64(s.WithinEdges[1]) / float64(sizes[1])
+	if d2 <= 2*d1 {
+		t.Fatalf("V2 within-density %v should far exceed V1 %v", d2, d1)
+	}
+}
+
+func TestRiceFacebookDeterministic(t *testing.T) {
+	a, err := RiceFacebook(0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RiceFacebook(0.01, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.M() != b.M() {
+		t.Fatal("not deterministic")
+	}
+	for v := 0; v < a.N(); v++ {
+		ae, be := a.Out(graph.NodeID(v)), b.Out(graph.NodeID(v))
+		if len(ae) != len(be) {
+			t.Fatalf("degree differs at %d", v)
+		}
+	}
+}
+
+func TestInstagramScaled(t *testing.T) {
+	g, err := Instagram(0.02, 0.06, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := 0.02
+	wantN := int(553628*scale + 0.5)
+	if g.N() != wantN {
+		t.Fatalf("N = %d, want %d", g.N(), wantN)
+	}
+	sizes := g.GroupSizes()
+	maleFrac := float64(sizes[0]) / float64(g.N())
+	if maleFrac < 0.45 || maleFrac > 0.46 {
+		t.Fatalf("male fraction %v", maleFrac)
+	}
+	wantEdges := int(179668*scale+0.5) + int(201083*scale+0.5) + int(136039*scale+0.5)
+	if g.M() != 2*wantEdges {
+		t.Fatalf("M = %d, want %d", g.M(), 2*wantEdges)
+	}
+}
+
+func TestInstagramValidation(t *testing.T) {
+	if _, err := Instagram(0, 0.06, 1); err == nil {
+		t.Fatal("scale 0 accepted")
+	}
+	if _, err := Instagram(1.2, 0.06, 1); err == nil {
+		t.Fatal("scale > 1 accepted")
+	}
+}
+
+func TestFacebookSnapShape(t *testing.T) {
+	g, err := FacebookSnap(0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4039 {
+		t.Fatalf("N = %d, want 4039", g.N())
+	}
+	if g.M() != 2*88234 {
+		t.Fatalf("M = %d, want %d", g.M(), 2*88234)
+	}
+	want := []int{546, 1404, 208, 788, 1093}
+	sizes := g.GroupSizes()
+	for i := range want {
+		if sizes[i] != want[i] {
+			t.Fatalf("block sizes = %v, want %v", sizes, want)
+		}
+	}
+	// Strong modularity of the planted structure.
+	labels := make([]int, g.N())
+	for v := range labels {
+		labels[v] = g.Group(graph.NodeID(v))
+	}
+	if q := community.Modularity(g, labels); q < 0.4 {
+		t.Fatalf("planted modularity %v too weak", q)
+	}
+}
+
+func TestFacebookSnapTopologicalGroups(t *testing.T) {
+	// The paper derives the 5 groups by spectral clustering; our detector
+	// should substantially recover the planted blocks.
+	g, err := FacebookSnap(0.01, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := community.SpectralClusters(g, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regrouped, err := g.WithGroups(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regrouped.NumGroups() != 5 {
+		t.Fatalf("topological groups = %d", regrouped.NumGroups())
+	}
+	// Spectral labels should agree with planted blocks far better than
+	// chance: compare modularity.
+	planted := make([]int, g.N())
+	for v := range planted {
+		planted[v] = g.Group(graph.NodeID(v))
+	}
+	qSpectral := community.Modularity(g, labels)
+	if qSpectral < 0.3 {
+		t.Fatalf("spectral modularity %v", qSpectral)
+	}
+}
+
+func TestBuildBlockGraphErrors(t *testing.T) {
+	if _, err := buildBlockGraph([]int{0}, nil, 0.1, 1); err == nil {
+		t.Fatal("zero-size block accepted")
+	}
+	if _, err := buildBlockGraph([]int{3}, []blockSpec{{0, 0, 100}}, 0.1, 1); err == nil {
+		t.Fatal("over-capacity edge request accepted")
+	}
+	if _, err := buildBlockGraph([]int{3}, []blockSpec{{0, 5, 1}}, 0.1, 1); err == nil {
+		t.Fatal("out-of-range block accepted")
+	}
+}

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/stats"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	// Every experiment DESIGN.md §5 indexes must be registered.
+	want := []string{
+		"fig1", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "fig5c",
+		"fig6a", "fig6b", "fig6c",
+		"fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c", "fig10a", "fig10b", "fig10c",
+		"abl-celf", "abl-ris", "abl-curvature", "abl-lt", "abl-samples",
+		"abl-icm", "abl-discount", "abl-robust", "abl-saturation",
+		"tab-datasets", "tab-baselines",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, DESIGN.md indexes %d", len(IDs()), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig4a"); !ok {
+		t.Fatal("fig4a missing")
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("unknown id found")
+	}
+}
+
+// TestAllExperimentsRunQuick executes every registered experiment in quick
+// mode and sanity-checks the output table.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow even in quick mode")
+	}
+	o := Options{Seed: 7, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			table, err := e.Run(o)
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if table.NumRows() == 0 {
+				t.Fatalf("%s produced an empty table", e.ID)
+			}
+			var buf bytes.Buffer
+			if err := table.WriteText(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.HasPrefix(buf.String(), "## ") {
+				t.Fatalf("%s table missing a title:\n%s", e.ID, buf.String())
+			}
+		})
+	}
+}
+
+func TestRunAndWrite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	e, _ := ByID("fig5b")
+	var buf bytes.Buffer
+	if err := RunAndWrite(e, Options{Seed: 3, Quick: true}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"55:45", "80:20", "P1", "P4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fig5b output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMostDisparatePair(t *testing.T) {
+	res := &fairim.Result{NormPerGroup: []float64{0.5, 0.1, 0.45, 0.4}}
+	i, j := mostDisparatePair(res)
+	if i != 0 || j != 1 {
+		t.Fatalf("pair = (%d,%d)", i, j)
+	}
+	if d := pairDisparity(res, i, j); d != 0.4 {
+		t.Fatalf("pairDisparity = %v", d)
+	}
+}
+
+func TestTraceRowsPadsShorterRun(t *testing.T) {
+	mk := func(n int) *fairim.Result {
+		r := &fairim.Result{}
+		for i := 0; i < n; i++ {
+			r.Trace = append(r.Trace, fairim.IterationStat{
+				Total:     float64(i + 1),
+				NormGroup: []float64{float64(i) / 10, float64(i) / 20},
+			})
+		}
+		return r
+	}
+	a, b := mk(3), mk(5)
+	tab := stats.NewTable("t", "iteration", "a-total", "a-g1", "a-g2", "b-total", "b-g1", "b-g2")
+	traceRows(tab, a, b, 0, 1, "A", "B")
+	if tab.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5 (padded)", tab.NumRows())
+	}
+}
+
+func TestSortedCandidates(t *testing.T) {
+	g, _ := generate.Fig1Example()
+	cands := sortedCandidates(g, 5, []int{9, 3, 7, 0, 5})
+	if len(cands) != 5 {
+		t.Fatalf("len = %d", len(cands))
+	}
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Fatalf("not sorted: %v", cands)
+		}
+	}
+	// k >= N returns everything.
+	all := sortedCandidates(g, 1000, nil)
+	if len(all) != g.N() {
+		t.Fatalf("len = %d", len(all))
+	}
+}
+
+func TestTauLabel(t *testing.T) {
+	if tauLabel(5) != "tau=5" {
+		t.Fatal("tauLabel(5)")
+	}
+	if !strings.Contains(tauLabel(1<<30), "tau=") {
+		t.Fatal("tauLabel large")
+	}
+}

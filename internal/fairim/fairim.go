@@ -1,0 +1,375 @@
+// Package fairim implements the paper's four optimization problems on top
+// of the influence evaluator and the submodular toolbox:
+//
+//	P1  TCIM-Budget      max fτ(S;V)           s.t. |S| ≤ B
+//	P2  TCIM-Cover       min |S|               s.t. fτ(S;V)/|V| ≥ Q
+//	P4  FairTCIM-Budget  max Σᵢ H(fτ(S;Vᵢ))    s.t. |S| ≤ B
+//	P6  FairTCIM-Cover   min |S|               s.t. fτ(S;Vᵢ)/|Vᵢ| ≥ Q ∀i
+//
+// All four are solved with the greedy heuristic (§3.4): CELF lazy greedy
+// for the budget problems (Theorem 1 guarantee) and lazy greedy submodular
+// cover on the truncated constraint Σᵢ min(fτ(S;Vᵢ)/|Vᵢ|, Q) ≥ kQ for the
+// cover problems (Theorem 2 guarantee).
+//
+// Reported utilities are re-estimated on fresh Monte-Carlo worlds, not the
+// worlds the optimizer saw, to avoid optimizer's-curse bias.
+package fairim
+
+import (
+	"fmt"
+	"math"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/concave"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/influence"
+	"fairtcim/internal/submodular"
+)
+
+// Config carries the parameters shared by all solvers. The zero value is
+// not usable; start from DefaultConfig.
+type Config struct {
+	Tau         int32            // deadline τ; cascade.NoDeadline means τ = ∞
+	Model       cascade.Model    // diffusion model (IC default, LT extension)
+	Samples     int              // Monte-Carlo worlds used during optimization
+	EvalSamples int              // fresh worlds for the final report; 0 = Samples
+	Seed        int64            // seeds both world sets deterministically
+	Parallelism int              // worker count for sampling and first-pass gains; 0 = GOMAXPROCS
+	Candidates  []graph.NodeID   // permissible seeds; nil = every node
+	H           concave.Function // concave wrapper for P4; nil = Log
+	// GroupWeights, if non-nil, turns P4's objective into Σᵢ H(λᵢ·fτ(S;Vᵢ))
+	// — the per-group weights the paper suggests for boosting
+	// under-represented groups (§6.2.1). Must have one positive entry per
+	// group. NormalizedGroupWeights gives the common per-capita choice.
+	GroupWeights []float64
+	// Delay, if non-nil, switches to delayed diffusion (e.g.
+	// cascade.GeometricDelay{M} for the IC-M meeting model the paper's
+	// deadline notion originates from). Requires Model == cascade.IC.
+	Delay cascade.DelayDist
+	// Discount, if in (0, 1), uses the time-discounted utility (the
+	// paper's future-work model): a node activated at time t ≤ τ
+	// contributes Discount^t instead of 1. Mutually exclusive with Delay.
+	Discount    float64
+	MaxSeeds    int  // safety bound for cover problems; 0 = |V|
+	PlainGreedy bool // disable CELF (ablation); output is identical
+	Trace       bool // record per-iteration group utilities
+}
+
+// DefaultConfig returns the paper's synthetic-experiment defaults (§6.1):
+// τ = 20 and 200 Monte-Carlo samples.
+func DefaultConfig(seed int64) Config {
+	return Config{Tau: 20, Model: cascade.IC, Samples: 200, Seed: seed, H: concave.Log{}}
+}
+
+// IterationStat snapshots the state after one greedy pick, estimated on
+// the optimization worlds (this is what Figures 6a/8a plot).
+type IterationStat struct {
+	Seed      graph.NodeID // the node picked in this iteration
+	Objective float64      // optimizer's objective value after the pick
+	Total     float64      // fτ(S;V) estimate
+	NormGroup []float64    // fτ(S;Vᵢ)/|Vᵢ| estimates
+}
+
+// Result reports a solved instance. Utility fields come from fresh worlds.
+type Result struct {
+	Problem      string          // "P1", "P2", "P4", "P6"
+	Seeds        []graph.NodeID  //
+	Total        float64         // fτ(S;V)
+	PerGroup     []float64       // fτ(S;Vᵢ)
+	NormPerGroup []float64       // fτ(S;Vᵢ)/|Vᵢ|
+	NormTotal    float64         // fτ(S;V)/|V|
+	Disparity    float64         // Eq. 2
+	Evaluations  int             // marginal-gain queries spent
+	Trace        []IterationStat // non-nil iff cfg.Trace
+}
+
+func (c *Config) validate(g *graph.Graph) error {
+	if g.N() == 0 {
+		return fmt.Errorf("fairim: empty graph")
+	}
+	if c.Tau < 0 {
+		return fmt.Errorf("fairim: negative deadline %d", c.Tau)
+	}
+	if c.Samples <= 0 {
+		return fmt.Errorf("fairim: need positive Samples, got %d", c.Samples)
+	}
+	if c.EvalSamples < 0 {
+		return fmt.Errorf("fairim: negative EvalSamples")
+	}
+	for _, v := range c.Candidates {
+		if v < 0 || int(v) >= g.N() {
+			return fmt.Errorf("fairim: candidate %d out of range", v)
+		}
+	}
+	if c.GroupWeights != nil {
+		if len(c.GroupWeights) != g.NumGroups() {
+			return fmt.Errorf("fairim: %d group weights for %d groups", len(c.GroupWeights), g.NumGroups())
+		}
+		for i, w := range c.GroupWeights {
+			if w <= 0 {
+				return fmt.Errorf("fairim: group weight %d is %v, must be positive", i, w)
+			}
+		}
+	}
+	if c.Discount < 0 || c.Discount >= 1 {
+		if c.Discount != 0 {
+			return fmt.Errorf("fairim: discount %v outside (0,1)", c.Discount)
+		}
+	}
+	if c.Delay != nil {
+		if c.Model != cascade.IC {
+			return fmt.Errorf("fairim: delayed diffusion requires the IC model")
+		}
+		if c.Discount > 0 {
+			return fmt.Errorf("fairim: Delay and Discount cannot be combined")
+		}
+	}
+	return nil
+}
+
+// NormalizedGroupWeights returns λᵢ = |V| / (k·|Vᵢ|): weights that make the
+// P4 objective compare groups by per-capita influence instead of raw
+// counts — λᵢ·fᵢ equals |V|/k times the group's influenced fraction, the
+// same scale for every group. Useful when group sizes are very uneven and
+// the smallest group would otherwise dominate the concave objective.
+func NormalizedGroupWeights(g *graph.Graph) []float64 {
+	k := g.NumGroups()
+	w := make([]float64, k)
+	for i := range w {
+		w[i] = float64(g.N()) / (float64(k) * float64(g.GroupSize(i)))
+	}
+	return w
+}
+
+func (c *Config) candidates(g *graph.Graph) []graph.NodeID {
+	if c.Candidates != nil {
+		return c.Candidates
+	}
+	return g.Nodes()
+}
+
+func (c *Config) h() concave.Function {
+	if c.H == nil {
+		return concave.Log{}
+	}
+	return c.H
+}
+
+func (c *Config) evalSamples() int {
+	if c.EvalSamples > 0 {
+		return c.EvalSamples
+	}
+	return c.Samples
+}
+
+func (c *Config) maxSeeds(g *graph.Graph) int {
+	if c.MaxSeeds > 0 {
+		return c.MaxSeeds
+	}
+	return g.N()
+}
+
+// newEvaluator samples optimization worlds and wraps them in the
+// estimator matching the configured diffusion/utility model.
+func (c *Config) newEvaluator(g *graph.Graph) (groupEvaluator, error) {
+	if c.Delay != nil {
+		worlds := cascade.SampleDelayedWorlds(g, c.Delay, c.Samples, c.Seed, c.Parallelism)
+		return influence.NewDelayedEvaluator(g, worlds, c.Tau)
+	}
+	worlds := cascade.SampleWorlds(g, c.Model, c.Samples, c.Seed, c.Parallelism)
+	if c.Discount > 0 {
+		return influence.NewDiscountedEvaluator(g, worlds, c.Tau, c.Discount)
+	}
+	return influence.NewEvaluator(g, worlds, c.Tau)
+}
+
+// estimate evaluates seeds on fresh worlds under the configured model.
+func (c *Config) estimate(g *graph.Graph, seeds []graph.NodeID) ([]float64, error) {
+	switch {
+	case c.Delay != nil:
+		return influence.EstimateDelayed(g, seeds, c.Tau, c.Delay, c.evalSamples(), c.Seed+1)
+	case c.Discount > 0:
+		return influence.EstimateDiscounted(g, seeds, c.Tau, c.Discount, c.Model, c.evalSamples(), c.Seed+1)
+	default:
+		return influence.Estimate(g, seeds, c.Tau, c.Model, c.evalSamples(), c.Seed+1)
+	}
+}
+
+// SolveTCIMBudget solves problem P1 with greedy/CELF.
+func SolveTCIMBudget(g *graph.Graph, budget int, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
+	}
+	eval, err := cfg.newEvaluator(g)
+	if err != nil {
+		return nil, err
+	}
+	obj := newObjective(eval, totalValue{}, cfg.Trace)
+	res, err := maximize(obj, cfg, g, budget)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult("P1", g, res, obj, cfg)
+}
+
+// SolveFairTCIMBudget solves the surrogate problem P4 with greedy/CELF:
+// maximize Σᵢ H(fτ(S;Vᵢ)) under the budget, carrying Theorem 1's bound on
+// total influence.
+func SolveFairTCIMBudget(g *graph.Graph, budget int, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
+	}
+	eval, err := cfg.newEvaluator(g)
+	if err != nil {
+		return nil, err
+	}
+	obj := newObjective(eval, concaveValue{h: cfg.h(), weights: cfg.GroupWeights}, cfg.Trace)
+	res, err := maximize(obj, cfg, g, budget)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult("P4", g, res, obj, cfg)
+}
+
+// SolveTCIMCover solves problem P2: the smallest greedy seed set whose
+// total normalized influence reaches quota.
+func SolveTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	if quota <= 0 || quota > 1 {
+		return nil, fmt.Errorf("fairim: quota %v outside (0,1]", quota)
+	}
+	eval, err := cfg.newEvaluator(g)
+	if err != nil {
+		return nil, err
+	}
+	obj := newObjective(eval, totalQuotaValue{quota: quota}, cfg.Trace)
+	res, err := cover(obj, cfg, g, quota-coverSlack)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult("P2", g, res, obj, cfg)
+}
+
+// SolveFairTCIMCover solves the surrogate problem P6: the smallest greedy
+// seed set influencing *every* group up to quota, via the truncated
+// objective Σᵢ min(fτ(S;Vᵢ)/|Vᵢ|, Q) ≥ kQ (Theorem 2). Any feasible
+// solution has disparity at most 1 − Q.
+func SolveFairTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	if quota <= 0 || quota > 1 {
+		return nil, fmt.Errorf("fairim: quota %v outside (0,1]", quota)
+	}
+	eval, err := cfg.newEvaluator(g)
+	if err != nil {
+		return nil, err
+	}
+	obj := newObjective(eval, groupQuotaValue{quota: quota}, cfg.Trace)
+	target := quota*float64(g.NumGroups()) - coverSlack
+	res, err := cover(obj, cfg, g, target)
+	if err != nil {
+		return nil, err
+	}
+	return finishResult("P6", g, res, obj, cfg)
+}
+
+// coverSlack absorbs floating-point noise in Monte-Carlo-estimated cover
+// targets.
+const coverSlack = 1e-9
+
+// maximize dispatches to plain or lazy greedy with a parallel first pass.
+func maximize(obj *objective, cfg Config, g *graph.Graph, budget int) (submodular.Result, error) {
+	cands := cfg.candidates(g)
+	if cfg.PlainGreedy {
+		return submodular.GreedyMax(obj, cands, budget)
+	}
+	initial := obj.initialGains(cands, cfg.Parallelism)
+	res, err := submodular.LazyGreedyMaxInit(obj, cands, budget, initial)
+	res.Evaluations += len(cands) // the parallel first pass
+	return res, err
+}
+
+func cover(obj *objective, cfg Config, g *graph.Graph, target float64) (submodular.Result, error) {
+	cands := cfg.candidates(g)
+	if cfg.PlainGreedy {
+		// Plain cover: no laziness, used only in ablations/tests.
+		return submodular.GreedyCover(obj, cands, target, cfg.maxSeeds(g))
+	}
+	initial := obj.initialGains(cands, cfg.Parallelism)
+	res, err := submodular.GreedyCoverInit(obj, cands, target, cfg.maxSeeds(g), initial)
+	res.Evaluations += len(cands)
+	return res, err
+}
+
+// EvaluateSeeds estimates utilities and disparity of an arbitrary seed set
+// on fresh worlds drawn with cfg.Seed+1 (the same stream final reports
+// use), so solver results and external seed sets are comparable.
+func EvaluateSeeds(g *graph.Graph, seeds []graph.NodeID, cfg Config) (*Result, error) {
+	if err := cfg.validate(g); err != nil {
+		return nil, err
+	}
+	for _, v := range seeds {
+		if v < 0 || int(v) >= g.N() {
+			return nil, fmt.Errorf("fairim: seed %d out of range", v)
+		}
+	}
+	perGroup, err := cfg.estimate(g, seeds)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Problem: "eval", Seeds: append([]graph.NodeID(nil), seeds...), PerGroup: perGroup}
+	fillDerived(r, g)
+	return r, nil
+}
+
+func finishResult(problem string, g *graph.Graph, res submodular.Result, obj *objective, cfg Config) (*Result, error) {
+	perGroup, err := cfg.estimate(g, res.Seeds)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Problem:     problem,
+		Seeds:       res.Seeds,
+		PerGroup:    perGroup,
+		Evaluations: res.Evaluations,
+		Trace:       obj.trace,
+	}
+	fillDerived(out, g)
+	return out, nil
+}
+
+func fillDerived(r *Result, g *graph.Graph) {
+	r.NormPerGroup = make([]float64, len(r.PerGroup))
+	for i, u := range r.PerGroup {
+		r.Total += u
+		r.NormPerGroup[i] = u / float64(g.GroupSize(i))
+	}
+	r.NormTotal = r.Total / float64(g.N())
+	r.Disparity = influence.Disparity(r.NormPerGroup)
+}
+
+// TheoremOneBound returns the Theorem 1 lower bound (1 − 1/e)·H(optTotal)
+// on the total influence of greedy FairTCIM-Budget, given the (estimated)
+// optimal P1 total influence.
+func TheoremOneBound(h concave.Function, optTotal float64) float64 {
+	return (1 - 1/math.E) * h.Eval(optTotal)
+}
+
+// TheoremTwoBound returns the Theorem 2 upper bound ln(1+n)·Σᵢ|Sᵢ*| on the
+// FairTCIM-Cover greedy seed-set size, given per-group optimal cover sizes.
+func TheoremTwoBound(n int, perGroupOptSizes []int) float64 {
+	sum := 0
+	for _, s := range perGroupOptSizes {
+		sum += s
+	}
+	return math.Log(1+float64(n)) * float64(sum)
+}

@@ -1,0 +1,164 @@
+package fairim
+
+import (
+	"fairtcim/internal/concave"
+	"fairtcim/internal/graph"
+)
+
+// valueFn maps per-group utilities fτ(S;Vᵢ) to the scalar each problem
+// optimizes. Every implementation must be monotone in each coordinate and
+// concave along coordinate-increasing directions, which keeps the composed
+// set function monotone submodular (Lin & Bilmes composition, plus
+// closure of submodularity under truncation and addition).
+type valueFn interface {
+	value(util []float64, g *graph.Graph) float64
+}
+
+// totalValue is P1's objective: fτ(S;V) = Σᵢ fτ(S;Vᵢ).
+type totalValue struct{}
+
+func (totalValue) value(util []float64, _ *graph.Graph) float64 {
+	t := 0.0
+	for _, u := range util {
+		t += u
+	}
+	return t
+}
+
+// concaveValue is P4's objective: Σᵢ H(λᵢ·fτ(S;Vᵢ)), with λ = 1 when
+// weights is nil (the paper's base formulation).
+type concaveValue struct {
+	h       concave.Function
+	weights []float64
+}
+
+func (c concaveValue) value(util []float64, _ *graph.Graph) float64 {
+	t := 0.0
+	for i, u := range util {
+		if c.weights != nil {
+			u *= c.weights[i]
+		}
+		t += c.h.Eval(u)
+	}
+	return t
+}
+
+// totalQuotaValue is P2's covering objective: min(fτ(S;V)/|V|, Q); the
+// cover target is Q.
+type totalQuotaValue struct{ quota float64 }
+
+func (q totalQuotaValue) value(util []float64, g *graph.Graph) float64 {
+	t := 0.0
+	for _, u := range util {
+		t += u
+	}
+	frac := t / float64(g.N())
+	if frac > q.quota {
+		return q.quota
+	}
+	return frac
+}
+
+// groupQuotaValue is P6's covering objective: Σᵢ min(fτ(S;Vᵢ)/|Vᵢ|, Q);
+// the cover target is kQ (Appendix B's rewriting of the per-group
+// constraints).
+type groupQuotaValue struct{ quota float64 }
+
+func (q groupQuotaValue) value(util []float64, g *graph.Graph) float64 {
+	t := 0.0
+	for i, u := range util {
+		frac := u / float64(g.GroupSize(i))
+		if frac > q.quota {
+			frac = q.quota
+		}
+		t += frac
+	}
+	return t
+}
+
+// groupEvaluator is the estimator contract the solvers build on; it is
+// satisfied by influence.Evaluator (classic IC/LT), DelayedEvaluator
+// (IC-M and other delayed diffusion) and DiscountedEvaluator
+// (time-discounted utility).
+type groupEvaluator interface {
+	GainPerGroup(v graph.NodeID) []float64
+	Add(v graph.NodeID)
+	GroupUtilities() []float64
+	NormGroupUtilities() []float64
+	Graph() *graph.Graph
+	InitialGains(candidates []graph.NodeID, parallelism int) [][]float64
+	Reset()
+}
+
+// objective adapts a groupEvaluator plus a valueFn to
+// submodular.Objective, optionally recording a per-iteration trace.
+type objective struct {
+	eval    groupEvaluator
+	vf      valueFn
+	g       *graph.Graph
+	traceOn bool
+	trace   []IterationStat
+
+	cur  []float64 // cached GroupUtilities of the current set
+	next []float64 // scratch for candidate utilities
+}
+
+func newObjective(eval groupEvaluator, vf valueFn, traceOn bool) *objective {
+	return &objective{
+		eval:    eval,
+		vf:      vf,
+		g:       eval.Graph(),
+		traceOn: traceOn,
+		cur:     eval.GroupUtilities(),
+		next:    make([]float64, eval.Graph().NumGroups()),
+	}
+}
+
+// Gain returns the objective's exact marginal for adding v to the current
+// set (exact w.r.t. the fixed Monte-Carlo worlds).
+func (o *objective) Gain(v graph.NodeID) float64 {
+	delta := o.eval.GainPerGroup(v)
+	for i := range o.next {
+		o.next[i] = o.cur[i] + delta[i]
+	}
+	return o.vf.value(o.next, o.g) - o.vf.value(o.cur, o.g)
+}
+
+// Add commits v and refreshes the cached utilities.
+func (o *objective) Add(v graph.NodeID) {
+	o.eval.Add(v)
+	o.cur = o.eval.GroupUtilities()
+	if o.traceOn {
+		norm := o.eval.NormGroupUtilities()
+		total := 0.0
+		for _, u := range o.cur {
+			total += u
+		}
+		o.trace = append(o.trace, IterationStat{
+			Seed:      v,
+			Objective: o.vf.value(o.cur, o.g),
+			Total:     total,
+			NormGroup: norm,
+		})
+	}
+}
+
+// Value returns the objective at the current set.
+func (o *objective) Value() float64 { return o.vf.value(o.cur, o.g) }
+
+// initialGains evaluates Gain for every candidate on the empty (current)
+// set in parallel, exploiting the evaluator's read-only concurrent query
+// path.
+func (o *objective) initialGains(candidates []graph.NodeID, parallelism int) []float64 {
+	perGroup := o.eval.InitialGains(candidates, parallelism)
+	out := make([]float64, len(candidates))
+	base := o.vf.value(o.cur, o.g)
+	next := make([]float64, len(o.cur))
+	for i, delta := range perGroup {
+		for j := range next {
+			next[j] = o.cur[j] + delta[j]
+		}
+		out[i] = o.vf.value(next, o.g) - base
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package generate
+
+import "fairtcim/internal/graph"
+
+// Fig1Example constructs the illustrative 38-node graph of the paper's
+// Figure 1. The original topology is only available as a drawing, so this
+// is a hand-built graph with the stated characteristics (see DESIGN.md §3):
+//
+//   - group V1 ("blue dots") has 26 nodes and contains the two most central
+//     high-degree hubs a and b;
+//   - group V2 ("red triangles") has 12 nodes, is peripheral, and is
+//     reachable from the blue hubs only via paths of length ≥ 3, so a tight
+//     deadline starves it entirely;
+//   - a "broker" node c sits between the two groups: it touches deep blue
+//     territory and several points of the red chain, so the pair {a, c}
+//     influences both groups even under a tight deadline;
+//   - all edges carry activation probability 0.7 and the budget is B = 2,
+//     as in the paper.
+//
+// The returned map names the labelled nodes "a".."e".
+func Fig1Example() (*graph.Graph, map[string]graph.NodeID) {
+	const (
+		nBlue = 26
+		nRed  = 12
+		n     = nBlue + nRed
+		pe    = 0.7
+	)
+	b := graph.NewBuilder(n)
+	labels := make([]int, n)
+	for v := nBlue; v < n; v++ {
+		labels[v] = 1
+	}
+	b.SetGroups(labels)
+
+	und := func(u, v int) { b.AddUndirected(graph.NodeID(u), graph.NodeID(v), pe) }
+
+	// Hub a (node 0) with its blue spokes 2..9.
+	for v := 2; v <= 9; v++ {
+		und(0, v)
+	}
+	// Hub b (node 1) with its blue spokes 10..17.
+	for v := 10; v <= 17; v++ {
+		und(1, v)
+	}
+	// Second blue ring.
+	und(9, 18)
+	und(9, 19)
+	und(17, 20)
+	und(17, 21)
+	// Third blue ring.
+	und(18, 22) // 22 is the broker c
+	und(19, 23)
+	und(20, 24)
+	und(21, 25)
+	// Lateral ties knitting the deep blue periphery together.
+	und(23, 24)
+	und(24, 25)
+
+	// Red chain 26-27-...-37: sparsely knit, so no single red node is
+	// individually attractive to the unfair objective.
+	for v := 26; v < 37; v++ {
+		und(v, v+1)
+	}
+
+	// Bridges. The broker c touches three points of the red chain, so it
+	// (and only it) can influence a sizable red fraction under a tight
+	// deadline; the only other blue–red tie is deep on b's side, three hops
+	// from b.
+	und(22, 26)
+	und(22, 28)
+	und(22, 30)
+	und(21, 33)
+
+	names := map[string]graph.NodeID{
+		"a": 0,
+		"b": 1,
+		"c": 22,
+		"d": 9,  // mid-ring blue node: good under moderate deadlines
+		"e": 26, // head of the red chain
+	}
+	return b.MustBuild(), names
+}

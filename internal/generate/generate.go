@@ -1,0 +1,234 @@
+// Package generate builds the synthetic social networks used in the
+// paper's evaluation: stochastic block models (§6.1), plus Erdős–Rényi and
+// Barabási–Albert graphs for additional experiments, and the illustrative
+// 38-node example of Figure 1.
+//
+// All generators are deterministic given a seed and produce undirected
+// social ties (two directed edges) with a uniform activation probability,
+// matching the paper's setup.
+package generate
+
+import (
+	"fmt"
+
+	"fairtcim/internal/graph"
+	"fairtcim/internal/xrand"
+)
+
+// SBMConfig parametrizes a k-block stochastic block model in the paper's
+// vocabulary: within-group edge probability ("homophily") and across-group
+// edge probability ("heterophily").
+type SBMConfig struct {
+	N          int       // number of nodes
+	Fractions  []float64 // group size fractions, must sum to ~1
+	PHom       float64   // within-group edge probability
+	PHet       float64   // across-group edge probability
+	PActivate  float64   // IC activation probability on every edge
+	Seed       int64     //
+	Assignment Assignment
+}
+
+// Assignment controls how nodes get group labels.
+type Assignment int
+
+// Group assignment strategies.
+const (
+	// RandomAssignment assigns each node independently with the group
+	// fractions as probabilities (the paper's "randomly assigned").
+	RandomAssignment Assignment = iota
+	// BlockAssignment assigns contiguous blocks with exact sizes, which
+	// makes group sizes deterministic; used where the experiment text
+	// states exact sizes (e.g. "350 nodes in V1 and 150 in V2").
+	BlockAssignment
+)
+
+// SBM samples a stochastic block model graph.
+func SBM(cfg SBMConfig) (*graph.Graph, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("generate: SBM needs positive N, got %d", cfg.N)
+	}
+	if len(cfg.Fractions) == 0 {
+		return nil, fmt.Errorf("generate: SBM needs group fractions")
+	}
+	sum := 0.0
+	for _, f := range cfg.Fractions {
+		if f <= 0 {
+			return nil, fmt.Errorf("generate: non-positive group fraction %v", f)
+		}
+		sum += f
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return nil, fmt.Errorf("generate: group fractions sum to %v, want 1", sum)
+	}
+	if bad(cfg.PHom) || bad(cfg.PHet) || bad(cfg.PActivate) {
+		return nil, fmt.Errorf("generate: probabilities must be in [0,1]")
+	}
+
+	rng := xrand.New(cfg.Seed)
+	labels := make([]int, cfg.N)
+	switch cfg.Assignment {
+	case BlockAssignment:
+		idx := 0
+		for grp, f := range cfg.Fractions {
+			count := int(f*float64(cfg.N) + 0.5)
+			if grp == len(cfg.Fractions)-1 {
+				count = cfg.N - idx
+			}
+			for c := 0; c < count && idx < cfg.N; c++ {
+				labels[idx] = grp
+				idx++
+			}
+		}
+	default:
+		for v := range labels {
+			u := rng.Float64()
+			acc := 0.0
+			labels[v] = len(cfg.Fractions) - 1
+			for grp, f := range cfg.Fractions {
+				acc += f
+				if u < acc {
+					labels[v] = grp
+					break
+				}
+			}
+		}
+	}
+	// Guarantee no empty group (Builder rejects sparse labels): force one
+	// representative per group if the random draw missed one.
+	counts := make([]int, len(cfg.Fractions))
+	for _, l := range labels {
+		counts[l]++
+	}
+	for grp, c := range counts {
+		if c == 0 {
+			labels[rng.Intn(cfg.N)] = grp
+		}
+	}
+
+	b := graph.NewBuilder(cfg.N)
+	b.SetGroups(labels)
+	for u := 0; u < cfg.N; u++ {
+		for v := u + 1; v < cfg.N; v++ {
+			p := cfg.PHet
+			if labels[u] == labels[v] {
+				p = cfg.PHom
+			}
+			if rng.Bernoulli(p) {
+				b.AddUndirected(graph.NodeID(u), graph.NodeID(v), cfg.PActivate)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// TwoBlockConfig is the paper's default synthetic setup (§6.1): two groups,
+// majority fraction g, with given homophily/heterophily.
+type TwoBlockConfig struct {
+	N         int     // default 500
+	G         float64 // majority fraction, default 0.7
+	PHom      float64 // default 0.025
+	PHet      float64 // default 0.001
+	PActivate float64 // default 0.05
+	Seed      int64
+}
+
+// DefaultTwoBlock returns the paper's §6.1 default parameters.
+func DefaultTwoBlock(seed int64) TwoBlockConfig {
+	return TwoBlockConfig{N: 500, G: 0.7, PHom: 0.025, PHet: 0.001, PActivate: 0.05, Seed: seed}
+}
+
+// TwoBlock samples the two-group SBM of §6.1 with exact block sizes.
+func TwoBlock(cfg TwoBlockConfig) (*graph.Graph, error) {
+	return SBM(SBMConfig{
+		N:          cfg.N,
+		Fractions:  []float64{cfg.G, 1 - cfg.G},
+		PHom:       cfg.PHom,
+		PHet:       cfg.PHet,
+		PActivate:  cfg.PActivate,
+		Seed:       cfg.Seed,
+		Assignment: BlockAssignment,
+	})
+}
+
+// ErdosRenyi samples G(n, p) with uniform activation probability pActivate
+// and all nodes in one group.
+func ErdosRenyi(n int, p, pActivate float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 || bad(p) || bad(pActivate) {
+		return nil, fmt.Errorf("generate: bad ErdosRenyi parameters")
+	}
+	rng := xrand.New(seed)
+	b := graph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Bernoulli(p) {
+				b.AddUndirected(graph.NodeID(u), graph.NodeID(v), pActivate)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert samples a preferential-attachment graph: each new node
+// attaches m undirected edges to existing nodes with probability
+// proportional to degree. Groups are assigned randomly with the given
+// fractions, modelling a scale-free network with salient groups.
+func BarabasiAlbert(n, m int, fractions []float64, pActivate float64, seed int64) (*graph.Graph, error) {
+	if n <= 0 || m <= 0 || m >= n || bad(pActivate) {
+		return nil, fmt.Errorf("generate: bad BarabasiAlbert parameters (n=%d, m=%d)", n, m)
+	}
+	rng := xrand.New(seed)
+	b := graph.NewBuilder(n)
+
+	// Repeated-endpoint list implements preferential attachment in O(1)
+	// per draw.
+	endpoints := make([]graph.NodeID, 0, 2*m*n)
+	// Seed clique over the first m+1 nodes.
+	for u := 0; u <= m; u++ {
+		for v := u + 1; v <= m; v++ {
+			b.AddUndirected(graph.NodeID(u), graph.NodeID(v), pActivate)
+			endpoints = append(endpoints, graph.NodeID(u), graph.NodeID(v))
+		}
+	}
+	for v := m + 1; v < n; v++ {
+		chosen := map[graph.NodeID]bool{}
+		for len(chosen) < m {
+			u := endpoints[rng.Intn(len(endpoints))]
+			if int(u) != v && !chosen[u] {
+				chosen[u] = true
+			}
+		}
+		for u := range chosen {
+			b.AddUndirected(graph.NodeID(v), u, pActivate)
+			endpoints = append(endpoints, graph.NodeID(v), u)
+		}
+	}
+
+	if len(fractions) > 0 {
+		labels := make([]int, n)
+		for v := range labels {
+			u := rng.Float64()
+			acc := 0.0
+			labels[v] = len(fractions) - 1
+			for grp, f := range fractions {
+				acc += f
+				if u < acc {
+					labels[v] = grp
+					break
+				}
+			}
+		}
+		counts := make([]int, len(fractions))
+		for _, l := range labels {
+			counts[l]++
+		}
+		for grp, c := range counts {
+			if c == 0 {
+				labels[rng.Intn(n)] = grp
+			}
+		}
+		b.SetGroups(labels)
+	}
+	return b.Build()
+}
+
+func bad(p float64) bool { return p < 0 || p > 1 }

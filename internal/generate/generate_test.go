@@ -1,0 +1,216 @@
+package generate
+
+import (
+	"math"
+	"testing"
+
+	"fairtcim/internal/graph"
+)
+
+func TestSBMValidation(t *testing.T) {
+	bad := []SBMConfig{
+		{N: 0, Fractions: []float64{1}, PHom: 0.1, PHet: 0.1, PActivate: 0.1},
+		{N: 10, Fractions: nil, PHom: 0.1, PHet: 0.1, PActivate: 0.1},
+		{N: 10, Fractions: []float64{0.5, 0.4}, PHom: 0.1, PHet: 0.1, PActivate: 0.1}, // sums to 0.9
+		{N: 10, Fractions: []float64{0.5, 0.5}, PHom: 1.5, PHet: 0.1, PActivate: 0.1},
+		{N: 10, Fractions: []float64{0.5, 0.5}, PHom: 0.1, PHet: -0.1, PActivate: 0.1},
+		{N: 10, Fractions: []float64{1.0, -0.0}, PHom: 0.1, PHet: 0.1, PActivate: 0.1},
+	}
+	for i, cfg := range bad {
+		if _, err := SBM(cfg); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestTwoBlockExactSizes(t *testing.T) {
+	g, err := TwoBlock(DefaultTwoBlock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 500 {
+		t.Fatalf("N = %d", g.N())
+	}
+	sizes := g.GroupSizes()
+	if sizes[0] != 350 || sizes[1] != 150 {
+		t.Fatalf("group sizes = %v, want [350 150] (paper §6.1)", sizes)
+	}
+}
+
+func TestTwoBlockEdgeCounts(t *testing.T) {
+	// Expected within-V1 undirected edges: C(350,2)*0.025 ≈ 1527;
+	// within-V2: C(150,2)*0.025 ≈ 279; across: 350*150*0.001 ≈ 52.
+	// Averaged over seeds this should concentrate.
+	sumW1, sumW2, sumAcross := 0.0, 0.0, 0.0
+	const reps = 5
+	for seed := int64(0); seed < reps; seed++ {
+		g, err := TwoBlock(DefaultTwoBlock(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := g.ComputeStats()
+		sumW1 += float64(s.WithinEdges[0]) / 2 // directed -> undirected
+		sumW2 += float64(s.WithinEdges[1]) / 2
+		sumAcross += float64(s.AcrossEdges) / 2
+	}
+	w1, w2, across := sumW1/reps, sumW2/reps, sumAcross/reps
+	if math.Abs(w1-1527)/1527 > 0.1 {
+		t.Fatalf("within-V1 edges %v, want ≈1527", w1)
+	}
+	if math.Abs(w2-279)/279 > 0.15 {
+		t.Fatalf("within-V2 edges %v, want ≈279", w2)
+	}
+	if math.Abs(across-52.5)/52.5 > 0.3 {
+		t.Fatalf("across edges %v, want ≈52", across)
+	}
+}
+
+func TestSBMDeterministic(t *testing.T) {
+	cfg := DefaultTwoBlock(42)
+	g1, _ := TwoBlock(cfg)
+	g2, _ := TwoBlock(cfg)
+	if g1.M() != g2.M() {
+		t.Fatalf("same seed produced %d and %d edges", g1.M(), g2.M())
+	}
+	g3, _ := TwoBlock(DefaultTwoBlock(43))
+	if g1.M() == g3.M() {
+		t.Log("different seeds coincide in edge count; unusual but not fatal")
+	}
+}
+
+func TestSBMRandomAssignmentCoversGroups(t *testing.T) {
+	g, err := SBM(SBMConfig{
+		N:          50,
+		Fractions:  []float64{0.9, 0.05, 0.05},
+		PHom:       0.1,
+		PHet:       0.01,
+		PActivate:  0.1,
+		Seed:       7,
+		Assignment: RandomAssignment,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumGroups() != 3 {
+		t.Fatalf("NumGroups = %d", g.NumGroups())
+	}
+	for i, s := range g.GroupSizes() {
+		if s == 0 {
+			t.Fatalf("group %d empty", i)
+		}
+	}
+}
+
+func TestErdosRenyiEdgeCount(t *testing.T) {
+	g, err := ErdosRenyi(200, 0.1, 0.5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 * float64(200*199/2)
+	got := float64(g.M()) / 2
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("ER edges %v, want ≈%v", got, want)
+	}
+	if g.NumGroups() != 1 {
+		t.Fatalf("ER should have 1 group, got %d", g.NumGroups())
+	}
+}
+
+func TestErdosRenyiValidation(t *testing.T) {
+	if _, err := ErdosRenyi(0, 0.1, 0.5, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := ErdosRenyi(10, 1.5, 0.5, 1); err == nil {
+		t.Fatal("p>1 accepted")
+	}
+}
+
+func TestBarabasiAlbertDegrees(t *testing.T) {
+	n, m := 300, 3
+	g, err := BarabasiAlbert(n, m, []float64{0.6, 0.4}, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != n {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Undirected edge count: C(m+1,2) clique + m per additional node.
+	wantEdges := m*(m+1)/2 + (n-m-1)*m
+	if g.M() != 2*wantEdges {
+		t.Fatalf("M = %d, want %d", g.M(), 2*wantEdges)
+	}
+	// Scale-free: max degree should far exceed the minimum degree m.
+	maxDeg := 0
+	for v := 0; v < n; v++ {
+		if d := g.OutDegree(graph.NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	if maxDeg < 4*m {
+		t.Fatalf("max degree %d suspiciously small for preferential attachment", maxDeg)
+	}
+}
+
+func TestBarabasiAlbertValidation(t *testing.T) {
+	if _, err := BarabasiAlbert(10, 10, nil, 0.1, 1); err == nil {
+		t.Fatal("m>=n accepted")
+	}
+	if _, err := BarabasiAlbert(10, 0, nil, 0.1, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+}
+
+func TestFig1ExampleShape(t *testing.T) {
+	g, names := Fig1Example()
+	if g.N() != 38 {
+		t.Fatalf("N = %d, want 38", g.N())
+	}
+	sizes := g.GroupSizes()
+	if sizes[0] != 26 || sizes[1] != 12 {
+		t.Fatalf("group sizes = %v, want [26 12] (paper Fig. 1)", sizes)
+	}
+	for _, name := range []string{"a", "b", "c", "d", "e"} {
+		if _, ok := names[name]; !ok {
+			t.Fatalf("missing named node %q", name)
+		}
+	}
+	// Hubs are the highest-degree nodes.
+	if g.OutDegree(names["a"]) < 8 || g.OutDegree(names["b"]) < 8 {
+		t.Fatalf("hubs have degrees %d, %d", g.OutDegree(names["a"]), g.OutDegree(names["b"]))
+	}
+	// All activation probabilities are 0.7.
+	for v := 0; v < g.N(); v++ {
+		for _, e := range g.Out(graph.NodeID(v)) {
+			if e.P != 0.7 {
+				t.Fatalf("edge (%d,%d) has p=%v", v, e.To, e.P)
+			}
+		}
+	}
+	// Connected: information can in principle reach everyone.
+	if _, count := g.ConnectedComponents(); count != 1 {
+		t.Fatalf("Fig1 graph has %d components", count)
+	}
+}
+
+func TestFig1RedGroupIsFarFromHubs(t *testing.T) {
+	g, names := Fig1Example()
+	// Within 2 hops of {a, b}, no red node is reachable: that is the
+	// mechanism behind the τ=2 disparity collapse in the paper's table.
+	dist := g.BFSDistances([]graph.NodeID{names["a"], names["b"]})
+	for v := 0; v < g.N(); v++ {
+		if g.Group(graph.NodeID(v)) == 1 && dist[v] >= 0 && dist[v] <= 2 {
+			t.Fatalf("red node %d within 2 hops of the hubs", v)
+		}
+	}
+	// The broker c reaches red nodes within 2 hops.
+	distC := g.BFSDistances([]graph.NodeID{names["c"]})
+	reached := 0
+	for v := 0; v < g.N(); v++ {
+		if g.Group(graph.NodeID(v)) == 1 && distC[v] >= 0 && distC[v] <= 2 {
+			reached++
+		}
+	}
+	if reached < 5 {
+		t.Fatalf("broker reaches only %d red nodes within 2 hops", reached)
+	}
+}

@@ -1,0 +1,38 @@
+package graph_test
+
+import (
+	"fmt"
+
+	"fairtcim/internal/graph"
+)
+
+// Build a tiny two-group friendship network and inspect its structure.
+func ExampleBuilder() {
+	b := graph.NewBuilder(4)
+	b.SetGroups([]int{0, 0, 1, 1})
+	b.AddUndirected(0, 1, 0.5) // a within-group friendship
+	b.AddUndirected(1, 2, 0.1) // a bridge between the groups
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("nodes:", g.N())
+	fmt.Println("directed edges:", g.M())
+	fmt.Println("groups:", g.GroupSizes())
+	fmt.Println("degree of the bridge node:", g.OutDegree(1))
+	// Output:
+	// nodes: 4
+	// directed edges: 4
+	// groups: [2 2]
+	// degree of the bridge node: 2
+}
+
+func ExampleGraph_MixingMatrix() {
+	b := graph.NewBuilder(4)
+	b.SetGroups([]int{0, 0, 1, 1})
+	b.AddUndirected(0, 1, 0.5)
+	b.AddUndirected(1, 2, 0.1)
+	g := b.MustBuild()
+	fmt.Println(g.MixingMatrix())
+	// Output: [[2 1] [1 0]]
+}

@@ -1,0 +1,307 @@
+// Package graph provides the social-network substrate for fairtcim: a
+// directed graph with per-edge activation probabilities and per-node group
+// labels (the "socially salient groups" of the paper).
+//
+// Graphs are immutable after construction; build them with a Builder. An
+// undirected social tie is represented as two directed edges, matching the
+// paper's convention (§3.1).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a node; nodes are always the dense range [0, N).
+type NodeID = int32
+
+// Edge is an outgoing (or incoming, in the reverse view) arc together with
+// its independent-cascade activation probability.
+type Edge struct {
+	To NodeID  // the neighbor
+	P  float64 // activation probability in [0, 1]
+}
+
+// Graph is an immutable directed graph with activation probabilities and
+// group labels. The zero value is an empty graph; construct with a Builder.
+type Graph struct {
+	out        [][]Edge // forward adjacency, out[v] sorted by To
+	in         [][]Edge // reverse adjacency, in[v] sorted by To (the source)
+	groups     []int32  // group label per node, in [0, numGroups)
+	numGroups  int
+	groupSizes []int
+	numEdges   int // number of directed edges
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.out) }
+
+// M returns the number of directed edges.
+func (g *Graph) M() int { return g.numEdges }
+
+// Out returns the outgoing edges of v. The slice is shared; callers must
+// not modify it.
+func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+
+// In returns the incoming edges of v (each Edge.To is the *source* node).
+// The slice is shared; callers must not modify it.
+func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+
+// OutDegree returns the out-degree of v.
+func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+
+// InDegree returns the in-degree of v.
+func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+
+// Group returns the group label of v.
+func (g *Graph) Group(v NodeID) int { return int(g.groups[v]) }
+
+// NumGroups returns the number of groups k. Every graph has at least one
+// group; ungrouped graphs put all nodes in group 0.
+func (g *Graph) NumGroups() int { return g.numGroups }
+
+// GroupSizes returns |V_i| for every group i. The slice is shared; callers
+// must not modify it.
+func (g *Graph) GroupSizes() []int { return g.groupSizes }
+
+// GroupSize returns |V_i|.
+func (g *Graph) GroupSize(i int) int { return g.groupSizes[i] }
+
+// GroupMembers returns the nodes in group i, ascending.
+func (g *Graph) GroupMembers(i int) []NodeID {
+	members := make([]NodeID, 0, g.groupSizes[i])
+	for v := range g.groups {
+		if int(g.groups[v]) == i {
+			members = append(members, NodeID(v))
+		}
+	}
+	return members
+}
+
+// Nodes returns all node ids, ascending.
+func (g *Graph) Nodes() []NodeID {
+	nodes := make([]NodeID, g.N())
+	for v := range nodes {
+		nodes[v] = NodeID(v)
+	}
+	return nodes
+}
+
+// WithGroups returns a copy of g with new group labels. labels must have
+// length N and use the dense range [0, k). The adjacency is shared with g.
+func (g *Graph) WithGroups(labels []int) (*Graph, error) {
+	if len(labels) != g.N() {
+		return nil, fmt.Errorf("graph: %d labels for %d nodes", len(labels), g.N())
+	}
+	groups, sizes, k, err := normalizeGroups(labels)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{
+		out:        g.out,
+		in:         g.in,
+		groups:     groups,
+		numGroups:  k,
+		groupSizes: sizes,
+		numEdges:   g.numEdges,
+	}, nil
+}
+
+// Stats summarises the structure of a grouped graph; used by generators'
+// tests and by the experiment harness to report dataset shape.
+type Stats struct {
+	N, M         int     // nodes, directed edges
+	NumGroups    int     //
+	GroupSizes   []int   // |V_i|
+	WithinEdges  []int   // directed edges with both endpoints in group i
+	AcrossEdges  int     // directed edges with endpoints in different groups
+	MaxOutDegree int     //
+	AvgOutDegree float64 //
+}
+
+// ComputeStats derives Stats for g.
+func (g *Graph) ComputeStats() Stats {
+	s := Stats{
+		N:          g.N(),
+		M:          g.M(),
+		NumGroups:  g.numGroups,
+		GroupSizes: append([]int(nil), g.groupSizes...),
+	}
+	s.WithinEdges = make([]int, g.numGroups)
+	for v := range g.out {
+		if d := len(g.out[v]); d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+		}
+		gv := g.groups[v]
+		for _, e := range g.out[v] {
+			if g.groups[e.To] == gv {
+				s.WithinEdges[gv]++
+			} else {
+				s.AcrossEdges++
+			}
+		}
+	}
+	if g.N() > 0 {
+		s.AvgOutDegree = float64(g.M()) / float64(g.N())
+	}
+	return s
+}
+
+// Builder accumulates nodes and edges and produces an immutable Graph.
+// It is not safe for concurrent use.
+type Builder struct {
+	n      int
+	groups []int
+	from   []NodeID
+	to     []NodeID
+	p      []float64
+}
+
+// NewBuilder returns a builder for a graph with n nodes, all initially in
+// group 0.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative node count")
+	}
+	return &Builder{n: n, groups: make([]int, n)}
+}
+
+// N returns the current number of nodes.
+func (b *Builder) N() int { return b.n }
+
+// AddNode appends a new node in group 0 and returns its id.
+func (b *Builder) AddNode() NodeID {
+	b.groups = append(b.groups, 0)
+	b.n++
+	return NodeID(b.n - 1)
+}
+
+// SetGroup assigns node v to group grp.
+func (b *Builder) SetGroup(v NodeID, grp int) {
+	if grp < 0 {
+		panic("graph: negative group")
+	}
+	b.groups[v] = grp
+}
+
+// SetGroups assigns all labels at once; len(labels) must equal N.
+func (b *Builder) SetGroups(labels []int) {
+	if len(labels) != b.n {
+		panic(fmt.Sprintf("graph: %d labels for %d nodes", len(labels), b.n))
+	}
+	copy(b.groups, labels)
+}
+
+// AddEdge adds the directed edge u->v with activation probability p.
+func (b *Builder) AddEdge(u, v NodeID, p float64) {
+	if u < 0 || int(u) >= b.n || v < 0 || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("graph: probability %v out of [0,1]", p))
+	}
+	b.from = append(b.from, u)
+	b.to = append(b.to, v)
+	b.p = append(b.p, p)
+}
+
+// AddUndirected adds both directed edges u->v and v->u with probability p.
+func (b *Builder) AddUndirected(u, v NodeID, p float64) {
+	b.AddEdge(u, v, p)
+	b.AddEdge(v, u, p)
+}
+
+// Build finalizes the graph. Duplicate directed edges are rejected; self
+// loops are allowed but pointless under IC.
+func (b *Builder) Build() (*Graph, error) {
+	groups, sizes, k, err := normalizeGroups(b.groups)
+	if err != nil {
+		return nil, err
+	}
+	g := &Graph{
+		out:        make([][]Edge, b.n),
+		in:         make([][]Edge, b.n),
+		groups:     groups,
+		numGroups:  k,
+		groupSizes: sizes,
+		numEdges:   len(b.from),
+	}
+	outDeg := make([]int, b.n)
+	inDeg := make([]int, b.n)
+	for i := range b.from {
+		outDeg[b.from[i]]++
+		inDeg[b.to[i]]++
+	}
+	for v := 0; v < b.n; v++ {
+		if outDeg[v] > 0 {
+			g.out[v] = make([]Edge, 0, outDeg[v])
+		}
+		if inDeg[v] > 0 {
+			g.in[v] = make([]Edge, 0, inDeg[v])
+		}
+	}
+	for i := range b.from {
+		u, v, p := b.from[i], b.to[i], b.p[i]
+		g.out[u] = append(g.out[u], Edge{To: v, P: p})
+		g.in[v] = append(g.in[v], Edge{To: u, P: p})
+	}
+	for v := 0; v < b.n; v++ {
+		sortEdges(g.out[v])
+		sortEdges(g.in[v])
+		if dup := firstDuplicate(g.out[v]); dup >= 0 {
+			return nil, fmt.Errorf("graph: duplicate edge %d->%d", v, dup)
+		}
+	}
+	return g, nil
+}
+
+// MustBuild is Build that panics on error, for hand-constructed graphs in
+// generators and tests.
+func (b *Builder) MustBuild() *Graph {
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func sortEdges(edges []Edge) {
+	sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+}
+
+func firstDuplicate(edges []Edge) NodeID {
+	for i := 1; i < len(edges); i++ {
+		if edges[i].To == edges[i-1].To {
+			return edges[i].To
+		}
+	}
+	return -1
+}
+
+// normalizeGroups validates labels and returns the compact representation.
+// Labels must use the dense range [0, k) with every group non-empty, except
+// that an empty graph has zero groups... we define an empty graph to have
+// one (empty) group for uniformity.
+func normalizeGroups(labels []int) (groups []int32, sizes []int, k int, err error) {
+	k = 1
+	for _, l := range labels {
+		if l < 0 {
+			return nil, nil, 0, fmt.Errorf("graph: negative group label %d", l)
+		}
+		if l+1 > k {
+			k = l + 1
+		}
+	}
+	sizes = make([]int, k)
+	groups = make([]int32, len(labels))
+	for v, l := range labels {
+		groups[v] = int32(l)
+		sizes[l]++
+	}
+	for i, s := range sizes {
+		if s == 0 && len(labels) > 0 {
+			return nil, nil, 0, fmt.Errorf("graph: group %d is empty (labels must be dense)", i)
+		}
+	}
+	return groups, sizes, k, nil
+}

@@ -1,0 +1,165 @@
+package graph
+
+// Structural metrics used by the experiment harness and by analyses of the
+// disparity factors the paper identifies in §4.2: group sizes, homophily
+// (within- vs across-group connectivity), and centrality concentration.
+
+// DegreeHistogram returns counts[d] = number of nodes with out-degree d.
+func (g *Graph) DegreeHistogram() []int {
+	maxDeg := 0
+	for v := 0; v < g.N(); v++ {
+		if d := g.OutDegree(NodeID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	counts := make([]int, maxDeg+1)
+	for v := 0; v < g.N(); v++ {
+		counts[g.OutDegree(NodeID(v))]++
+	}
+	return counts
+}
+
+// ClusteringCoefficient returns the global clustering coefficient
+// (transitivity): 3 × triangles / connected triples, treating the graph
+// as undirected. Returns 0 for graphs without triples.
+func (g *Graph) ClusteringCoefficient() float64 {
+	// Count each triangle once via ordered neighbor intersection on the
+	// undirected projection (out-neighbors; undirected social graphs store
+	// both arcs so Out is the full neighborhood).
+	triangles := 0
+	triples := 0
+	for v := 0; v < g.N(); v++ {
+		nbrs := g.Out(NodeID(v))
+		d := len(nbrs)
+		triples += d * (d - 1) / 2
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(nbrs[i].To, nbrs[j].To) {
+					triangles++
+				}
+			}
+		}
+	}
+	if triples == 0 {
+		return 0
+	}
+	// Each triangle is counted once per corner = 3 times; transitivity is
+	// 3·triangles/triples with triangles counted once, so counted-per-corner
+	// cancels the factor.
+	return float64(triangles) / float64(triples)
+}
+
+// HasEdge reports whether the directed edge u→v exists (binary search on
+// the sorted adjacency).
+func (g *Graph) HasEdge(u, v NodeID) bool {
+	edges := g.out[u]
+	lo, hi := 0, len(edges)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case edges[mid].To < v:
+			lo = mid + 1
+		case edges[mid].To > v:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// MixingMatrix returns m[i][j] = number of directed edges from group i to
+// group j — the group-level connectivity structure behind the paper's
+// §4.2 disparity factors.
+func (g *Graph) MixingMatrix() [][]int {
+	k := g.NumGroups()
+	m := make([][]int, k)
+	for i := range m {
+		m[i] = make([]int, k)
+	}
+	for v := 0; v < g.N(); v++ {
+		gv := g.Group(NodeID(v))
+		for _, e := range g.Out(NodeID(v)) {
+			m[gv][g.Group(e.To)]++
+		}
+	}
+	return m
+}
+
+// HomophilyIndex returns the Coleman-style homophily of the labelling:
+// (observed within-group edge fraction − expected under random mixing) /
+// (1 − expected). 1 means perfectly homophilous, 0 random mixing,
+// negative heterophilous. Returns 0 on edgeless graphs.
+func (g *Graph) HomophilyIndex() float64 {
+	if g.M() == 0 {
+		return 0
+	}
+	within := 0
+	for v := 0; v < g.N(); v++ {
+		gv := g.groups[v]
+		for _, e := range g.Out(NodeID(v)) {
+			if g.groups[e.To] == gv {
+				within++
+			}
+		}
+	}
+	observed := float64(within) / float64(g.M())
+	expected := 0.0
+	n := float64(g.N())
+	for _, s := range g.groupSizes {
+		frac := float64(s) / n
+		expected += frac * frac
+	}
+	if expected >= 1 {
+		return 0
+	}
+	return (observed - expected) / (1 - expected)
+}
+
+// InducedSubgraph returns the subgraph induced by nodes (which must be
+// distinct), with nodes renumbered 0..len(nodes)-1 in the given order,
+// plus the old→new id mapping. Group labels are re-densified.
+func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, map[NodeID]NodeID, error) {
+	mapping := make(map[NodeID]NodeID, len(nodes))
+	for i, v := range nodes {
+		if _, dup := mapping[v]; dup {
+			return nil, nil, errDuplicateNode(v)
+		}
+		mapping[v] = NodeID(i)
+	}
+	b := NewBuilder(len(nodes))
+	labels := make([]int, len(nodes))
+	for i, v := range nodes {
+		labels[i] = g.Group(v)
+	}
+	// Densify labels (the subset may miss some groups).
+	remap := map[int]int{}
+	for i, l := range labels {
+		id, ok := remap[l]
+		if !ok {
+			id = len(remap)
+			remap[l] = id
+		}
+		labels[i] = id
+	}
+	b.SetGroups(labels)
+	for _, v := range nodes {
+		nv := mapping[v]
+		for _, e := range g.Out(v) {
+			if nu, ok := mapping[e.To]; ok {
+				b.AddEdge(nv, nu, e.P)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}
+
+type errDuplicateNode NodeID
+
+func (e errDuplicateNode) Error() string {
+	return "graph: duplicate node in induced subgraph selection"
+}

@@ -1,0 +1,159 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDegreeHistogram(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(1, 2, 1)
+	g := b.MustBuild()
+	h := g.DegreeHistogram()
+	// degrees: 0:2, 1:1, 2:0, 3:0 -> counts: {0:2, 1:1, 2:1}
+	if h[0] != 2 || h[1] != 1 || h[2] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	b := NewBuilder(5)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(0, 3, 1)
+	b.AddEdge(0, 4, 1)
+	g := b.MustBuild()
+	for _, v := range []NodeID{1, 3, 4} {
+		if !g.HasEdge(0, v) {
+			t.Fatalf("missing edge 0->%d", v)
+		}
+	}
+	for _, v := range []NodeID{0, 2} {
+		if g.HasEdge(0, v) {
+			t.Fatalf("phantom edge 0->%d", v)
+		}
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("directed edge should not be symmetric")
+	}
+}
+
+func TestClusteringCoefficientTriangle(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddUndirected(0, 1, 1)
+	b.AddUndirected(1, 2, 1)
+	b.AddUndirected(0, 2, 1)
+	g := b.MustBuild()
+	if c := g.ClusteringCoefficient(); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("triangle clustering %v, want 1", c)
+	}
+}
+
+func TestClusteringCoefficientStar(t *testing.T) {
+	b := NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddUndirected(0, NodeID(v), 1)
+	}
+	g := b.MustBuild()
+	if c := g.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("star clustering %v, want 0", c)
+	}
+}
+
+func TestClusteringCoefficientPathPlusTriangle(t *testing.T) {
+	// A triangle with a pendant: triples = 3·1 + (deg3 node: C(3,2)=3)... do
+	// it numerically: nodes 0,1,2 triangle; 3 attached to 0.
+	b := NewBuilder(4)
+	b.AddUndirected(0, 1, 1)
+	b.AddUndirected(1, 2, 1)
+	b.AddUndirected(0, 2, 1)
+	b.AddUndirected(0, 3, 1)
+	g := b.MustBuild()
+	// corner counts: node0 deg3 -> 3 triples (one closed), node1 deg2 -> 1
+	// (closed), node2 deg2 -> 1 (closed), node3 deg1 -> 0. closed corners: 3,
+	// triples: 5 -> transitivity 3/5.
+	if c := g.ClusteringCoefficient(); math.Abs(c-0.6) > 1e-9 {
+		t.Fatalf("clustering %v, want 0.6", c)
+	}
+}
+
+func TestMixingMatrix(t *testing.T) {
+	b := NewBuilder(4)
+	b.SetGroups([]int{0, 0, 1, 1})
+	b.AddUndirected(0, 1, 1) // within 0
+	b.AddUndirected(2, 3, 1) // within 1
+	b.AddEdge(0, 2, 1)       // 0 -> 1 only
+	g := b.MustBuild()
+	m := g.MixingMatrix()
+	if m[0][0] != 2 || m[1][1] != 2 || m[0][1] != 1 || m[1][0] != 0 {
+		t.Fatalf("mixing = %v", m)
+	}
+}
+
+func TestHomophilyIndex(t *testing.T) {
+	// Perfectly homophilous: two disconnected same-group cliques.
+	b := NewBuilder(6)
+	b.SetGroups([]int{0, 0, 0, 1, 1, 1})
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			b.AddUndirected(NodeID(i), NodeID(j), 1)
+			b.AddUndirected(NodeID(i+3), NodeID(j+3), 1)
+		}
+	}
+	g := b.MustBuild()
+	if h := g.HomophilyIndex(); math.Abs(h-1) > 1e-9 {
+		t.Fatalf("homophily %v, want 1", h)
+	}
+	// Perfectly heterophilous: complete bipartite across groups.
+	b2 := NewBuilder(4)
+	b2.SetGroups([]int{0, 0, 1, 1})
+	b2.AddUndirected(0, 2, 1)
+	b2.AddUndirected(0, 3, 1)
+	b2.AddUndirected(1, 2, 1)
+	b2.AddUndirected(1, 3, 1)
+	g2 := b2.MustBuild()
+	if h := g2.HomophilyIndex(); h >= 0 {
+		t.Fatalf("bipartite homophily %v, want negative", h)
+	}
+	// Edgeless graph.
+	if h := NewBuilder(3).MustBuild().HomophilyIndex(); h != 0 {
+		t.Fatalf("edgeless homophily %v", h)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	b := NewBuilder(5)
+	b.SetGroups([]int{0, 0, 1, 1, 2})
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(1, 2, 0.25)
+	b.AddEdge(2, 3, 0.75)
+	b.AddEdge(3, 4, 0.1)
+	g := b.MustBuild()
+
+	sub, mapping, err := g.InducedSubgraph([]NodeID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("sub N=%d M=%d", sub.N(), sub.M())
+	}
+	// Edge 1->2 survives as mapping[1]->mapping[2] with probability 0.25.
+	found := false
+	for _, e := range sub.Out(mapping[1]) {
+		if e.To == mapping[2] && e.P == 0.25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("edge 1->2 lost in subgraph")
+	}
+	// Groups re-densified: nodes 1 (group 0), 2, 3 (group 1) -> two groups.
+	if sub.NumGroups() != 2 {
+		t.Fatalf("sub groups = %d", sub.NumGroups())
+	}
+	// Duplicates rejected.
+	if _, _, err := g.InducedSubgraph([]NodeID{1, 1}); err == nil {
+		t.Fatal("duplicate selection accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package graph
+
+// BFSDistances returns the unweighted hop distance from the seed set to
+// every node (ignoring edge probabilities), or -1 for unreachable nodes.
+// Used by structural analysis and tests.
+func (g *Graph) BFSDistances(seeds []NodeID) []int32 {
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]NodeID, 0, len(seeds))
+	for _, s := range seeds {
+		if dist[s] == -1 {
+			dist[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		for _, e := range g.out[v] {
+			if dist[e.To] == -1 {
+				dist[e.To] = dist[v] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents treats the graph as undirected (union of forward and
+// reverse edges) and returns a component label per node plus the number of
+// components. Labels are dense in [0, count).
+func (g *Graph) ConnectedComponents() (labels []int, count int) {
+	labels = make([]int, g.N())
+	for i := range labels {
+		labels[i] = -1
+	}
+	var queue []NodeID
+	for start := 0; start < g.N(); start++ {
+		if labels[start] != -1 {
+			continue
+		}
+		labels[start] = count
+		queue = append(queue[:0], NodeID(start))
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, e := range g.out[v] {
+				if labels[e.To] == -1 {
+					labels[e.To] = count
+					queue = append(queue, e.To)
+				}
+			}
+			for _, e := range g.in[v] {
+				if labels[e.To] == -1 {
+					labels[e.To] = count
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		count++
+	}
+	return labels, count
+}
+
+// LargestComponent returns the nodes of the largest weakly connected
+// component, ascending.
+func (g *Graph) LargestComponent() []NodeID {
+	labels, count := g.ConnectedComponents()
+	if count == 0 {
+		return nil
+	}
+	sizes := make([]int, count)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	best := 0
+	for c := 1; c < count; c++ {
+		if sizes[c] > sizes[best] {
+			best = c
+		}
+	}
+	nodes := make([]NodeID, 0, sizes[best])
+	for v, l := range labels {
+		if l == best {
+			nodes = append(nodes, NodeID(v))
+		}
+	}
+	return nodes
+}

@@ -1,0 +1,76 @@
+package ris
+
+import (
+	"testing"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/influence"
+)
+
+func TestSolveCoverReachesQuota(t *testing.T) {
+	g := testGraph(t, 20)
+	c, err := Sample(g, 5, []int{1500, 1500}, 21, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const quota = 0.15
+	seeds, err := SolveCover(c, quota, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("no seeds")
+	}
+	// Audit with the forward estimator.
+	util, err := influence.Estimate(g, seeds, 5, cascade.IC, 800, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := (util[0] + util[1]) / float64(g.N())
+	if frac < quota-0.05 {
+		t.Fatalf("cover reached %v < quota %v", frac, quota)
+	}
+}
+
+func TestSolveFairCoverCoversEveryGroup(t *testing.T) {
+	g := testGraph(t, 24)
+	c, err := Sample(g, 5, []int{1500, 1500}, 25, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const quota = 0.12
+	plain, err := SolveCover(c, quota, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, err := SolveFairCover(c, quota, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fair) < len(plain) {
+		t.Fatalf("fair cover used %d seeds, plain %d", len(fair), len(plain))
+	}
+	util, err := influence.Estimate(g, fair, 5, cascade.IC, 800, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range util {
+		if util[i]/float64(g.GroupSize(i)) < quota-0.06 {
+			t.Fatalf("group %d fraction %v below quota", i, util[i]/float64(g.GroupSize(i)))
+		}
+	}
+}
+
+func TestSolveCoverValidation(t *testing.T) {
+	g := testGraph(t, 28)
+	c, err := Sample(g, 3, []int{50, 50}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SolveCover(c, 0, nil); err == nil {
+		t.Fatal("quota 0 accepted")
+	}
+	if _, err := SolveFairCover(c, 1.5, nil); err == nil {
+		t.Fatal("quota > 1 accepted")
+	}
+}

@@ -1,0 +1,276 @@
+package ris
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/concave"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/influence"
+	"fairtcim/internal/xrand"
+)
+
+func testGraph(t *testing.T, seed int64) *graph.Graph {
+	t.Helper()
+	g, err := generate.TwoBlock(generate.TwoBlockConfig{
+		N: 150, G: 0.7, PHom: 0.06, PHet: 0.01, PActivate: 0.15, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestSampleValidation(t *testing.T) {
+	g := testGraph(t, 1)
+	if _, err := Sample(g, -1, []int{10, 10}, 1, 0); err == nil {
+		t.Fatal("negative tau accepted")
+	}
+	if _, err := Sample(g, 3, []int{10}, 1, 0); err == nil {
+		t.Fatal("wrong pool count accepted")
+	}
+	if _, err := Sample(g, 3, []int{10, 0}, 1, 0); err == nil {
+		t.Fatal("zero pool accepted")
+	}
+	empty := graph.NewBuilder(0).MustBuild()
+	if _, err := Sample(empty, 3, nil, 1, 0); err == nil {
+		t.Fatal("empty graph accepted")
+	}
+}
+
+func TestSampleDeterministicAcrossParallelism(t *testing.T) {
+	g := testGraph(t, 2)
+	a, err := Sample(g, 4, []int{50, 50}, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sample(g, 4, []int{50, 50}, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if len(a.contains[v]) != len(b.contains[v]) {
+			t.Fatalf("node %d inverted index differs across parallelism", v)
+		}
+	}
+}
+
+func TestRRSetContainsRoot(t *testing.T) {
+	g := testGraph(t, 3)
+	c, err := Sample(g, 0, []int{30, 30}, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tau = 0: every RR set is exactly its root, so total membership count
+	// equals total set count.
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += len(c.contains[v])
+	}
+	if total != c.NumSets() {
+		t.Fatalf("tau=0 membership %d, want %d", total, c.NumSets())
+	}
+}
+
+func TestEstimatorSeedCoversOwnGroup(t *testing.T) {
+	// On a complete-coverage instance: star where center reaches all.
+	b := graph.NewBuilder(5)
+	for v := 1; v < 5; v++ {
+		b.AddEdge(0, graph.NodeID(v), 1.0)
+	}
+	g := b.MustBuild()
+	c, err := Sample(g, 1, []int{200}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(c)
+	e.Add(0)
+	// Center at p=1 within tau=1 influences everyone: estimate = 5.
+	if got := e.TotalUtility(); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("estimate %v, want 5", got)
+	}
+}
+
+func TestEstimatorMatchesForwardMC(t *testing.T) {
+	// RIS estimates of fτ agree with the forward evaluator within MC error.
+	g := testGraph(t, 4)
+	seeds := []graph.NodeID{0, 50, 120}
+	const tau = 3
+
+	c, err := Sample(g, tau, []int{4000, 4000}, 11, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(c)
+	for _, s := range seeds {
+		e.Add(s)
+	}
+	risUtil := e.GroupUtilities()
+
+	fwd, err := influence.Estimate(g, seeds, tau, cascade.IC, 4000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range fwd {
+		if math.Abs(risUtil[i]-fwd[i]) > 0.12*float64(g.GroupSize(i))*0.2+1.0 {
+			t.Fatalf("group %d: RIS %v vs forward %v", i, risUtil[i], fwd[i])
+		}
+	}
+}
+
+func TestGainMatchesAddDelta(t *testing.T) {
+	check := func(seed int64) bool {
+		g := testGraph(t, seed)
+		c, err := Sample(g, 3, []int{100, 100}, seed, 0)
+		if err != nil {
+			return false
+		}
+		e := NewEstimator(c)
+		rng := xrand.New(seed + 1)
+		for step := 0; step < 5; step++ {
+			v := graph.NodeID(rng.Intn(g.N()))
+			gain := e.Gain(v)
+			before := e.TotalUtility()
+			e.Add(v)
+			if math.Abs((e.TotalUtility()-before)-gain) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimatorReset(t *testing.T) {
+	g := testGraph(t, 5)
+	c, err := Sample(g, 3, []int{50, 50}, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEstimator(c)
+	e.Add(0)
+	g1 := e.Gain(10)
+	e.Add(10)
+	e.Reset()
+	if e.TotalUtility() != 0 || len(e.Seeds()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+	e.Add(0)
+	if g2 := e.Gain(10); math.Abs(g1-g2) > 1e-9 {
+		t.Fatalf("post-reset gain %v != %v", g2, g1)
+	}
+}
+
+func TestSolveBudget(t *testing.T) {
+	g := testGraph(t, 6)
+	c, err := Sample(g, 5, []int{500, 500}, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, total, err := SolveBudget(c, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 5 || total <= 0 {
+		t.Fatalf("seeds %v total %v", seeds, total)
+	}
+	if _, _, err := SolveBudget(c, 0, nil); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+}
+
+func TestSolveFairBudgetReducesDisparity(t *testing.T) {
+	g := testGraph(t, 7)
+	c, err := Sample(g, 5, []int{800, 800}, 13, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _, err := SolveBudget(c, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fair, _, err := SolveFairBudget(c, 8, nil, concave.Log{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Evaluate both with the forward estimator on fresh worlds.
+	eval := func(seeds []graph.NodeID) float64 {
+		util, err := influence.Estimate(g, seeds, 5, cascade.IC, 600, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		norm := make([]float64, len(util))
+		for i := range util {
+			norm[i] = util[i] / float64(g.GroupSize(i))
+		}
+		return influence.Disparity(norm)
+	}
+	dPlain, dFair := eval(plain), eval(fair)
+	if dFair > dPlain+0.02 {
+		t.Fatalf("fair RIS disparity %v vs plain %v", dFair, dPlain)
+	}
+}
+
+func TestSolveAgreesWithForwardGreedy(t *testing.T) {
+	// With ample samples, RIS greedy and forward greedy should pick seed
+	// sets of similar quality (not necessarily identical).
+	g := testGraph(t, 8)
+	const tau = 4
+	c, err := Sample(g, tau, []int{1500, 1500}, 15, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risSeeds, _, err := SolveBudget(c, 5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdUtil, err := influence.Estimate(g, risSeeds, tau, cascade.IC, 800, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	risTotal := fwdUtil[0] + fwdUtil[1]
+
+	// Forward greedy reference.
+	worlds := cascade.SampleWorlds(g, cascade.IC, 300, 17, 0)
+	ev, err := influence.NewEvaluator(g, worlds, tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		best, bestGain := graph.NodeID(-1), -1.0
+		for v := 0; v < g.N(); v++ {
+			if gn := ev.Gain(graph.NodeID(v)); gn > bestGain {
+				best, bestGain = graph.NodeID(v), gn
+			}
+		}
+		ev.Add(best)
+	}
+	fwd2, err := influence.Estimate(g, ev.Seeds(), tau, cascade.IC, 800, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwdTotal := fwd2[0] + fwd2[1]
+	if risTotal < 0.7*fwdTotal {
+		t.Fatalf("RIS greedy total %v far below forward greedy %v", risTotal, fwdTotal)
+	}
+}
+
+func TestCollectionAccessors(t *testing.T) {
+	g := testGraph(t, 9)
+	c, err := Sample(g, 2, []int{10, 20}, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Graph() != g || c.Tau() != 2 || c.NumSets() != 30 {
+		t.Fatal("accessors broken")
+	}
+	ps := c.PoolSizes()
+	if ps[0] != 10 || ps[1] != 20 {
+		t.Fatalf("PoolSizes = %v", ps)
+	}
+}

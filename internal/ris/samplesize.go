@@ -1,0 +1,98 @@
+package ris
+
+import (
+	"fmt"
+	"math"
+
+	"fairtcim/internal/graph"
+)
+
+// Sample-size selection for RIS in the style of TIM/TIM+ (Tang, Xiao &
+// Shi, SIGMOD 2014), adapted to per-group pools: with
+//
+//	θ ≥ (8 + 2ε)·n · (ln n + ln C(n,B) + ln(2/δ)) / (ε²·OPT)
+//
+// RR sets, the greedy max-coverage solution's influence estimate is within
+// a (1−1/e−ε) factor of OPT with probability 1−δ. OPT is unknown, so
+// PlanSamples lower-bounds it with a cheap pilot: the coverage achieved by
+// greedy on a small pilot pool (a valid lower bound in expectation because
+// any feasible set's estimate lower-bounds OPT).
+
+// SamplePlan describes a chosen RR pool size.
+type SamplePlan struct {
+	PerGroup []int   // RR sets allocated per group (proportional to |Vᵢ|)
+	Total    int     //
+	OptLB    float64 // the pilot's lower bound on OPT used in the formula
+	Epsilon  float64
+	Delta    float64
+}
+
+// PlanSamples computes a TIM-style RR pool size for a budget-B, deadline-τ
+// instance, using pilotPerGroup RR sets per group for the OPT lower bound.
+// The returned per-group allocation is proportional to group sizes with a
+// floor of pilotPerGroup.
+func PlanSamples(g *graph.Graph, tau int32, budget int, eps, delta float64, pilotPerGroup int, seed int64) (*SamplePlan, error) {
+	if eps <= 0 || eps >= 1 {
+		return nil, fmt.Errorf("ris: epsilon %v outside (0,1)", eps)
+	}
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("ris: delta %v outside (0,1)", delta)
+	}
+	if budget <= 0 || budget > g.N() {
+		return nil, fmt.Errorf("ris: budget %d outside [1,%d]", budget, g.N())
+	}
+	if pilotPerGroup <= 0 {
+		return nil, fmt.Errorf("ris: need positive pilot size")
+	}
+
+	// Pilot: greedy on a small pool lower-bounds OPT.
+	pilotPools := make([]int, g.NumGroups())
+	for i := range pilotPools {
+		pilotPools[i] = pilotPerGroup
+	}
+	pilot, err := Sample(g, tau, pilotPools, seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	_, optLB, err := SolveBudget(pilot, budget, nil)
+	if err != nil {
+		return nil, err
+	}
+	if optLB < 1 {
+		optLB = 1 // a single seed always influences itself
+	}
+
+	n := float64(g.N())
+	lnChoose := logChoose(g.N(), budget)
+	theta := (8 + 2*eps) * n * (math.Log(n) + lnChoose + math.Log(2/delta)) / (eps * eps * optLB)
+	total := int(math.Ceil(theta))
+
+	plan := &SamplePlan{
+		PerGroup: make([]int, g.NumGroups()),
+		OptLB:    optLB,
+		Epsilon:  eps,
+		Delta:    delta,
+	}
+	for i := 0; i < g.NumGroups(); i++ {
+		c := int(math.Ceil(theta * float64(g.GroupSize(i)) / n))
+		if c < pilotPerGroup {
+			c = pilotPerGroup
+		}
+		plan.PerGroup[i] = c
+		plan.Total += c
+	}
+	_ = total
+	return plan, nil
+}
+
+// logChoose returns ln C(n, k) via the log-gamma function.
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	lg := func(x int) float64 {
+		v, _ := math.Lgamma(float64(x + 1))
+		return v
+	}
+	return lg(n) - lg(k) - lg(n-k)
+}

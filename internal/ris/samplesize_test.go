@@ -1,0 +1,114 @@
+package ris
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogChoose(t *testing.T) {
+	// ln C(5,2) = ln 10.
+	if got := logChoose(5, 2); math.Abs(got-math.Log(10)) > 1e-9 {
+		t.Fatalf("logChoose(5,2) = %v", got)
+	}
+	if logChoose(5, 0) != 0 {
+		t.Fatal("logChoose(n,0)")
+	}
+	if logChoose(3, 9) != 0 {
+		t.Fatal("logChoose out of range")
+	}
+	// Symmetry.
+	if math.Abs(logChoose(20, 6)-logChoose(20, 14)) > 1e-9 {
+		t.Fatal("logChoose not symmetric")
+	}
+}
+
+func TestPlanSamplesValidation(t *testing.T) {
+	g := testGraph(t, 31)
+	if _, err := PlanSamples(g, 3, 5, 0, 0.1, 50, 1); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+	if _, err := PlanSamples(g, 3, 5, 0.2, 0, 50, 1); err == nil {
+		t.Fatal("delta=0 accepted")
+	}
+	if _, err := PlanSamples(g, 3, 0, 0.2, 0.1, 50, 1); err == nil {
+		t.Fatal("budget=0 accepted")
+	}
+	if _, err := PlanSamples(g, 3, 5, 0.2, 0.1, 0, 1); err == nil {
+		t.Fatal("pilot=0 accepted")
+	}
+}
+
+func TestPlanSamplesShape(t *testing.T) {
+	g := testGraph(t, 32)
+	plan, err := PlanSamples(g, 5, 5, 0.3, 0.1, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.PerGroup) != g.NumGroups() {
+		t.Fatalf("per-group count %d", len(plan.PerGroup))
+	}
+	sum := 0
+	for i, c := range plan.PerGroup {
+		if c < 100 {
+			t.Fatalf("group %d pool %d below pilot floor", i, c)
+		}
+		sum += c
+	}
+	if sum != plan.Total {
+		t.Fatalf("total %d != sum %d", plan.Total, sum)
+	}
+	if plan.OptLB < 1 {
+		t.Fatalf("OptLB %v", plan.OptLB)
+	}
+	// Allocation roughly proportional to group sizes (70:30).
+	ratio := float64(plan.PerGroup[0]) / float64(plan.PerGroup[1])
+	wantRatio := float64(g.GroupSize(0)) / float64(g.GroupSize(1))
+	if math.Abs(ratio-wantRatio)/wantRatio > 0.05 {
+		t.Fatalf("allocation ratio %v, want ≈%v", ratio, wantRatio)
+	}
+}
+
+func TestPlanSamplesTighterEpsNeedsMore(t *testing.T) {
+	g := testGraph(t, 33)
+	loose, err := PlanSamples(g, 5, 5, 0.5, 0.1, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := PlanSamples(g, 5, 5, 0.1, 0.1, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Total <= loose.Total {
+		t.Fatalf("tight eps total %d not above loose %d", tight.Total, loose.Total)
+	}
+}
+
+func TestPlanSamplesEndToEnd(t *testing.T) {
+	// Use the plan to sample and solve; the result should at least match a
+	// small fixed pool's quality.
+	g := testGraph(t, 34)
+	plan, err := PlanSamples(g, 4, 4, 0.5, 0.2, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap the pool to keep the test fast; the plan can be large on sparse
+	// graphs where OPT is small.
+	pools := make([]int, len(plan.PerGroup))
+	for i, c := range plan.PerGroup {
+		if c > 4000 {
+			c = 4000
+		}
+		pools[i] = c
+	}
+	col, err := Sample(g, 4, pools, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds, total, err := SolveBudget(col, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) != 4 || total < plan.OptLB*0.5 {
+		t.Fatalf("planned solve: %d seeds, total %v vs OptLB %v", len(seeds), total, plan.OptLB)
+	}
+}

@@ -1,0 +1,177 @@
+package ris
+
+import (
+	"fmt"
+
+	"fairtcim/internal/concave"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/submodular"
+)
+
+// estimatorObjective adapts an Estimator to submodular.Objective under a
+// concave wrapper H (use concave.Identity for the plain P1 objective).
+type estimatorObjective struct {
+	e    *Estimator
+	h    concave.Function
+	cur  []float64
+	next []float64
+}
+
+func newObjective(e *Estimator, h concave.Function) *estimatorObjective {
+	return &estimatorObjective{
+		e:    e,
+		h:    h,
+		cur:  e.GroupUtilities(),
+		next: make([]float64, len(e.count)),
+	}
+}
+
+func (o *estimatorObjective) eval(util []float64) float64 {
+	t := 0.0
+	for _, u := range util {
+		t += o.h.Eval(u)
+	}
+	return t
+}
+
+// Gain returns the exact marginal of Σᵢ H(estimated fᵢ) for adding v.
+func (o *estimatorObjective) Gain(v graph.NodeID) float64 {
+	delta := o.e.GainPerGroup(v)
+	for i := range o.next {
+		o.next[i] = o.cur[i] + delta[i]
+	}
+	return o.eval(o.next) - o.eval(o.cur)
+}
+
+// Add commits v.
+func (o *estimatorObjective) Add(v graph.NodeID) {
+	o.e.Add(v)
+	o.cur = o.e.GroupUtilities()
+}
+
+// Value returns the objective at the current set.
+func (o *estimatorObjective) Value() float64 { return o.eval(o.cur) }
+
+// SolveBudget greedily maximizes the RIS-estimated total influence under a
+// cardinality budget (the RIS counterpart of fairim.SolveTCIMBudget).
+// candidates nil means every node. Returns the seeds and the RIS estimate
+// of total influence.
+func SolveBudget(c *Collection, budget int, candidates []graph.NodeID) ([]graph.NodeID, float64, error) {
+	return solve(c, budget, candidates, concave.Identity{})
+}
+
+// SolveFairBudget greedily maximizes Σᵢ H(fᵢ) on RIS estimates (the RIS
+// counterpart of fairim.SolveFairTCIMBudget). h nil means concave.Log.
+func SolveFairBudget(c *Collection, budget int, candidates []graph.NodeID, h concave.Function) ([]graph.NodeID, float64, error) {
+	if h == nil {
+		h = concave.Log{}
+	}
+	return solve(c, budget, candidates, h)
+}
+
+func solve(c *Collection, budget int, candidates []graph.NodeID, h concave.Function) ([]graph.NodeID, float64, error) {
+	if budget <= 0 {
+		return nil, 0, fmt.Errorf("ris: budget must be positive, got %d", budget)
+	}
+	if candidates == nil {
+		candidates = c.g.Nodes()
+	}
+	est := NewEstimator(c)
+	obj := newObjective(est, h)
+	res, err := submodular.LazyGreedyMax(obj, candidates, budget)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res.Seeds, est.TotalUtility(), nil
+}
+
+// quotaObjective is the RIS counterpart of the cover constraints: plain
+// covers min(f/|V|, Q) toward Q, fair covers Σᵢ min(fᵢ/|Vᵢ|, Q) toward kQ.
+type quotaObjective struct {
+	e     *Estimator
+	quota float64
+	fair  bool
+	cur   []float64
+	next  []float64
+}
+
+func (o *quotaObjective) eval(util []float64) float64 {
+	g := o.e.c.g
+	if !o.fair {
+		t := 0.0
+		for _, u := range util {
+			t += u
+		}
+		frac := t / float64(g.N())
+		if frac > o.quota {
+			return o.quota
+		}
+		return frac
+	}
+	t := 0.0
+	for i, u := range util {
+		frac := u / float64(g.GroupSize(i))
+		if frac > o.quota {
+			frac = o.quota
+		}
+		t += frac
+	}
+	return t
+}
+
+// Gain returns the truncated-coverage marginal of adding v.
+func (o *quotaObjective) Gain(v graph.NodeID) float64 {
+	delta := o.e.GainPerGroup(v)
+	for i := range o.next {
+		o.next[i] = o.cur[i] + delta[i]
+	}
+	return o.eval(o.next) - o.eval(o.cur)
+}
+
+// Add commits v.
+func (o *quotaObjective) Add(v graph.NodeID) {
+	o.e.Add(v)
+	o.cur = o.e.GroupUtilities()
+}
+
+// Value returns the covering objective at the current set.
+func (o *quotaObjective) Value() float64 { return o.eval(o.cur) }
+
+// SolveCover greedily finds a small seed set whose RIS-estimated total
+// influence fraction reaches quota (TCIM-Cover on RIS estimates).
+func SolveCover(c *Collection, quota float64, candidates []graph.NodeID) ([]graph.NodeID, error) {
+	return solveCover(c, quota, candidates, false)
+}
+
+// SolveFairCover greedily finds a small seed set whose RIS-estimated
+// influence fraction reaches quota in every group (FairTCIM-Cover on RIS
+// estimates).
+func SolveFairCover(c *Collection, quota float64, candidates []graph.NodeID) ([]graph.NodeID, error) {
+	return solveCover(c, quota, candidates, true)
+}
+
+func solveCover(c *Collection, quota float64, candidates []graph.NodeID, fair bool) ([]graph.NodeID, error) {
+	if quota <= 0 || quota > 1 {
+		return nil, fmt.Errorf("ris: quota %v outside (0,1]", quota)
+	}
+	if candidates == nil {
+		candidates = c.g.Nodes()
+	}
+	est := NewEstimator(c)
+	obj := &quotaObjective{
+		e:     est,
+		quota: quota,
+		fair:  fair,
+		cur:   est.GroupUtilities(),
+		next:  make([]float64, c.g.NumGroups()),
+	}
+	target := quota - 1e-9
+	if fair {
+		target = quota*float64(c.g.NumGroups()) - 1e-9
+	}
+	res, err := submodular.GreedyCover(obj, candidates, target, c.g.N())
+	if err != nil {
+		return nil, err
+	}
+	return res.Seeds, nil
+}

@@ -1,0 +1,217 @@
+// Package stats provides the small numeric and reporting helpers the
+// experiment harness uses: summary statistics with confidence intervals,
+// and fixed-width/CSV table rendering of experiment series.
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// StdErr returns the standard error of the mean.
+func StdErr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return StdDev(xs) / math.Sqrt(float64(len(xs)))
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval for the mean.
+func CI95(xs []float64) float64 { return 1.96 * StdErr(xs) }
+
+// Summary bundles the usual descriptive statistics of a sample.
+type Summary struct {
+	N            int
+	Mean, StdDev float64
+	Min, Max     float64
+	Median       float64
+	CI95         float64 // half-width of the 95% CI for the mean
+}
+
+// Summarize computes descriptive statistics for xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Mean: Mean(xs), StdDev: StdDev(xs), CI95: CI95(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation; xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Table renders labelled rows of float columns as a fixed-width text table
+// or CSV. Build one with NewTable, add rows, then write.
+type Table struct {
+	title   string
+	columns []string
+	rows    []row
+}
+
+type row struct {
+	label string
+	vals  []float64
+}
+
+// NewTable creates a table whose first column is a string label followed
+// by the named float columns.
+func NewTable(title, labelHeader string, columns ...string) *Table {
+	return &Table{title: title, columns: append([]string{labelHeader}, columns...)}
+}
+
+// AddRow appends a row; len(vals) must match the number of float columns.
+func (t *Table) AddRow(label string, vals ...float64) {
+	if len(vals) != len(t.columns)-1 {
+		panic(fmt.Sprintf("stats: row %q has %d values for %d columns", label, len(vals), len(t.columns)-1))
+	}
+	t.rows = append(t.rows, row{label: label, vals: vals})
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.columns))
+	for i, c := range t.columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(t.rows))
+	for ri, r := range t.rows {
+		cells[ri] = make([]string, len(t.columns))
+		cells[ri][0] = r.label
+		if len(r.label) > widths[0] {
+			widths[0] = len(r.label)
+		}
+		for ci, v := range r.vals {
+			s := formatFloat(v)
+			cells[ri][ci+1] = s
+			if len(s) > widths[ci+1] {
+				widths[ci+1] = len(s)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.title)
+	}
+	for i, c := range t.columns {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%-*s", widths[i], c)
+	}
+	b.WriteByte('\n')
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range cells {
+		for i, c := range r {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as CSV with a header row.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.columns, ","))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(csvEscape(r.label))
+		for _, v := range r.vals {
+			b.WriteByte(',')
+			b.WriteString(formatFloat(v))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e9 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4f", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	if !almost(Mean([]float64{1, 2, 3}), 2) {
+		t.Fatal("Mean wrong")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	if Variance([]float64{5}) != 0 {
+		t.Fatal("Variance of singleton != 0")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if !almost(Variance(xs), 32.0/7.0) {
+		t.Fatalf("Variance = %v", Variance(xs))
+	}
+	if !almost(StdDev(xs), math.Sqrt(32.0/7.0)) {
+		t.Fatalf("StdDev = %v", StdDev(xs))
+	}
+}
+
+func TestStdErrAndCI(t *testing.T) {
+	xs := []float64{1, 1, 1, 1}
+	if StdErr(xs) != 0 || CI95(xs) != 0 {
+		t.Fatal("constant sample should have zero stderr")
+	}
+	if StdErr(nil) != 0 {
+		t.Fatal("StdErr(nil)")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 3 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if !almost(Quantile(xs, 0.5), 2) {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almost(Quantile([]float64{1, 2}, 0.5), 1.5) {
+		t.Fatal("interpolated median wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("Quantile(nil)")
+	}
+	// Quantile must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	check := func(raw []float64, qa, qb float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := math.Abs(math.Mod(qa, 1))
+		b := math.Abs(math.Mod(qb, 1))
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(raw, a) <= Quantile(raw, b)+1e-12
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || !almost(s.Mean, 2.5) || !almost(s.Min, 1) || !almost(s.Max, 4) || !almost(s.Median, 2.5) {
+		t.Fatalf("Summary = %+v", s)
+	}
+	if Summarize(nil).N != 0 {
+		t.Fatal("Summarize(nil)")
+	}
+}
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("demo", "algo", "total", "disparity")
+	tab.AddRow("P1", 0.3, 0.28)
+	tab.AddRow("P4-log", 0.25, 0.04)
+	var buf bytes.Buffer
+	if err := tab.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"## demo", "algo", "total", "disparity", "P4-log", "0.2800"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text table missing %q:\n%s", want, out)
+		}
+	}
+	if tab.NumRows() != 2 {
+		t.Fatal("NumRows")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	tab.AddRow("a,b", 1)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "x,y\n") {
+		t.Fatalf("csv header: %q", out)
+	}
+	if !strings.Contains(out, `"a,b",1`) {
+		t.Fatalf("csv escaping: %q", out)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	NewTable("", "x", "y").AddRow("a", 1, 2, 3)
+}
+
+func TestFormatFloatIntegers(t *testing.T) {
+	tab := NewTable("", "x", "y")
+	tab.AddRow("r", 42)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "r,42\n") {
+		t.Fatalf("integers should render bare: %q", buf.String())
+	}
+}

@@ -1,0 +1,117 @@
+package submodular
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fairtcim/internal/graph"
+)
+
+func TestStochasticGreedyValidation(t *testing.T) {
+	factory, cands := randomCoverage(1, 10, 10)
+	if _, err := StochasticGreedyMax(factory(), cands, -1, 0.1, 1); err == nil {
+		t.Fatal("negative budget accepted")
+	}
+	for _, eps := range []float64{0, 1, -0.5} {
+		if _, err := StochasticGreedyMax(factory(), cands, 3, eps, 1); err == nil {
+			t.Fatalf("epsilon %v accepted", eps)
+		}
+	}
+}
+
+func TestStochasticGreedyZeroBudget(t *testing.T) {
+	factory, cands := randomCoverage(1, 10, 10)
+	res, err := StochasticGreedyMax(factory(), cands, 0, 0.1, 1)
+	if err != nil || len(res.Seeds) != 0 {
+		t.Fatalf("res=%v err=%v", res.Seeds, err)
+	}
+}
+
+func TestStochasticGreedyDistinctSeeds(t *testing.T) {
+	check := func(seed int64) bool {
+		factory, cands := randomCoverage(seed, 30, 40)
+		res, err := StochasticGreedyMax(factory(), cands, 8, 0.2, seed)
+		if err != nil {
+			return false
+		}
+		seen := map[graph.NodeID]bool{}
+		for _, s := range res.Seeds {
+			if seen[s] {
+				return false
+			}
+			seen[s] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStochasticGreedyQuality(t *testing.T) {
+	// Averaged over instances, stochastic greedy should get close to full
+	// greedy (the (1-1/e-ε) guarantee is in expectation).
+	totalGreedy, totalStoch := 0.0, 0.0
+	for seed := int64(0); seed < 20; seed++ {
+		factory, cands := randomCoverage(seed, 60, 80)
+		gr, err := LazyGreedyMax(factory(), cands, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := StochasticGreedyMax(factory(), cands, 8, 0.1, seed+100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalGreedy += SetValue(factory, gr.Seeds)
+		totalStoch += SetValue(factory, st.Seeds)
+	}
+	if totalStoch < 0.85*totalGreedy {
+		t.Fatalf("stochastic quality %v far below greedy %v", totalStoch, totalGreedy)
+	}
+}
+
+func TestStochasticGreedyFewerEvaluationsAtLargeBudget(t *testing.T) {
+	factory, cands := randomCoverage(3, 400, 500)
+	gr, err := GreedyMax(factory(), cands, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := StochasticGreedyMax(factory(), cands, 40, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Evaluations >= gr.Evaluations {
+		t.Fatalf("stochastic used %d evaluations, plain greedy %d", st.Evaluations, gr.Evaluations)
+	}
+}
+
+func TestStochasticGreedyDeterministicForSeed(t *testing.T) {
+	factory, cands := randomCoverage(9, 50, 60)
+	a, _ := StochasticGreedyMax(factory(), cands, 6, 0.2, 42)
+	b, _ := StochasticGreedyMax(factory(), cands, 6, 0.2, 42)
+	if len(a.Seeds) != len(b.Seeds) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Seeds {
+		if a.Seeds[i] != b.Seeds[i] {
+			t.Fatal("same seed produced different runs")
+		}
+	}
+}
+
+func TestStochasticGreedyStopsWhenExhausted(t *testing.T) {
+	sets := [][]int{{0}, {1}, {}}
+	w := []float64{1, 1}
+	factory := func() Objective { return newCoverage(sets, w) }
+	res, err := StochasticGreedyMax(factory(), []graph.NodeID{0, 1, 2}, 5, 0.3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Seeds) != 2 {
+		t.Fatalf("picked %d seeds, want 2", len(res.Seeds))
+	}
+	if v := SetValue(factory, res.Seeds); math.Abs(v-2) > 1e-9 {
+		t.Fatalf("value %v", v)
+	}
+}

@@ -1,0 +1,261 @@
+// Package submodular is a generic toolbox for maximizing monotone
+// submodular set functions, the structure both TCIM problems rely on
+// (paper §3.4): greedy with the (1 − 1/e) guarantee under a cardinality
+// constraint, the lazy-evaluation (CELF) variant that exploits
+// submodularity to skip re-evaluations, greedy submodular cover with the
+// ln(1 + |V|) guarantee, and a brute-force oracle for tests and the tiny
+// Figure-1 instance.
+package submodular
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+
+	"fairtcim/internal/graph"
+)
+
+// Objective is a monotone submodular set function with incremental state:
+// the "current set" grows via Add. Gain must return the exact marginal
+// value of adding v to the current set; Value returns the function value of
+// the current set.
+//
+// Implementations are typically expensive to query, which is why the
+// optimizers below count evaluations.
+type Objective interface {
+	Gain(v graph.NodeID) float64
+	Add(v graph.NodeID)
+	Value() float64
+}
+
+// Result reports the outcome of an optimizer run.
+type Result struct {
+	Seeds       []graph.NodeID
+	Values      []float64 // objective value after each pick
+	Evaluations int       // number of Gain calls
+}
+
+// GreedyMax runs the classical greedy: B rounds, each scanning every
+// remaining candidate. It exists mostly as the ablation baseline for CELF;
+// both produce identical seed sets on exact objectives.
+func GreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result, error) {
+	if budget < 0 {
+		return Result{}, fmt.Errorf("submodular: negative budget %d", budget)
+	}
+	var res Result
+	remaining := append([]graph.NodeID(nil), candidates...)
+	for len(res.Seeds) < budget && len(remaining) > 0 {
+		bestIdx, bestGain := -1, 0.0
+		for i, v := range remaining {
+			g := obj.Gain(v)
+			res.Evaluations++
+			if bestIdx == -1 || g > bestGain {
+				bestIdx, bestGain = i, g
+			}
+		}
+		if bestGain <= 0 {
+			break // monotone objective exhausted; extra seeds are useless
+		}
+		v := remaining[bestIdx]
+		obj.Add(v)
+		res.Seeds = append(res.Seeds, v)
+		res.Values = append(res.Values, obj.Value())
+		remaining[bestIdx] = remaining[len(remaining)-1]
+		remaining = remaining[:len(remaining)-1]
+	}
+	return res, nil
+}
+
+// celfItem is a candidate with a possibly stale upper bound on its gain.
+type celfItem struct {
+	node  graph.NodeID
+	gain  float64
+	round int // the pick-round in which gain was computed
+}
+
+type celfHeap []celfItem
+
+func (h celfHeap) Len() int            { return len(h) }
+func (h celfHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfItem)) }
+func (h *celfHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// LazyGreedyMax runs CELF (Leskovec et al. 2007): because marginal gains
+// only shrink as the set grows, a stale gain is an upper bound, so the
+// top-of-heap candidate whose gain is current can be added without
+// re-scanning everyone. Identical output to GreedyMax on exact objectives,
+// typically with far fewer Gain calls.
+func LazyGreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result, error) {
+	return LazyGreedyMaxInit(obj, candidates, budget, nil)
+}
+
+// LazyGreedyMaxInit is LazyGreedyMax with optionally precomputed initial
+// gains (initial[i] = obj.Gain(candidates[i]) on the empty set), letting
+// callers parallelize the expensive first pass. Pass nil to compute them
+// here.
+func LazyGreedyMaxInit(obj Objective, candidates []graph.NodeID, budget int, initial []float64) (Result, error) {
+	if budget < 0 {
+		return Result{}, fmt.Errorf("submodular: negative budget %d", budget)
+	}
+	if initial != nil && len(initial) != len(candidates) {
+		return Result{}, fmt.Errorf("submodular: %d initial gains for %d candidates", len(initial), len(candidates))
+	}
+	var res Result
+	h := make(celfHeap, 0, len(candidates))
+	for i, v := range candidates {
+		var g float64
+		if initial != nil {
+			g = initial[i]
+		} else {
+			g = obj.Gain(v)
+			res.Evaluations++
+		}
+		h = append(h, celfItem{node: v, gain: g, round: 0})
+	}
+	heap.Init(&h)
+	round := 0
+	for len(res.Seeds) < budget && h.Len() > 0 {
+		top := heap.Pop(&h).(celfItem)
+		if top.round != round {
+			top.gain = obj.Gain(top.node)
+			res.Evaluations++
+			top.round = round
+			// Re-insert unless it is still clearly the best.
+			if h.Len() > 0 && top.gain < h[0].gain {
+				heap.Push(&h, top)
+				continue
+			}
+		}
+		if top.gain <= 0 {
+			break
+		}
+		obj.Add(top.node)
+		res.Seeds = append(res.Seeds, top.node)
+		res.Values = append(res.Values, obj.Value())
+		round++
+	}
+	return res, nil
+}
+
+// ErrCoverInfeasible is returned when the target value cannot be reached
+// with the available candidates.
+var ErrCoverInfeasible = errors.New("submodular: coverage target unreachable")
+
+// GreedyCover adds greedily chosen seeds until obj.Value() >= target,
+// giving the ln(1+n)-approximation for submodular cover (paper Theorem 2's
+// engine). maxSeeds bounds the seed count (0 means no bound). Uses lazy
+// evaluation like CELF.
+func GreedyCover(obj Objective, candidates []graph.NodeID, target float64, maxSeeds int) (Result, error) {
+	return GreedyCoverInit(obj, candidates, target, maxSeeds, nil)
+}
+
+// GreedyCoverInit is GreedyCover with optionally precomputed initial gains;
+// see LazyGreedyMaxInit.
+func GreedyCoverInit(obj Objective, candidates []graph.NodeID, target float64, maxSeeds int, initial []float64) (Result, error) {
+	if initial != nil && len(initial) != len(candidates) {
+		return Result{}, fmt.Errorf("submodular: %d initial gains for %d candidates", len(initial), len(candidates))
+	}
+	var res Result
+	if obj.Value() >= target {
+		return res, nil
+	}
+	h := make(celfHeap, 0, len(candidates))
+	for i, v := range candidates {
+		var g float64
+		if initial != nil {
+			g = initial[i]
+		} else {
+			g = obj.Gain(v)
+			res.Evaluations++
+		}
+		h = append(h, celfItem{node: v, gain: g, round: 0})
+	}
+	heap.Init(&h)
+	round := 0
+	for h.Len() > 0 {
+		if maxSeeds > 0 && len(res.Seeds) >= maxSeeds {
+			return res, fmt.Errorf("%w: %d seeds reached value %v < target %v",
+				ErrCoverInfeasible, len(res.Seeds), obj.Value(), target)
+		}
+		top := heap.Pop(&h).(celfItem)
+		if top.round != round {
+			top.gain = obj.Gain(top.node)
+			res.Evaluations++
+			top.round = round
+			if h.Len() > 0 && top.gain < h[0].gain {
+				heap.Push(&h, top)
+				continue
+			}
+		}
+		if top.gain <= 0 {
+			return res, fmt.Errorf("%w: best marginal gain is 0 at value %v < target %v",
+				ErrCoverInfeasible, obj.Value(), target)
+		}
+		obj.Add(top.node)
+		res.Seeds = append(res.Seeds, top.node)
+		res.Values = append(res.Values, obj.Value())
+		round++
+		if obj.Value() >= target {
+			return res, nil
+		}
+	}
+	return res, fmt.Errorf("%w: candidates exhausted at value %v < target %v",
+		ErrCoverInfeasible, obj.Value(), target)
+}
+
+// SetValue evaluates an arbitrary seed set from scratch on a freshly
+// resettable objective. factory must return a fresh Objective each call.
+func SetValue(factory func() Objective, set []graph.NodeID) float64 {
+	obj := factory()
+	for _, v := range set {
+		obj.Add(v)
+	}
+	return obj.Value()
+}
+
+// BruteForceMax enumerates every candidate subset of size exactly budget
+// (monotone objectives never prefer smaller sets) and returns an optimal
+// one. Exponential; intended for tests and the 38-node Figure-1 instance.
+func BruteForceMax(factory func() Objective, candidates []graph.NodeID, budget int) ([]graph.NodeID, float64, error) {
+	if budget < 0 {
+		return nil, 0, fmt.Errorf("submodular: negative budget %d", budget)
+	}
+	if budget > len(candidates) {
+		budget = len(candidates)
+	}
+	var best []graph.NodeID
+	bestVal := -1.0
+	idx := make([]int, budget)
+	set := make([]graph.NodeID, budget)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == budget {
+			for i, j := range idx {
+				set[i] = candidates[j]
+			}
+			v := SetValue(factory, set)
+			if v > bestVal {
+				bestVal = v
+				best = append(best[:0], set...)
+			}
+			return
+		}
+		for j := start; j <= len(candidates)-(budget-k); j++ {
+			idx[k] = j
+			rec(j+1, k+1)
+		}
+	}
+	if budget == 0 {
+		return nil, SetValue(factory, nil), nil
+	}
+	rec(0, 0)
+	out := append([]graph.NodeID(nil), best...)
+	return out, bestVal, nil
+}
