@@ -97,6 +97,92 @@ func BenchmarkSampleWorldsIC(b *testing.B) {
 	}
 }
 
+// BenchmarkSampleICWorld measures single-world IC sampling on the flat-CSR
+// graph; compare against BenchmarkSampleICWorldSliceBaseline, the
+// pre-refactor slice-of-slices representation it replaced.
+func BenchmarkSampleICWorld(b *testing.B) {
+	g := benchGraph(b)
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cascade.SampleICWorld(g, rng)
+	}
+}
+
+// sliceEdge mirrors the old graph.Edge; sliceAdjacency rebuilds the old
+// [][]Edge layout (one heap block per node) so the CSR win stays
+// measurable after the representation it replaced is gone.
+type sliceEdge struct {
+	to graph.NodeID
+	p  float64
+}
+
+func sliceAdjacency(g *graph.Graph) [][]sliceEdge {
+	adj := make([][]sliceEdge, g.N())
+	for v := 0; v < g.N(); v++ {
+		targets, probs := g.OutEdges(graph.NodeID(v))
+		if len(targets) == 0 {
+			continue
+		}
+		edges := make([]sliceEdge, len(targets))
+		for i := range targets {
+			edges[i] = sliceEdge{to: targets[i], p: probs[i]}
+		}
+		adj[v] = edges
+	}
+	return adj
+}
+
+func BenchmarkSampleICWorldSliceBaseline(b *testing.B) {
+	g := benchGraph(b)
+	adj := sliceAdjacency(g)
+	m := g.M()
+	rng := xrand.New(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Replicates the pre-CSR SampleICWorld: per-node slice headers and
+		// the old M/4+8 capacity guess.
+		n := len(adj)
+		offsets := make([]int32, n+1)
+		targets := make([]graph.NodeID, 0, m/4+8)
+		for v := 0; v < n; v++ {
+			offsets[v] = int32(len(targets))
+			for _, e := range adj[v] {
+				if rng.Bernoulli(e.p) {
+					targets = append(targets, e.to)
+				}
+			}
+		}
+		offsets[n] = int32(len(targets))
+	}
+}
+
+// BenchmarkGroupMembers measures the precomputed group index against the
+// O(N) label scan it replaced.
+func BenchmarkGroupMembers(b *testing.B) {
+	g := benchGraph(b)
+	b.Run("csr-index", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = g.GroupMembers(i % g.NumGroups())
+		}
+	})
+	b.Run("scan-baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			grp := i % g.NumGroups()
+			members := make([]graph.NodeID, 0, g.GroupSize(grp))
+			for v := 0; v < g.N(); v++ {
+				if g.Group(graph.NodeID(v)) == grp {
+					members = append(members, graph.NodeID(v))
+				}
+			}
+		}
+	})
+}
+
 func BenchmarkEvaluatorGain(b *testing.B) {
 	g := benchGraph(b)
 	worlds := cascade.SampleWorlds(g, cascade.IC, 200, 1, 0)

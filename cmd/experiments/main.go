@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"fairtcim/internal/exp"
+	"fairtcim/internal/fairim"
 )
 
 func main() {
@@ -27,10 +28,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		seed  = fs.Int64("seed", 1, "master random seed")
-		quick = fs.Bool("quick", false, "reduced sizes/samples for a fast pass")
-		list  = fs.Bool("list", false, "list experiment ids and exit")
-		csv   = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		seed   = fs.Int64("seed", 1, "master random seed")
+		quick  = fs.Bool("quick", false, "reduced sizes/samples for a fast pass")
+		list   = fs.Bool("list", false, "list experiment ids and exit")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		engine = fs.String("engine", "forward-mc", "estimation engine: forward-mc | ris")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,7 +62,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
-	o := exp.Options{Seed: *seed, Quick: *quick}
+	eng, err := fairim.EngineByName(*engine)
+	if err != nil {
+		return err
+	}
+	o := exp.Options{Seed: *seed, Quick: *quick, Engine: eng}
 	for i, e := range selected {
 		if i > 0 {
 			fmt.Fprintln(stdout)

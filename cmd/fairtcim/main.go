@@ -42,6 +42,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		samples   = fs.Int("samples", 200, "Monte-Carlo worlds for optimization")
 		hName     = fs.String("h", "log", "concave wrapper for p4: id | log | sqrt | pow<alpha>")
 		model     = fs.String("model", "ic", "diffusion model: ic | lt")
+		engine    = fs.String("engine", "forward-mc", "estimation engine: forward-mc | ris")
+		risPool   = fs.Int("rispool", 0, "RR sets per group for -engine ris; 0 derives from -samples")
 		meeting   = fs.Float64("meeting", 0, "IC-M meeting probability (0 disables delays)")
 		discount  = fs.Float64("discount", 0, "discount factor gamma in (0,1); 0 disables")
 		seed      = fs.Int64("seed", 1, "random seed")
@@ -84,6 +86,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	cfg.H = h
+	cfg.Engine, err = fairim.EngineByName(*engine)
+	if err != nil {
+		return err
+	}
+	cfg.RISPerGroup = *risPool
 	if *meeting > 0 {
 		if *meeting > 1 {
 			return fmt.Errorf("meeting probability %v outside (0,1]", *meeting)

@@ -68,12 +68,13 @@ func PageRank(g *graph.Graph, cfg PageRankConfig) ([]float64, error) {
 	// Per-node outgoing weight sums (uniform or probability weighted).
 	outWeight := make([]float64, n)
 	for v := 0; v < n; v++ {
-		for _, e := range g.Out(graph.NodeID(v)) {
-			if cfg.EdgeProbs {
-				outWeight[v] += e.P
-			} else {
-				outWeight[v]++
+		_, probs := g.OutEdges(graph.NodeID(v))
+		if cfg.EdgeProbs {
+			for _, p := range probs {
+				outWeight[v] += p
 			}
+		} else {
+			outWeight[v] = float64(len(probs))
 		}
 	}
 	for iter := 0; iter < cfg.MaxIters; iter++ {
@@ -92,11 +93,12 @@ func PageRank(g *graph.Graph, cfg PageRankConfig) ([]float64, error) {
 				continue
 			}
 			share := cfg.Damping * rank[v] / outWeight[v]
-			for _, e := range g.Out(graph.NodeID(v)) {
+			targets, probs := g.OutEdges(graph.NodeID(v))
+			for i, to := range targets {
 				if cfg.EdgeProbs {
-					next[e.To] += share * e.P
+					next[to] += share * probs[i]
 				} else {
-					next[e.To] += share
+					next[to] += share
 				}
 			}
 		}
@@ -174,7 +176,9 @@ func GroupProportionalDegree(g *graph.Graph, budget int) []graph.NodeID {
 	}
 	var out []graph.NodeID
 	for i := 0; i < k; i++ {
-		members := g.GroupMembers(i)
+		// GroupMembers is a shared view of the graph's group index; copy
+		// before sorting by degree.
+		members := append([]graph.NodeID(nil), g.GroupMembers(i)...)
 		sort.SliceStable(members, func(a, b int) bool {
 			da, db := g.OutDegree(members[a]), g.OutDegree(members[b])
 			if da != db {

@@ -111,8 +111,7 @@ func (st *brandesState) accumulate(g *graph.Graph, s graph.NodeID, out []float64
 	for head := 0; head < len(st.queue); head++ {
 		v := st.queue[head]
 		st.stack = append(st.stack, v)
-		for _, e := range g.Out(v) {
-			w := e.To
+		for _, w := range g.OutNeighbors(v) {
 			if st.dist[w] < 0 {
 				st.dist[w] = st.dist[v] + 1
 				st.queue = append(st.queue, w)

@@ -1,0 +1,44 @@
+package baselines
+
+import (
+	"fairtcim/internal/estimator"
+	"fairtcim/internal/graph"
+)
+
+// Greedy selects budget seeds by plain greedy maximization of total
+// estimated influence under any estimation engine — forward Monte Carlo or
+// RIS — through the estimator.Estimator seam. It is the engine-agnostic
+// counterpart of the classical greedy IM baseline (Kempe et al. 2003):
+// unlike fairim's solvers it optimizes raw total utility with no fairness
+// objective, which is exactly what makes it a baseline. candidates nil
+// means every node; ties break toward the smaller node id.
+func Greedy(est estimator.Estimator, budget int, candidates []graph.NodeID) []graph.NodeID {
+	g := est.Graph()
+	if candidates == nil {
+		candidates = g.Nodes()
+	}
+	if budget > len(candidates) {
+		budget = len(candidates)
+	}
+	if budget <= 0 {
+		return nil
+	}
+	chosen := make(map[graph.NodeID]bool, budget)
+	for len(est.Seeds()) < budget {
+		best, bestGain := graph.NodeID(-1), -1.0
+		for _, v := range candidates {
+			if chosen[v] {
+				continue
+			}
+			if gain := est.Gain(v); gain > bestGain {
+				best, bestGain = v, gain
+			}
+		}
+		if best < 0 {
+			break
+		}
+		chosen[best] = true
+		est.Add(best)
+	}
+	return append([]graph.NodeID(nil), est.Seeds()...)
+}

@@ -1,0 +1,54 @@
+package baselines
+
+import (
+	"testing"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/estimator"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/influence"
+	"fairtcim/internal/ris"
+)
+
+func TestGreedyAcceptsAnyEstimator(t *testing.T) {
+	g := generate.TwoStars()
+	const tau = 1
+
+	engines := map[string]func() estimator.Estimator{
+		"forward-mc": func() estimator.Estimator {
+			worlds := cascade.SampleWorlds(g, cascade.IC, 20, 1, 0)
+			e, err := influence.NewEvaluator(g, worlds, tau)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return e
+		},
+		"ris": func() estimator.Estimator {
+			col, err := ris.Sample(g, tau, []int{1000, 1000}, 2, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ris.NewEstimator(col)
+		},
+	}
+	for name, mk := range engines {
+		seeds := Greedy(mk(), 2, nil)
+		if len(seeds) != 2 || seeds[0] != 0 || seeds[1] != 11 {
+			t.Errorf("%s: Greedy seeds = %v, want [0 11]", name, seeds)
+		}
+	}
+}
+
+func TestGreedyRespectsCandidatesAndBudget(t *testing.T) {
+	g := generate.TwoStars()
+	worlds := cascade.SampleWorlds(g, cascade.IC, 10, 1, 0)
+	e, err := influence.NewEvaluator(g, worlds, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := Greedy(e, 3, []graph.NodeID{11, 12})
+	if len(seeds) != 2 || seeds[0] != 11 {
+		t.Fatalf("seeds = %v, want [11 12] order with hub first", seeds)
+	}
+}

@@ -51,10 +51,11 @@ func RunIC(g *graph.Graph, seeds []graph.NodeID, tau int32, rng *xrand.RNG) []in
 	for t := int32(1); len(frontier) > 0 && t <= tau; t++ {
 		next = next[:0]
 		for _, v := range frontier {
-			for _, e := range g.Out(v) {
-				if times[e.To] == NotActivated && rng.Bernoulli(e.P) {
-					times[e.To] = t
-					next = append(next, e.To)
+			targets, probs := g.OutEdges(v)
+			for i, to := range targets {
+				if times[to] == NotActivated && rng.Bernoulli(probs[i]) {
+					times[to] = t
+					next = append(next, to)
 				}
 			}
 		}
@@ -89,12 +90,12 @@ func RunLT(g *graph.Graph, seeds []graph.NodeID, tau int32, rng *xrand.RNG) []in
 	for t := int32(1); len(frontier) > 0 && t <= tau; t++ {
 		next = next[:0]
 		for _, v := range frontier {
-			for _, e := range g.Out(v) {
-				w := e.To
+			targets, probs := g.OutEdges(v)
+			for i, w := range targets {
 				if times[w] != NotActivated {
 					continue
 				}
-				pressure[w] += e.P * scale[w]
+				pressure[w] += probs[i] * scale[w]
 				if pressure[w] >= thresholds[w] {
 					times[w] = t
 					next = append(next, w)
@@ -112,8 +113,9 @@ func ltScales(g *graph.Graph) []float64 {
 	scale := make([]float64, g.N())
 	for v := 0; v < g.N(); v++ {
 		sum := 0.0
-		for _, e := range g.In(graph.NodeID(v)) {
-			sum += e.P
+		_, probs := g.InEdges(graph.NodeID(v))
+		for _, p := range probs {
+			sum += p
 		}
 		if sum > 1 {
 			scale[v] = 1 / sum

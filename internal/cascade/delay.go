@@ -114,14 +114,22 @@ func (w *WeightedWorld) Out(v graph.NodeID) ([]graph.NodeID, []int32) {
 
 // SampleDelayedWorld draws one weighted live-edge world: each edge
 // survives with its activation probability and carries a delay from dist.
+// Like SampleICWorld, the trials stream over the flat CSR arrays.
 func SampleDelayedWorld(g *graph.Graph, dist DelayDist, rng *xrand.RNG) *WeightedWorld {
 	n := g.N()
-	w := &WeightedWorld{offsets: make([]int32, n+1)}
+	offsets, targets, _ := g.OutCSR()
+	thresh := g.OutThresholds()
+	capHint := WorldCapacity(g)
+	w := &WeightedWorld{
+		offsets: make([]int32, n+1),
+		targets: make([]graph.NodeID, 0, capHint),
+		delays:  make([]int32, 0, capHint),
+	}
 	for v := 0; v < n; v++ {
 		w.offsets[v] = int32(len(w.targets))
-		for _, e := range g.Out(graph.NodeID(v)) {
-			if rng.Bernoulli(e.P) {
-				w.targets = append(w.targets, e.To)
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			if rng.BernoulliT(thresh[i]) {
+				w.targets = append(w.targets, targets[i])
 				w.delays = append(w.delays, dist.Sample(rng))
 			}
 		}
@@ -238,16 +246,17 @@ func RunICM(g *graph.Graph, seeds []graph.NodeID, tau int32, m float64, rng *xra
 	h := distHeap{}
 	activate := func(v graph.NodeID, t int32) {
 		times[v] = t
-		for _, e := range g.Out(v) {
-			if times[e.To] != NotActivated {
+		targets, probs := g.OutEdges(v)
+		for i, to := range targets {
+			if times[to] != NotActivated {
 				continue
 			}
-			if !rng.Bernoulli(e.P) {
+			if !rng.Bernoulli(probs[i]) {
 				continue // the influence coin fails; this edge never fires
 			}
 			at := t + int32(rng.Geometric(m))
 			if at <= tau {
-				heap.Push(&h, distItem{node: e.To, d: at})
+				heap.Push(&h, distItem{node: to, d: at})
 			}
 		}
 	}

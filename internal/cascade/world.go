@@ -1,6 +1,7 @@
 package cascade
 
 import (
+	"math"
 	"runtime"
 	"sync"
 
@@ -28,17 +29,31 @@ func (w *World) N() int { return len(w.offsets) - 1 }
 // M returns the number of surviving edges.
 func (w *World) M() int { return len(w.targets) }
 
+// WorldCapacity sizes a live-edge buffer from the expected number of
+// surviving edges plus three standard deviations (the survivor count is a
+// sum of independent Bernoullis, so its variance is at most its mean) —
+// almost never reallocates, never wildly overallocates.
+func WorldCapacity(g *graph.Graph) int {
+	mean := g.ExpectedLiveEdges()
+	return int(mean+3*math.Sqrt(mean)) + 8
+}
+
 // SampleICWorld draws one IC live-edge world: every edge survives
-// independently with its activation probability.
+// independently with its activation probability. The trials stream
+// straight over the graph's flat CSR arrays — no per-node slice headers —
+// using the precomputed integer thresholds, so the per-edge cost is one
+// generator step plus one compare.
 func SampleICWorld(g *graph.Graph, rng *xrand.RNG) *World {
 	n := g.N()
+	offsets, targets, _ := g.OutCSR()
+	thresh := g.OutThresholds()
 	w := &World{offsets: make([]int32, n+1)}
-	w.targets = make([]graph.NodeID, 0, g.M()/4+8)
+	w.targets = make([]graph.NodeID, 0, WorldCapacity(g))
 	for v := 0; v < n; v++ {
 		w.offsets[v] = int32(len(w.targets))
-		for _, e := range g.Out(graph.NodeID(v)) {
-			if rng.Bernoulli(e.P) {
-				w.targets = append(w.targets, e.To)
+		for i := offsets[v]; i < offsets[v+1]; i++ {
+			if rng.BernoulliT(thresh[i]) {
+				w.targets = append(w.targets, targets[i])
 			}
 		}
 	}
@@ -58,17 +73,17 @@ func SampleLTWorld(g *graph.Graph, rng *xrand.RNG) *World {
 	outDeg := make([]int32, n)
 	for v := 0; v < n; v++ {
 		chosen[v] = -1
-		in := g.In(graph.NodeID(v))
-		if len(in) == 0 {
+		sources, probs := g.InEdges(graph.NodeID(v))
+		if len(sources) == 0 {
 			continue
 		}
 		u := rng.Float64()
 		acc := 0.0
-		for _, e := range in {
-			acc += e.P * scale[v]
+		for i, src := range sources {
+			acc += probs[i] * scale[v]
 			if u < acc {
-				chosen[v] = e.To
-				outDeg[e.To]++
+				chosen[v] = src
+				outDeg[src]++
 				break
 			}
 		}

@@ -46,11 +46,11 @@ func LabelPropagation(g *graph.Graph, seed int64, maxIters int) []int {
 					best, bestCount = l, freq[l]
 				}
 			}
-			for _, e := range g.Out(graph.NodeID(v)) {
-				count(e.To)
+			for _, u := range g.OutNeighbors(graph.NodeID(v)) {
+				count(u)
 			}
-			for _, e := range g.In(graph.NodeID(v)) {
-				count(e.To)
+			for _, u := range g.InNeighbors(graph.NodeID(v)) {
+				count(u)
 			}
 			if bestCount > 0 && best != labels[v] {
 				labels[v] = best
@@ -115,8 +115,8 @@ func bisect(g *graph.Graph, nodes []graph.NodeID, rng *xrand.RNG) ([]graph.NodeI
 	adj := make([][]int32, n)
 	deg := make([]float64, n)
 	for i, v := range nodes {
-		for _, e := range g.Out(v) {
-			if j, ok := local[e.To]; ok {
+		for _, to := range g.OutNeighbors(v) {
+			if j, ok := local[to]; ok {
 				adj[i] = append(adj[i], int32(j))
 				deg[i]++
 			}
@@ -228,8 +228,8 @@ func Modularity(g *graph.Graph, labels []int) float64 {
 	for v := 0; v < g.N(); v++ {
 		c := labels[v]
 		degSum[c] += float64(g.OutDegree(graph.NodeID(v)))
-		for _, e := range g.Out(graph.NodeID(v)) {
-			if labels[e.To] == c {
+		for _, to := range g.OutNeighbors(graph.NodeID(v)) {
+			if labels[to] == c {
 				inside[c]++
 			}
 		}

@@ -1,0 +1,59 @@
+// Package estimator defines the contract between influence-estimation
+// engines and everything that consumes them — solvers (fairim), baselines,
+// the experiment harness and the CLIs. Two engines implement it today:
+//
+//   - forward Monte Carlo over live-edge worlds (influence.Evaluator and
+//     its delayed/discounted variants), the paper's estimator; and
+//   - reverse influence sampling (ris.Estimator), the scalability
+//     extension that turns group utilities into RR-set coverage.
+//
+// Both expose the same incremental shape: grow a seed set one node at a
+// time, query per-group marginal gains without committing, and read the
+// current per-group utilities. On a fixed sample (worlds or RR pools) the
+// induced set function is exactly monotone submodular for either engine,
+// so greedy/CELF machinery is engine-agnostic. New diffusion models,
+// sharded or batched estimators plug in behind this interface without
+// touching any solver.
+package estimator
+
+import "fairtcim/internal/graph"
+
+// Estimator estimates the per-group time-critical influence fτ(S;Vᵢ) of a
+// growing seed set S. Implementations are deterministic for a fixed
+// sample; methods are not safe for concurrent use except InitialGains.
+type Estimator interface {
+	// Graph returns the graph the estimates refer to.
+	Graph() *graph.Graph
+
+	// GainPerGroup returns the estimated per-group utility increase from
+	// adding v to the current seed set, without committing. The returned
+	// slice may be reused across calls; copy to keep.
+	GainPerGroup(v graph.NodeID) []float64
+
+	// Gain returns the estimated total-utility increase from adding v.
+	Gain(v graph.NodeID) float64
+
+	// Add commits v to the seed set.
+	Add(v graph.NodeID)
+
+	// Seeds returns the current seed set (shared; do not modify).
+	Seeds() []graph.NodeID
+
+	// GroupUtilities returns the current fτ(S;Vᵢ) estimates.
+	GroupUtilities() []float64
+
+	// NormGroupUtilities returns fτ(S;Vᵢ)/|Vᵢ|.
+	NormGroupUtilities() []float64
+
+	// TotalUtility returns the current fτ(S;V) estimate.
+	TotalUtility() float64
+
+	// InitialGains evaluates GainPerGroup for every candidate against the
+	// current seed set, in parallel, returning one copied slice per
+	// candidate in candidate order. parallelism <= 0 means GOMAXPROCS.
+	InitialGains(candidates []graph.NodeID, parallelism int) [][]float64
+
+	// Reset clears the seed set, returning the estimator to its initial
+	// state on the same sample.
+	Reset()
+}

@@ -145,6 +145,7 @@ func runAblLT(o Options) (*stats.Table, error) {
 		"algorithm", "total", "group1", "group2", "disparity")
 	cfg := synthConfig(o, o.Seed+1)
 	cfg.Model = cascade.LT
+	cfg.Engine = fairim.EngineForwardMC // RIS cannot express LT
 	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
 	if err != nil {
 		return nil, err
@@ -181,7 +182,8 @@ func runAblICM(o Options) (*stats.Table, error) {
 		"m", "P1-total", "P1-disparity", "P4-total", "P4-disparity")
 	for _, m := range ms {
 		cfg := synthConfig(o, o.Seed+1)
-		cfg.Tau = 5 // tight deadline: mean per-hop delay 1/m now competes with τ
+		cfg.Engine = fairim.EngineForwardMC // RIS cannot express meeting delays
+		cfg.Tau = 5                         // tight deadline: mean per-hop delay 1/m now competes with τ
 		if m < 1 {
 			cfg.Delay = cascade.GeometricDelay{M: m}
 		}
@@ -217,6 +219,7 @@ func runAblDiscount(o Options) (*stats.Table, error) {
 		"gamma", "P1-total", "P1-disparity", "P4-total", "P4-disparity")
 	for _, gamma := range gammas {
 		cfg := synthConfig(o, o.Seed+1)
+		cfg.Engine = fairim.EngineForwardMC // RIS cannot express discounting
 		cfg.Discount = gamma
 		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
 		if err != nil {

@@ -19,6 +19,10 @@ import (
 type Options struct {
 	Seed  int64 // master seed; every experiment derives sub-seeds from it
 	Quick bool  // reduced samples/sizes for tests and benchmarks
+	// Engine selects the estimation engine solvers run on (forward Monte
+	// Carlo or RIS). Experiments whose diffusion model the RIS engine
+	// cannot express (LT, delayed, discounted) fall back to forward MC.
+	Engine fairim.Engine
 }
 
 // Experiment regenerates one paper artifact.

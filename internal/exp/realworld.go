@@ -38,6 +38,7 @@ func riceGraph(o Options) (*graph.Graph, error) {
 
 func riceConfig(o Options) fairim.Config {
 	cfg := fairim.DefaultConfig(o.Seed + 1)
+	cfg.Engine = o.Engine
 	cfg.Samples = pick(o, 500, 60)
 	cfg.EvalSamples = pick(o, 500, 120)
 	return cfg
@@ -214,6 +215,7 @@ func instagramSetup(o Options) (*graph.Graph, fairim.Config, error) {
 		return nil, fairim.Config{}, err
 	}
 	cfg := fairim.DefaultConfig(o.Seed + 1)
+	cfg.Engine = o.Engine
 	cfg.Tau = 2
 	cfg.Samples = pick(o, 300, 40)
 	cfg.EvalSamples = pick(o, 300, 80)
@@ -287,6 +289,7 @@ func snapSetup(o Options) (*graph.Graph, fairim.Config, error) {
 		return nil, fairim.Config{}, err
 	}
 	cfg := fairim.DefaultConfig(o.Seed + 1)
+	cfg.Engine = o.Engine
 	cfg.Samples = pick(o, 200, 40)
 	cfg.EvalSamples = pick(o, 300, 80)
 	return gr, cfg, nil

@@ -28,6 +28,7 @@ func synthGraph(o Options, seed int64) (*graph.Graph, error) {
 
 func synthConfig(o Options, seed int64) fairim.Config {
 	cfg := fairim.DefaultConfig(seed)
+	cfg.Engine = o.Engine
 	cfg.Samples = pick(o, 200, 50)
 	cfg.EvalSamples = pick(o, 400, 100)
 	return cfg
@@ -118,6 +119,7 @@ func runFig1(o Options) (*stats.Table, error) {
 		cfg := fairim.Config{
 			Tau:         tau,
 			Model:       cascade.IC,
+			Engine:      o.Engine,
 			Samples:     pick(o, 300, 80),
 			EvalSamples: pick(o, 1000, 200),
 			Seed:        o.Seed,

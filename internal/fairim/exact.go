@@ -3,6 +3,7 @@ package fairim
 import (
 	"fmt"
 
+	"fairtcim/internal/estimator"
 	"fairtcim/internal/graph"
 	"fairtcim/internal/submodular"
 )
@@ -14,26 +15,26 @@ import (
 
 // SolveTCIMBudgetExact solves P1 by exhaustive enumeration.
 func SolveTCIMBudgetExact(g *graph.Graph, budget int, cfg Config) (*Result, error) {
-	return solveExact("P1", g, budget, cfg, func(e groupEvaluator) *objective {
+	return solveExact("P1", g, budget, cfg, func(e estimator.Estimator) *objective {
 		return newObjective(e, totalValue{}, false)
 	})
 }
 
 // SolveFairTCIMBudgetExact solves P4 by exhaustive enumeration.
 func SolveFairTCIMBudgetExact(g *graph.Graph, budget int, cfg Config) (*Result, error) {
-	return solveExact("P4", g, budget, cfg, func(e groupEvaluator) *objective {
+	return solveExact("P4", g, budget, cfg, func(e estimator.Estimator) *objective {
 		return newObjective(e, concaveValue{h: cfg.h(), weights: cfg.GroupWeights}, false)
 	})
 }
 
-func solveExact(problem string, g *graph.Graph, budget int, cfg Config, mk func(groupEvaluator) *objective) (*Result, error) {
+func solveExact(problem string, g *graph.Graph, budget int, cfg Config, mk func(estimator.Estimator) *objective) (*Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
 	}
 	if budget <= 0 {
 		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
 	}
-	eval, err := cfg.newEvaluator(g)
+	eval, err := cfg.newEstimator(g)
 	if err != nil {
 		return nil, err
 	}

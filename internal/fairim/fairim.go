@@ -18,21 +18,67 @@ package fairim
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"fairtcim/internal/cascade"
 	"fairtcim/internal/concave"
+	"fairtcim/internal/estimator"
 	"fairtcim/internal/graph"
 	"fairtcim/internal/influence"
+	"fairtcim/internal/ris"
 	"fairtcim/internal/submodular"
 )
+
+// Engine selects the influence-estimation engine the solvers optimize
+// against. Both engines implement estimator.Estimator, so every solver
+// runs unchanged under either.
+type Engine int
+
+// Supported estimation engines.
+const (
+	// EngineForwardMC is the paper's estimator: forward Monte Carlo over
+	// live-edge worlds. Supports IC, LT, delayed and discounted diffusion.
+	EngineForwardMC Engine = iota
+	// EngineRIS estimates via τ-bounded reverse-reachable set coverage
+	// (TIM/IMM-style), which scales to much larger graphs. IC only; no
+	// Delay/Discount.
+	EngineRIS
+)
+
+// String returns the flag-friendly engine name.
+func (e Engine) String() string {
+	switch e {
+	case EngineRIS:
+		return "ris"
+	default:
+		return "forward-mc"
+	}
+}
+
+// EngineByName parses an engine name: "forward-mc" (aliases "forward",
+// "mc") or "ris".
+func EngineByName(name string) (Engine, error) {
+	switch strings.ToLower(name) {
+	case "forward-mc", "forward", "mc", "":
+		return EngineForwardMC, nil
+	case "ris":
+		return EngineRIS, nil
+	default:
+		return 0, fmt.Errorf("fairim: unknown engine %q (want forward-mc or ris)", name)
+	}
+}
 
 // Config carries the parameters shared by all solvers. The zero value is
 // not usable; start from DefaultConfig.
 type Config struct {
-	Tau         int32            // deadline τ; cascade.NoDeadline means τ = ∞
-	Model       cascade.Model    // diffusion model (IC default, LT extension)
-	Samples     int              // Monte-Carlo worlds used during optimization
-	EvalSamples int              // fresh worlds for the final report; 0 = Samples
+	Tau         int32         // deadline τ; cascade.NoDeadline means τ = ∞
+	Model       cascade.Model // diffusion model (IC default, LT extension)
+	Engine      Engine        // estimation engine (forward Monte Carlo default)
+	Samples     int           // Monte-Carlo worlds used during optimization
+	EvalSamples int           // fresh worlds for the final report; 0 = Samples
+	// RISPerGroup is the number of RR sets sampled per group when Engine
+	// is EngineRIS; 0 derives a pool from Samples (20·Samples per group).
+	RISPerGroup int
 	Seed        int64            // seeds both world sets deterministically
 	Parallelism int              // worker count for sampling and first-pass gains; 0 = GOMAXPROCS
 	Candidates  []graph.NodeID   // permissible seeds; nil = every node
@@ -124,6 +170,17 @@ func (c *Config) validate(g *graph.Graph) error {
 			return fmt.Errorf("fairim: Delay and Discount cannot be combined")
 		}
 	}
+	if c.RISPerGroup < 0 {
+		return fmt.Errorf("fairim: negative RISPerGroup")
+	}
+	if c.Engine == EngineRIS {
+		if c.Model != cascade.IC {
+			return fmt.Errorf("fairim: the RIS engine supports only the IC model")
+		}
+		if c.Delay != nil || c.Discount > 0 {
+			return fmt.Errorf("fairim: the RIS engine does not support Delay or Discount")
+		}
+	}
 	return nil
 }
 
@@ -169,9 +226,28 @@ func (c *Config) maxSeeds(g *graph.Graph) int {
 	return g.N()
 }
 
-// newEvaluator samples optimization worlds and wraps them in the
-// estimator matching the configured diffusion/utility model.
-func (c *Config) newEvaluator(g *graph.Graph) (groupEvaluator, error) {
+// risPerGroup resolves the per-group RR pool size.
+func (c *Config) risPerGroup() int {
+	if c.RISPerGroup > 0 {
+		return c.RISPerGroup
+	}
+	return 20 * c.Samples
+}
+
+// newEstimator samples the optimization sample (live-edge worlds or RR
+// pools, per c.Engine) and wraps it in the matching estimator.
+func (c *Config) newEstimator(g *graph.Graph) (estimator.Estimator, error) {
+	if c.Engine == EngineRIS {
+		perGroup := make([]int, g.NumGroups())
+		for i := range perGroup {
+			perGroup[i] = c.risPerGroup()
+		}
+		col, err := ris.Sample(g, c.Tau, perGroup, c.Seed, c.Parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return ris.NewEstimator(col), nil
+	}
 	if c.Delay != nil {
 		worlds := cascade.SampleDelayedWorlds(g, c.Delay, c.Samples, c.Seed, c.Parallelism)
 		return influence.NewDelayedEvaluator(g, worlds, c.Tau)
@@ -203,7 +279,7 @@ func SolveTCIMBudget(g *graph.Graph, budget int, cfg Config) (*Result, error) {
 	if budget <= 0 {
 		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
 	}
-	eval, err := cfg.newEvaluator(g)
+	eval, err := cfg.newEstimator(g)
 	if err != nil {
 		return nil, err
 	}
@@ -225,7 +301,7 @@ func SolveFairTCIMBudget(g *graph.Graph, budget int, cfg Config) (*Result, error
 	if budget <= 0 {
 		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
 	}
-	eval, err := cfg.newEvaluator(g)
+	eval, err := cfg.newEstimator(g)
 	if err != nil {
 		return nil, err
 	}
@@ -246,7 +322,7 @@ func SolveTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, error) 
 	if quota <= 0 || quota > 1 {
 		return nil, fmt.Errorf("fairim: quota %v outside (0,1]", quota)
 	}
-	eval, err := cfg.newEvaluator(g)
+	eval, err := cfg.newEstimator(g)
 	if err != nil {
 		return nil, err
 	}
@@ -269,7 +345,7 @@ func SolveFairTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, err
 	if quota <= 0 || quota > 1 {
 		return nil, fmt.Errorf("fairim: quota %v outside (0,1]", quota)
 	}
-	eval, err := cfg.newEvaluator(g)
+	eval, err := cfg.newEstimator(g)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package fairim
 
 import (
 	"fairtcim/internal/concave"
+	"fairtcim/internal/estimator"
 	"fairtcim/internal/graph"
 )
 
@@ -76,24 +77,11 @@ func (q groupQuotaValue) value(util []float64, g *graph.Graph) float64 {
 	return t
 }
 
-// groupEvaluator is the estimator contract the solvers build on; it is
-// satisfied by influence.Evaluator (classic IC/LT), DelayedEvaluator
-// (IC-M and other delayed diffusion) and DiscountedEvaluator
-// (time-discounted utility).
-type groupEvaluator interface {
-	GainPerGroup(v graph.NodeID) []float64
-	Add(v graph.NodeID)
-	GroupUtilities() []float64
-	NormGroupUtilities() []float64
-	Graph() *graph.Graph
-	InitialGains(candidates []graph.NodeID, parallelism int) [][]float64
-	Reset()
-}
-
-// objective adapts a groupEvaluator plus a valueFn to
-// submodular.Objective, optionally recording a per-iteration trace.
+// objective adapts an estimator.Estimator plus a valueFn to
+// submodular.Objective, optionally recording a per-iteration trace. The
+// estimator may be any engine — forward Monte Carlo or RIS.
 type objective struct {
-	eval    groupEvaluator
+	eval    estimator.Estimator
 	vf      valueFn
 	g       *graph.Graph
 	traceOn bool
@@ -103,7 +91,7 @@ type objective struct {
 	next []float64 // scratch for candidate utilities
 }
 
-func newObjective(eval groupEvaluator, vf valueFn, traceOn bool) *objective {
+func newObjective(eval estimator.Estimator, vf valueFn, traceOn bool) *objective {
 	return &objective{
 		eval:    eval,
 		vf:      vf,

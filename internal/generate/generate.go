@@ -232,3 +232,22 @@ func BarabasiAlbert(n, m int, fractions []float64, pActivate float64, seed int64
 }
 
 func bad(p float64) bool { return p < 0 || p > 1 }
+
+// TwoStars builds two disjoint deterministic stars with certain (p = 1)
+// edges: hub 0 feeding 10 group-0 spokes and hub 11 feeding 5 group-1
+// spokes. With no randomness left in the diffusion, every estimation
+// engine computes exact utilities on it, which makes it the shared
+// fixture for cross-engine parity tests: greedy must pick hub 0 first and
+// hub 11 second under any engine.
+func TwoStars() *graph.Graph {
+	b := graph.NewBuilder(17)
+	for s := graph.NodeID(1); s <= 10; s++ {
+		b.AddEdge(0, s, 1)
+	}
+	for s := graph.NodeID(12); s <= 16; s++ {
+		b.AddEdge(11, s, 1)
+		b.SetGroup(s, 1)
+	}
+	b.SetGroup(11, 1)
+	return b.MustBuild()
+}

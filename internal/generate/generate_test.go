@@ -180,9 +180,10 @@ func TestFig1ExampleShape(t *testing.T) {
 	}
 	// All activation probabilities are 0.7.
 	for v := 0; v < g.N(); v++ {
-		for _, e := range g.Out(graph.NodeID(v)) {
-			if e.P != 0.7 {
-				t.Fatalf("edge (%d,%d) has p=%v", v, e.To, e.P)
+		targets, probs := g.OutEdges(graph.NodeID(v))
+		for i, to := range targets {
+			if probs[i] != 0.7 {
+				t.Fatalf("edge (%d,%d) has p=%v", v, to, probs[i])
 			}
 		}
 	}

@@ -5,53 +5,128 @@
 // Graphs are immutable after construction; build them with a Builder. An
 // undirected social tie is represented as two directed edges, matching the
 // paper's convention (§3.1).
+//
+// # Storage layout
+//
+// Adjacency is stored in flat compressed-sparse-row (CSR) form: one
+// offsets array plus parallel targets/probs arrays per direction, so a
+// whole traversal touches three contiguous allocations instead of one
+// slice header and one heap block per node. Group membership is indexed
+// the same way (group→members CSR), making GroupMembers an O(1) subslice
+// instead of an O(N) scan. Accessors return subslices of the shared
+// arrays; callers must not modify them.
 package graph
 
 import (
 	"fmt"
+	"math"
 	"sort"
+
+	"fairtcim/internal/xrand"
 )
 
 // NodeID identifies a node; nodes are always the dense range [0, N).
 type NodeID = int32
 
-// Edge is an outgoing (or incoming, in the reverse view) arc together with
-// its independent-cascade activation probability.
-type Edge struct {
-	To NodeID  // the neighbor
-	P  float64 // activation probability in [0, 1]
-}
-
 // Graph is an immutable directed graph with activation probabilities and
-// group labels. The zero value is an empty graph; construct with a Builder.
+// group labels, stored in flat CSR arrays. The zero value is an empty
+// graph; construct with a Builder.
 type Graph struct {
-	out        [][]Edge // forward adjacency, out[v] sorted by To
-	in         [][]Edge // reverse adjacency, in[v] sorted by To (the source)
-	groups     []int32  // group label per node, in [0, numGroups)
+	// Forward adjacency: out-neighbors of v are
+	// outTargets[outOffsets[v]:outOffsets[v+1]], sorted ascending, with
+	// matching activation probabilities in outProbs.
+	outOffsets []int32
+	outTargets []NodeID
+	outProbs   []float64
+
+	// Reverse adjacency: inTargets holds the *source* of each incoming
+	// edge, same layout as the forward arrays.
+	inOffsets []int32
+	inTargets []NodeID
+	inProbs   []float64
+
+	// Precomputed xrand.Threshold53 of each edge probability, aligned with
+	// outProbs/inProbs — lets live-edge samplers run integer-only
+	// Bernoulli trials.
+	outThresh []uint64
+	inThresh  []uint64
+
+	groups     []int32 // group label per node, in [0, numGroups)
 	numGroups  int
 	groupSizes []int
-	numEdges   int // number of directed edges
+
+	// Group→members CSR index: members of group i are
+	// groupMembers[groupOffsets[i]:groupOffsets[i+1]], ascending.
+	groupOffsets []int32
+	groupMembers []NodeID
+
+	sumProbs float64 // Σ edge probabilities = expected surviving IC edges
 }
 
 // N returns the number of nodes.
-func (g *Graph) N() int { return len(g.out) }
+func (g *Graph) N() int { return len(g.groups) }
 
 // M returns the number of directed edges.
-func (g *Graph) M() int { return g.numEdges }
+func (g *Graph) M() int { return len(g.outTargets) }
 
-// Out returns the outgoing edges of v. The slice is shared; callers must
-// not modify it.
-func (g *Graph) Out(v NodeID) []Edge { return g.out[v] }
+// OutEdges returns the out-neighbors of v and their activation
+// probabilities as parallel subslices of the CSR arrays, sorted by target.
+// The slices are shared; callers must not modify them.
+func (g *Graph) OutEdges(v NodeID) ([]NodeID, []float64) {
+	lo, hi := g.outOffsets[v], g.outOffsets[v+1]
+	return g.outTargets[lo:hi], g.outProbs[lo:hi]
+}
 
-// In returns the incoming edges of v (each Edge.To is the *source* node).
-// The slice is shared; callers must not modify it.
-func (g *Graph) In(v NodeID) []Edge { return g.in[v] }
+// InEdges returns the sources of v's incoming edges and their activation
+// probabilities as parallel subslices, sorted by source. The slices are
+// shared; callers must not modify them.
+func (g *Graph) InEdges(v NodeID) ([]NodeID, []float64) {
+	lo, hi := g.inOffsets[v], g.inOffsets[v+1]
+	return g.inTargets[lo:hi], g.inProbs[lo:hi]
+}
+
+// OutNeighbors returns the out-neighbors of v, ascending. The slice is
+// shared; callers must not modify it.
+func (g *Graph) OutNeighbors(v NodeID) []NodeID {
+	return g.outTargets[g.outOffsets[v]:g.outOffsets[v+1]]
+}
+
+// InNeighbors returns the sources of v's incoming edges, ascending. The
+// slice is shared; callers must not modify it.
+func (g *Graph) InNeighbors(v NodeID) []NodeID {
+	return g.inTargets[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// OutCSR exposes the raw forward CSR arrays (offsets, targets, probs) for
+// hot loops that stream the whole adjacency without per-node calls. All
+// three are shared; callers must not modify them.
+func (g *Graph) OutCSR() ([]int32, []NodeID, []float64) {
+	return g.outOffsets, g.outTargets, g.outProbs
+}
+
+// InCSR exposes the raw reverse CSR arrays; see OutCSR.
+func (g *Graph) InCSR() ([]int32, []NodeID, []float64) {
+	return g.inOffsets, g.inTargets, g.inProbs
+}
+
+// OutThresholds returns the per-edge xrand.Threshold53 values aligned with
+// OutCSR's targets/probs, for integer-only Bernoulli trials in sampling
+// hot loops. Shared; callers must not modify.
+func (g *Graph) OutThresholds() []uint64 { return g.outThresh }
+
+// InThresholds returns the reverse-edge thresholds; see OutThresholds.
+func (g *Graph) InThresholds() []uint64 { return g.inThresh }
 
 // OutDegree returns the out-degree of v.
-func (g *Graph) OutDegree(v NodeID) int { return len(g.out[v]) }
+func (g *Graph) OutDegree(v NodeID) int { return int(g.outOffsets[v+1] - g.outOffsets[v]) }
 
 // InDegree returns the in-degree of v.
-func (g *Graph) InDegree(v NodeID) int { return len(g.in[v]) }
+func (g *Graph) InDegree(v NodeID) int { return int(g.inOffsets[v+1] - g.inOffsets[v]) }
+
+// ExpectedLiveEdges returns Σ_e p_e, the expected number of edges that
+// survive one independent-cascade live-edge sample — the right capacity
+// hint for world buffers.
+func (g *Graph) ExpectedLiveEdges() float64 { return g.sumProbs }
 
 // Group returns the group label of v.
 func (g *Graph) Group(v NodeID) int { return int(g.groups[v]) }
@@ -67,15 +142,11 @@ func (g *Graph) GroupSizes() []int { return g.groupSizes }
 // GroupSize returns |V_i|.
 func (g *Graph) GroupSize(i int) int { return g.groupSizes[i] }
 
-// GroupMembers returns the nodes in group i, ascending.
+// GroupMembers returns the nodes in group i, ascending — an O(1) subslice
+// of the precomputed group index. The slice is shared; callers must not
+// modify it.
 func (g *Graph) GroupMembers(i int) []NodeID {
-	members := make([]NodeID, 0, g.groupSizes[i])
-	for v := range g.groups {
-		if int(g.groups[v]) == i {
-			members = append(members, NodeID(v))
-		}
-	}
-	return members
+	return g.groupMembers[g.groupOffsets[i]:g.groupOffsets[i+1]]
 }
 
 // Nodes returns all node ids, ascending.
@@ -97,14 +168,22 @@ func (g *Graph) WithGroups(labels []int) (*Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Graph{
-		out:        g.out,
-		in:         g.in,
+	out := &Graph{
+		outOffsets: g.outOffsets,
+		outTargets: g.outTargets,
+		outProbs:   g.outProbs,
+		inOffsets:  g.inOffsets,
+		inTargets:  g.inTargets,
+		inProbs:    g.inProbs,
+		outThresh:  g.outThresh,
+		inThresh:   g.inThresh,
 		groups:     groups,
 		numGroups:  k,
 		groupSizes: sizes,
-		numEdges:   g.numEdges,
-	}, nil
+		sumProbs:   g.sumProbs,
+	}
+	out.buildGroupIndex()
+	return out, nil
 }
 
 // Stats summarises the structure of a grouped graph; used by generators'
@@ -128,13 +207,13 @@ func (g *Graph) ComputeStats() Stats {
 		GroupSizes: append([]int(nil), g.groupSizes...),
 	}
 	s.WithinEdges = make([]int, g.numGroups)
-	for v := range g.out {
-		if d := len(g.out[v]); d > s.MaxOutDegree {
+	for v := 0; v < g.N(); v++ {
+		if d := g.OutDegree(NodeID(v)); d > s.MaxOutDegree {
 			s.MaxOutDegree = d
 		}
 		gv := g.groups[v]
-		for _, e := range g.out[v] {
-			if g.groups[e.To] == gv {
+		for _, to := range g.OutNeighbors(NodeID(v)) {
+			if g.groups[to] == gv {
 				s.WithinEdges[gv]++
 			} else {
 				s.AcrossEdges++
@@ -211,48 +290,44 @@ func (b *Builder) AddUndirected(u, v NodeID, p float64) {
 	b.AddEdge(v, u, p)
 }
 
-// Build finalizes the graph. Duplicate directed edges are rejected; self
-// loops are allowed but pointless under IC.
+// Build finalizes the graph into CSR form. Duplicate directed edges are
+// rejected; self loops are allowed but pointless under IC.
 func (b *Builder) Build() (*Graph, error) {
 	groups, sizes, k, err := normalizeGroups(b.groups)
 	if err != nil {
 		return nil, err
 	}
+	if len(b.from) > math.MaxInt32 {
+		// CSR offsets are int32; shard graphs beyond 2^31-1 directed edges.
+		return nil, fmt.Errorf("graph: %d edges exceed the int32 CSR offset range", len(b.from))
+	}
 	g := &Graph{
-		out:        make([][]Edge, b.n),
-		in:         make([][]Edge, b.n),
 		groups:     groups,
 		numGroups:  k,
 		groupSizes: sizes,
-		numEdges:   len(b.from),
 	}
-	outDeg := make([]int, b.n)
-	inDeg := make([]int, b.n)
-	for i := range b.from {
-		outDeg[b.from[i]]++
-		inDeg[b.to[i]]++
-	}
+	g.outOffsets, g.outTargets, g.outProbs = buildCSR(b.n, b.from, b.to, b.p)
+	g.inOffsets, g.inTargets, g.inProbs = buildCSR(b.n, b.to, b.from, b.p)
 	for v := 0; v < b.n; v++ {
-		if outDeg[v] > 0 {
-			g.out[v] = make([]Edge, 0, outDeg[v])
-		}
-		if inDeg[v] > 0 {
-			g.in[v] = make([]Edge, 0, inDeg[v])
-		}
-	}
-	for i := range b.from {
-		u, v, p := b.from[i], b.to[i], b.p[i]
-		g.out[u] = append(g.out[u], Edge{To: v, P: p})
-		g.in[v] = append(g.in[v], Edge{To: u, P: p})
-	}
-	for v := 0; v < b.n; v++ {
-		sortEdges(g.out[v])
-		sortEdges(g.in[v])
-		if dup := firstDuplicate(g.out[v]); dup >= 0 {
+		if dup := firstDuplicate(g.OutNeighbors(NodeID(v))); dup >= 0 {
 			return nil, fmt.Errorf("graph: duplicate edge %d->%d", v, dup)
 		}
 	}
+	for _, p := range b.p {
+		g.sumProbs += p
+	}
+	g.outThresh = thresholds(g.outProbs)
+	g.inThresh = thresholds(g.inProbs)
+	g.buildGroupIndex()
 	return g, nil
+}
+
+func thresholds(probs []float64) []uint64 {
+	t := make([]uint64, len(probs))
+	for i, p := range probs {
+		t[i] = xrand.Threshold53(p)
+	}
+	return t
 }
 
 // MustBuild is Build that panics on error, for hand-constructed graphs in
@@ -265,14 +340,70 @@ func (b *Builder) MustBuild() *Graph {
 	return g
 }
 
-func sortEdges(edges []Edge) {
-	sort.Slice(edges, func(i, j int) bool { return edges[i].To < edges[j].To })
+// buildCSR bucket-sorts the edge list by source into flat offsets/targets/
+// probs arrays and orders each node's slice by target.
+func buildCSR(n int, src, dst []NodeID, p []float64) ([]int32, []NodeID, []float64) {
+	offsets := make([]int32, n+1)
+	for _, u := range src {
+		offsets[u+1]++
+	}
+	for v := 0; v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	targets := make([]NodeID, len(src))
+	probs := make([]float64, len(src))
+	fill := make([]int32, n)
+	copy(fill, offsets[:n])
+	for i, u := range src {
+		pos := fill[u]
+		targets[pos] = dst[i]
+		probs[pos] = p[i]
+		fill[u]++
+	}
+	for v := 0; v < n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		if hi-lo > 1 {
+			sort.Sort(pairSorter{t: targets[lo:hi], p: probs[lo:hi]})
+		}
+	}
+	return offsets, targets, probs
 }
 
-func firstDuplicate(edges []Edge) NodeID {
-	for i := 1; i < len(edges); i++ {
-		if edges[i].To == edges[i-1].To {
-			return edges[i].To
+// pairSorter orders a (targets, probs) slice pair by target id.
+type pairSorter struct {
+	t []NodeID
+	p []float64
+}
+
+func (s pairSorter) Len() int           { return len(s.t) }
+func (s pairSorter) Less(i, j int) bool { return s.t[i] < s.t[j] }
+func (s pairSorter) Swap(i, j int) {
+	s.t[i], s.t[j] = s.t[j], s.t[i]
+	s.p[i], s.p[j] = s.p[j], s.p[i]
+}
+
+// buildGroupIndex derives the group→members CSR from the per-node labels.
+func (g *Graph) buildGroupIndex() {
+	g.groupOffsets = make([]int32, g.numGroups+1)
+	for _, grp := range g.groups {
+		g.groupOffsets[grp+1]++
+	}
+	for i := 0; i < g.numGroups; i++ {
+		g.groupOffsets[i+1] += g.groupOffsets[i]
+	}
+	g.groupMembers = make([]NodeID, len(g.groups))
+	fill := make([]int32, g.numGroups)
+	copy(fill, g.groupOffsets[:g.numGroups])
+	for v, grp := range g.groups {
+		g.groupMembers[fill[grp]] = NodeID(v)
+		fill[grp]++
+	}
+}
+
+func firstDuplicate(targets []NodeID) NodeID {
+	for i := 1; i < len(targets); i++ {
+		if targets[i] == targets[i-1] {
+			return targets[i]
 		}
 	}
 	return -1

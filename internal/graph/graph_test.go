@@ -53,10 +53,20 @@ func TestOutEdgesSorted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := g.Out(0)
-	for i := 1; i < len(out); i++ {
-		if out[i].To <= out[i-1].To {
-			t.Fatalf("out edges not sorted: %v", out)
+	targets, probs := g.OutEdges(0)
+	if len(targets) != 3 || len(probs) != 3 {
+		t.Fatalf("OutEdges(0) = %v, %v", targets, probs)
+	}
+	for i := 1; i < len(targets); i++ {
+		if targets[i] <= targets[i-1] {
+			t.Fatalf("out edges not sorted: %v", targets)
+		}
+	}
+	// Probabilities must follow their targets through the sort.
+	want := map[NodeID]float64{1: 0.2, 2: 0.3, 3: 0.1}
+	for i, to := range targets {
+		if probs[i] != want[to] {
+			t.Fatalf("prob for edge 0->%d = %v, want %v", to, probs[i], want[to])
 		}
 	}
 }
@@ -84,11 +94,13 @@ func TestReverseAdjacencyMirrors(t *testing.T) {
 		// Every forward edge appears exactly once in the reverse view.
 		fwd := 0
 		for v := 0; v < n; v++ {
-			fwd += len(g.Out(NodeID(v)))
-			for _, e := range g.In(NodeID(v)) {
+			fwd += g.OutDegree(NodeID(v))
+			sources, inProbs := g.InEdges(NodeID(v))
+			for i, src := range sources {
 				found := false
-				for _, f := range g.Out(e.To) {
-					if f.To == NodeID(v) && f.P == e.P {
+				targets, outProbs := g.OutEdges(src)
+				for j, to := range targets {
+					if to == NodeID(v) && outProbs[j] == inProbs[i] {
 						found = true
 					}
 				}
@@ -99,7 +111,7 @@ func TestReverseAdjacencyMirrors(t *testing.T) {
 		}
 		rev := 0
 		for v := 0; v < n; v++ {
-			rev += len(g.In(NodeID(v)))
+			rev += g.InDegree(NodeID(v))
 		}
 		return fwd == rev && fwd == g.M()
 	}
@@ -220,13 +232,14 @@ func TestRoundTrip(t *testing.T) {
 		if g.Group(NodeID(v)) != g2.Group(NodeID(v)) {
 			t.Fatalf("group mismatch at %d", v)
 		}
-		a, b := g.Out(NodeID(v)), g2.Out(NodeID(v))
-		if len(a) != len(b) {
+		at, ap := g.OutEdges(NodeID(v))
+		bt, bp := g2.OutEdges(NodeID(v))
+		if len(at) != len(bt) {
 			t.Fatalf("degree mismatch at %d", v)
 		}
-		for i := range a {
-			if a[i] != b[i] {
-				t.Fatalf("edge mismatch at %d: %v vs %v", v, a[i], b[i])
+		for i := range at {
+			if at[i] != bt[i] || ap[i] != bp[i] {
+				t.Fatalf("edge mismatch at %d: (%d,%v) vs (%d,%v)", v, at[i], ap[i], bt[i], bp[i])
 			}
 		}
 	}

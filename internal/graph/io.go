@@ -37,8 +37,9 @@ func Write(w io.Writer, g *Graph) error {
 		}
 	}
 	for v := 0; v < g.N(); v++ {
-		for _, e := range g.Out(NodeID(v)) {
-			if _, err := fmt.Fprintf(bw, "e %d %d %g\n", v, e.To, e.P); err != nil {
+		targets, probs := g.OutEdges(NodeID(v))
+		for i, to := range targets {
+			if _, err := fmt.Fprintf(bw, "e %d %d %g\n", v, to, probs[i]); err != nil {
 				return err
 			}
 		}

@@ -29,12 +29,12 @@ func (g *Graph) ClusteringCoefficient() float64 {
 	triangles := 0
 	triples := 0
 	for v := 0; v < g.N(); v++ {
-		nbrs := g.Out(NodeID(v))
+		nbrs := g.OutNeighbors(NodeID(v))
 		d := len(nbrs)
 		triples += d * (d - 1) / 2
 		for i := 0; i < d; i++ {
 			for j := i + 1; j < d; j++ {
-				if g.HasEdge(nbrs[i].To, nbrs[j].To) {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
 					triangles++
 				}
 			}
@@ -52,14 +52,14 @@ func (g *Graph) ClusteringCoefficient() float64 {
 // HasEdge reports whether the directed edge u→v exists (binary search on
 // the sorted adjacency).
 func (g *Graph) HasEdge(u, v NodeID) bool {
-	edges := g.out[u]
-	lo, hi := 0, len(edges)
+	targets := g.OutNeighbors(u)
+	lo, hi := 0, len(targets)
 	for lo < hi {
 		mid := (lo + hi) / 2
 		switch {
-		case edges[mid].To < v:
+		case targets[mid] < v:
 			lo = mid + 1
-		case edges[mid].To > v:
+		case targets[mid] > v:
 			hi = mid
 		default:
 			return true
@@ -79,8 +79,8 @@ func (g *Graph) MixingMatrix() [][]int {
 	}
 	for v := 0; v < g.N(); v++ {
 		gv := g.Group(NodeID(v))
-		for _, e := range g.Out(NodeID(v)) {
-			m[gv][g.Group(e.To)]++
+		for _, to := range g.OutNeighbors(NodeID(v)) {
+			m[gv][g.Group(to)]++
 		}
 	}
 	return m
@@ -97,8 +97,8 @@ func (g *Graph) HomophilyIndex() float64 {
 	within := 0
 	for v := 0; v < g.N(); v++ {
 		gv := g.groups[v]
-		for _, e := range g.Out(NodeID(v)) {
-			if g.groups[e.To] == gv {
+		for _, to := range g.OutNeighbors(NodeID(v)) {
+			if g.groups[to] == gv {
 				within++
 			}
 		}
@@ -145,9 +145,10 @@ func (g *Graph) InducedSubgraph(nodes []NodeID) (*Graph, map[NodeID]NodeID, erro
 	b.SetGroups(labels)
 	for _, v := range nodes {
 		nv := mapping[v]
-		for _, e := range g.Out(v) {
-			if nu, ok := mapping[e.To]; ok {
-				b.AddEdge(nv, nu, e.P)
+		targets, probs := g.OutEdges(v)
+		for i, to := range targets {
+			if nu, ok := mapping[to]; ok {
+				b.AddEdge(nv, nu, probs[i])
 			}
 		}
 	}

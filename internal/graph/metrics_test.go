@@ -140,8 +140,9 @@ func TestInducedSubgraph(t *testing.T) {
 	}
 	// Edge 1->2 survives as mapping[1]->mapping[2] with probability 0.25.
 	found := false
-	for _, e := range sub.Out(mapping[1]) {
-		if e.To == mapping[2] && e.P == 0.25 {
+	targets, probs := sub.OutEdges(mapping[1])
+	for i, to := range targets {
+		if to == mapping[2] && probs[i] == 0.25 {
 			found = true
 		}
 	}

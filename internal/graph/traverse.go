@@ -17,10 +17,10 @@ func (g *Graph) BFSDistances(seeds []NodeID) []int32 {
 	}
 	for head := 0; head < len(queue); head++ {
 		v := queue[head]
-		for _, e := range g.out[v] {
-			if dist[e.To] == -1 {
-				dist[e.To] = dist[v] + 1
-				queue = append(queue, e.To)
+		for _, to := range g.OutNeighbors(v) {
+			if dist[to] == -1 {
+				dist[to] = dist[v] + 1
+				queue = append(queue, to)
 			}
 		}
 	}
@@ -44,16 +44,16 @@ func (g *Graph) ConnectedComponents() (labels []int, count int) {
 		queue = append(queue[:0], NodeID(start))
 		for head := 0; head < len(queue); head++ {
 			v := queue[head]
-			for _, e := range g.out[v] {
-				if labels[e.To] == -1 {
-					labels[e.To] = count
-					queue = append(queue, e.To)
+			for _, to := range g.OutNeighbors(v) {
+				if labels[to] == -1 {
+					labels[to] = count
+					queue = append(queue, to)
 				}
 			}
-			for _, e := range g.in[v] {
-				if labels[e.To] == -1 {
-					labels[e.To] = count
-					queue = append(queue, e.To)
+			for _, to := range g.InNeighbors(v) {
+				if labels[to] == -1 {
+					labels[to] = count
+					queue = append(queue, to)
 				}
 			}
 		}

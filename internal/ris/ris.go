@@ -131,6 +131,8 @@ func Sample(g *graph.Graph, tau int32, perGroup []int, seed int64, parallelism i
 // each incoming edge alive with its probability. visited holds the job id
 // as an epoch marker to avoid reallocation across jobs.
 func reverseBFS(g *graph.Graph, root graph.NodeID, tau int32, rng *xrand.RNG, visited []int64, epoch int64, queue *[]graph.NodeID) []graph.NodeID {
+	inOffsets, inTargets, _ := g.InCSR()
+	thresh := g.InThresholds()
 	q := (*queue)[:0]
 	depth := make([]int32, 0, 16)
 	visited[root] = epoch
@@ -143,17 +145,18 @@ func reverseBFS(g *graph.Graph, root graph.NodeID, tau int32, rng *xrand.RNG, vi
 		if d >= tau {
 			continue
 		}
-		for _, e := range g.In(v) {
-			if visited[e.To] == epoch {
+		for i := inOffsets[v]; i < inOffsets[v+1]; i++ {
+			src := inTargets[i]
+			if visited[src] == epoch {
 				continue
 			}
-			if !rng.Bernoulli(e.P) {
+			if !rng.BernoulliT(thresh[i]) {
 				continue
 			}
-			visited[e.To] = epoch
-			q = append(q, e.To)
+			visited[src] = epoch
+			q = append(q, src)
 			depth = append(depth, d+1)
-			out = append(out, e.To)
+			out = append(out, src)
 		}
 	}
 	*queue = q
@@ -179,7 +182,12 @@ func (c *Collection) NumSets() int {
 }
 
 // Estimator evaluates group utilities of a growing seed set against a
-// Collection by incremental RR-set coverage.
+// Collection by incremental RR-set coverage. It satisfies the
+// estimator.Estimator interface, so every fairim solver and experiment
+// can run on RIS estimates instead of forward Monte Carlo.
+//
+// Estimator methods are not safe for concurrent use except InitialGains,
+// which shards its scratch per worker and only reads coverage state.
 type Estimator struct {
 	c       *Collection
 	covered [][]bool // covered[group][index]
@@ -202,21 +210,70 @@ func NewEstimator(c *Collection) *Estimator {
 	return e
 }
 
+// Collection returns the RR-set family this estimator evaluates against.
+func (e *Estimator) Collection() *Collection { return e.c }
+
+// Graph returns the underlying graph.
+func (e *Estimator) Graph() *graph.Graph { return e.c.g }
+
 // GainPerGroup returns the estimated per-group utility increase from
 // adding v. The returned slice is reused; copy to keep.
 func (e *Estimator) GainPerGroup(v graph.NodeID) []float64 {
-	for i := range e.delta {
-		e.delta[i] = 0
+	return e.gainPerGroupInto(e.delta, v)
+}
+
+// gainPerGroupInto computes the per-group coverage gain of v into delta.
+// It only reads estimator state, so calls with distinct delta slices may
+// run concurrently.
+func (e *Estimator) gainPerGroupInto(delta []float64, v graph.NodeID) []float64 {
+	for i := range delta {
+		delta[i] = 0
 	}
 	for _, ref := range e.c.contains[v] {
 		if !e.covered[ref.group][ref.index] {
-			e.delta[ref.group]++
+			delta[ref.group]++
 		}
 	}
-	for i := range e.delta {
-		e.delta[i] *= float64(e.c.g.GroupSize(i)) / float64(e.c.poolSize[i])
+	for i := range delta {
+		delta[i] *= float64(e.c.g.GroupSize(i)) / float64(e.c.poolSize[i])
 	}
-	return e.delta
+	return delta
+}
+
+// InitialGains computes GainPerGroup for every candidate in parallel and
+// returns one copied slice per candidate, in candidate order. It only
+// reads estimator state, so it is safe before/between Adds. parallelism
+// <= 0 means GOMAXPROCS.
+func (e *Estimator) InitialGains(candidates []graph.NodeID, parallelism int) [][]float64 {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(candidates) {
+		parallelism = len(candidates)
+	}
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	out := make([][]float64, len(candidates))
+	var wg sync.WaitGroup
+	work := make(chan int, len(candidates))
+	for i := range candidates {
+		work <- i
+	}
+	close(work)
+	for p := 0; p < parallelism; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			delta := make([]float64, len(e.c.poolSize))
+			for i := range work {
+				g := e.gainPerGroupInto(delta, candidates[i])
+				out[i] = append([]float64(nil), g...)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Gain returns the estimated total-utility increase from adding v.
@@ -247,6 +304,16 @@ func (e *Estimator) GroupUtilities() []float64 {
 	out := make([]float64, len(e.count))
 	for i, cnt := range e.count {
 		out[i] = float64(cnt) / float64(e.c.poolSize[i]) * float64(e.c.g.GroupSize(i))
+	}
+	return out
+}
+
+// NormGroupUtilities returns fτ(S;Vᵢ)/|Vᵢ|: the covered fraction of each
+// group's RR pool.
+func (e *Estimator) NormGroupUtilities() []float64 {
+	out := make([]float64, len(e.count))
+	for i, cnt := range e.count {
+		out[i] = float64(cnt) / float64(e.c.poolSize[i])
 	}
 	return out
 }

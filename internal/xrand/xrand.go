@@ -92,6 +92,29 @@ func (r *RNG) Bernoulli(p float64) bool {
 	return r.Float64() < p
 }
 
+// Threshold53 converts a probability to the integer threshold consumed by
+// BernoulliT. For every p, BernoulliT(Threshold53(p)) accepts exactly the
+// same generator outputs as Bernoulli(p): Float64 compares the 53-bit
+// draw u against p via u/2^53 < p, which for integer u is equivalent to
+// u < ⌈p·2^53⌉.
+func Threshold53(p float64) uint64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1 << 53
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// BernoulliT reports true with probability t/2^53 for t from Threshold53.
+// It replaces Bernoulli's float conversion and division with one shift and
+// one integer compare — the fast path for tight sampling loops over
+// precomputed per-edge thresholds.
+func (r *RNG) BernoulliT(t uint64) bool {
+	return r.Uint64()>>11 < t
+}
+
 // Perm returns a pseudo-random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)

@@ -275,3 +275,50 @@ func BenchmarkFloat64(b *testing.B) {
 		_ = r.Float64()
 	}
 }
+
+func TestBernoulliTMatchesBernoulli(t *testing.T) {
+	// For p strictly inside (0,1) both consume one draw per trial, so the
+	// same seed must yield identical accept/reject sequences.
+	for _, p := range []float64{1e-9, 0.01, 0.3, 0.5, 0.7, 0.9999999} {
+		a, b := New(42), New(42)
+		th := Threshold53(p)
+		for i := 0; i < 20000; i++ {
+			if x, y := a.Bernoulli(p), b.BernoulliT(th); x != y {
+				t.Fatalf("p=%v trial %d: Bernoulli=%v BernoulliT=%v", p, i, x, y)
+			}
+		}
+	}
+}
+
+func TestThreshold53Extremes(t *testing.T) {
+	if Threshold53(0) != 0 || Threshold53(-1) != 0 {
+		t.Fatal("p<=0 must map to threshold 0")
+	}
+	if Threshold53(1) != 1<<53 || Threshold53(2) != 1<<53 {
+		t.Fatal("p>=1 must map to threshold 2^53")
+	}
+	r := New(7)
+	for i := 0; i < 1000; i++ {
+		if r.BernoulliT(0) {
+			t.Fatal("BernoulliT(0) returned true")
+		}
+		if !r.BernoulliT(1 << 53) {
+			t.Fatal("BernoulliT(2^53) returned false")
+		}
+	}
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Bernoulli(0.3)
+	}
+}
+
+func BenchmarkBernoulliT(b *testing.B) {
+	r := New(1)
+	th := Threshold53(0.3)
+	for i := 0; i < b.N; i++ {
+		_ = r.BernoulliT(th)
+	}
+}
