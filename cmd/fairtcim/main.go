@@ -8,12 +8,22 @@
 //
 // Problems: p1 (TCIM-Budget), p2 (TCIM-Cover), p4 (FairTCIM-Budget),
 // p6 (FairTCIM-Cover). Use cmd/gengraph to produce input graphs.
+//
+// With -server, fairtcim becomes a thin client for a running fairtcimd
+// daemon: -graph then names a graph registered on the server, the solve
+// runs remotely against its warm estimator cache, and the usual report is
+// printed from the JSON response.
+//
+//	fairtcim -server http://localhost:8732 -graph twoblock -problem p4 -engine ris
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -21,6 +31,7 @@ import (
 	"fairtcim/internal/concave"
 	"fairtcim/internal/fairim"
 	"fairtcim/internal/graph"
+	"fairtcim/internal/server"
 )
 
 func main() {
@@ -47,6 +58,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		meeting   = fs.Float64("meeting", 0, "IC-M meeting probability (0 disables delays)")
 		discount  = fs.Float64("discount", 0, "discount factor gamma in (0,1); 0 disables")
 		seed      = fs.Int64("seed", 1, "random seed")
+		serverURL = fs.String("server", "", "fairtcimd base URL; solve remotely with -graph naming a server-side graph")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -54,6 +66,29 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
+	}
+
+	if *serverURL != "" {
+		if *meeting > 0 || *discount > 0 {
+			return fmt.Errorf("-meeting and -discount are not supported in -server mode")
+		}
+		tau32 := int32(*tau)
+		if *tau < 0 {
+			tau32 = -1
+		}
+		return runRemote(*serverURL, server.SelectRequest{
+			Graph:       *graphPath,
+			Problem:     strings.ToLower(*problem),
+			Budget:      *budget,
+			Quota:       *quota,
+			Tau:         &tau32,
+			Engine:      *engine,
+			Model:       strings.ToLower(*model),
+			Samples:     *samples,
+			RISPerGroup: *risPool,
+			H:           *hName,
+			Seed:        *seed,
+		}, stdout)
 	}
 
 	f, err := os.Open(*graphPath)
@@ -118,6 +153,43 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 	printReport(stdout, g, res)
+	return nil
+}
+
+// runRemote sends one /v1/select request to a fairtcimd daemon and prints
+// the report from the response.
+func runRemote(baseURL string, req server.SelectRequest, stdout io.Writer) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/v1/select", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
+			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+	}
+	var out server.SelectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "problem       %s   (graph %s, engine %s, remote)\n", out.Problem, out.Graph, out.Engine)
+	fmt.Fprintf(stdout, "seeds (%d)    %v\n", len(out.Seeds), out.Seeds)
+	fmt.Fprintf(stdout, "f(S;V)        %.2f   (%.4f normalized)\n", out.Total, out.NormTotal)
+	for i := range out.PerGroup {
+		fmt.Fprintf(stdout, "group %-2d      f=%.2f   f/|V%d|=%.4f\n", i+1, out.PerGroup[i], i+1, out.NormPerGroup[i])
+	}
+	fmt.Fprintf(stdout, "disparity     %.4f\n", out.Disparity)
+	fmt.Fprintf(stdout, "evaluations   %d\n", out.Evaluations)
+	fmt.Fprintf(stdout, "cache         hit=%v sample_ms=%.1f solve_ms=%.1f\n", out.CacheHit, out.SampleMS, out.SolveMS)
 	return nil
 }
 

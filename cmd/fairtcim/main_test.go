@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 
 	"fairtcim/internal/generate"
 	"fairtcim/internal/graph"
+	"fairtcim/internal/server"
 )
 
 // writeTestGraph creates a small graph file and returns its path.
@@ -75,6 +77,50 @@ func TestRunExtensions(t *testing.T) {
 	if err := run([]string{"-graph", path, "-problem", "p1", "-budget", "2", "-samples", "40",
 		"-model", "lt", "-tau", "-1"}, &out, &errw); err != nil {
 		t.Fatalf("lt/no-deadline: %v", err)
+	}
+}
+
+// TestRunRemote drives the -server client mode against an in-process
+// serving layer.
+func TestRunRemote(t *testing.T) {
+	reg := server.NewRegistry()
+	if err := reg.RegisterGraph("stars", "synthetic:twostars", generate.TwoStars()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errw bytes.Buffer
+	args := []string{"-server", ts.URL, "-graph", "stars", "-problem", "p4", "-budget", "2", "-tau", "3", "-samples", "30", "-engine", "ris"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("remote run: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{"seeds (2)", "remote", "disparity", "cache"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("remote report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Warm repeat reports a cache hit.
+	out.Reset()
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hit=true") {
+		t.Fatalf("repeated remote request should hit the cache:\n%s", out.String())
+	}
+
+	// Server-side errors surface as client errors.
+	if err := run([]string{"-server", ts.URL, "-graph", "missing"}, &out, &errw); err == nil {
+		t.Fatal("unknown remote graph accepted")
+	}
+	if err := run([]string{"-server", ts.URL, "-graph", "stars", "-meeting", "0.5"}, &out, &errw); err == nil {
+		t.Fatal("-meeting accepted in server mode")
 	}
 }
 

@@ -1,0 +1,158 @@
+// Command fairtcimd is the persistent (Fair)TCIM serving daemon: it loads
+// named graphs once, keeps warm RIS sketches and Monte-Carlo world sets in
+// a keyed LRU cache, and answers seed-selection and spread-estimation
+// queries over HTTP/JSON (see internal/server for the API).
+//
+//	fairtcimd -addr :8732 -graph prod=net.txt -graph staging=small.txt
+//	fairtcimd -addr :8732 -cache 64 -max-concurrent 8
+//
+// Built-in synthetic graphs "twoblock" (the paper's §6.1 two-group SBM)
+// and "twostars" (the deterministic parity fixture) are registered unless
+// -no-builtin is given, so the daemon is immediately usable:
+//
+//	curl -s localhost:8732/v1/select -d '{"graph":"twoblock","problem":"p4","budget":10,"engine":"ris"}'
+//	curl -s localhost:8732/v1/graphs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stderr, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "fairtcimd:", err)
+		os.Exit(1)
+	}
+}
+
+// options is the parsed daemon configuration.
+type options struct {
+	addr            string
+	graphs          map[string]string // name -> path
+	noBuiltin       bool
+	cacheSize       int
+	maxConc         int
+	queueTimeout    time.Duration
+	shutdownTimeout time.Duration
+	parallelism     int
+}
+
+func parseFlags(args []string, stderr io.Writer) (*options, error) {
+	fs := flag.NewFlagSet("fairtcimd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	o := &options{graphs: map[string]string{}}
+	fs.StringVar(&o.addr, "addr", ":8732", "listen address")
+	fs.Func("graph", "register a graph as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		if _, dup := o.graphs[name]; dup {
+			return fmt.Errorf("duplicate graph name %q", name)
+		}
+		o.graphs[name] = path
+		return nil
+	})
+	fs.BoolVar(&o.noBuiltin, "no-builtin", false, "skip the built-in synthetic graphs")
+	fs.IntVar(&o.cacheSize, "cache", 32, "cached estimator samples (LRU entries)")
+	fs.IntVar(&o.maxConc, "max-concurrent", 0, "concurrent solves; 0 = GOMAXPROCS")
+	fs.DurationVar(&o.queueTimeout, "queue-timeout", 10*time.Second, "max wait for a worker slot before shedding 503")
+	fs.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	fs.IntVar(&o.parallelism, "parallelism", 0, "per-solve worker count; 0 = GOMAXPROCS")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// buildRegistry wires the configured file graphs plus built-in synthetics.
+func buildRegistry(o *options) (*server.Registry, error) {
+	reg := server.NewRegistry()
+	if !o.noBuiltin {
+		if err := reg.Register("twoblock", "synthetic:twoblock", func() (*graph.Graph, error) {
+			return generate.TwoBlock(generate.DefaultTwoBlock(1))
+		}); err != nil {
+			return nil, err
+		}
+		if err := reg.Register("twostars", "synthetic:twostars", func() (*graph.Graph, error) {
+			return generate.TwoStars(), nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for name, path := range o.graphs {
+		if err := reg.RegisterFile(name, path); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// run parses flags, builds the server and serves until ctx is cancelled
+// (main wires an interrupt/SIGTERM context). A non-nil ready channel
+// receives the bound address once listening — used by tests to avoid
+// races.
+func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) error {
+	o, err := parseFlags(args, stderr)
+	if err != nil {
+		return err
+	}
+	reg, err := buildRegistry(o)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		Registry:          reg,
+		CacheSize:         o.cacheSize,
+		MaxConcurrent:     o.maxConc,
+		QueueTimeout:      o.queueTimeout,
+		SolverParallelism: o.parallelism,
+	})
+	if err != nil {
+		return err
+	}
+
+	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	ln, err := net.Listen("tcp", o.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "fairtcimd: listening on %s (graphs: %s)\n", ln.Addr(), strings.Join(reg.Names(), ", "))
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), o.shutdownTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

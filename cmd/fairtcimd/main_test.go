@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fairtcim/internal/server"
+)
+
+func TestParseFlags(t *testing.T) {
+	var errw bytes.Buffer
+	o, err := parseFlags([]string{"-graph", "a=x.txt", "-graph", "b=y.txt", "-cache", "4"}, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.graphs["a"] != "x.txt" || o.graphs["b"] != "y.txt" || o.cacheSize != 4 {
+		t.Fatalf("parsed options: %+v", o)
+	}
+	if _, err := parseFlags([]string{"-graph", "nopath"}, &errw); err == nil {
+		t.Fatal("malformed -graph accepted")
+	}
+	if _, err := parseFlags([]string{"-graph", "a=x", "-graph", "a=y"}, &errw); err == nil {
+		t.Fatal("duplicate -graph name accepted")
+	}
+}
+
+func TestBuildRegistry(t *testing.T) {
+	reg, err := buildRegistry(&options{graphs: map[string]string{"extra": "/tmp/none.txt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Join(reg.Names(), ",")
+	for _, want := range []string{"twoblock", "twostars", "extra"} {
+		if !strings.Contains(names, want) {
+			t.Fatalf("registry %q missing %q", names, want)
+		}
+	}
+	reg, err = buildRegistry(&options{noBuiltin: true, graphs: map[string]string{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reg.Names()) != 0 {
+		t.Fatalf("-no-builtin registry not empty: %v", reg.Names())
+	}
+}
+
+// TestDaemonEndToEnd boots the daemon on an ephemeral port, runs a select
+// against a built-in synthetic graph and shuts down cleanly.
+func TestDaemonEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	var errw bytes.Buffer
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0"}, &errw, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited early: %v (%s)", err, errw.String())
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	base := "http://" + addr
+	resp, err := http.Post(base+"/v1/select", "application/json",
+		strings.NewReader(`{"graph":"twostars","problem":"p1","budget":2,"tau":3,"samples":30}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out server.SelectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(out.Seeds) != 2 {
+		t.Fatalf("select: status %d seeds %v", resp.StatusCode, out.Seeds)
+	}
+
+	resp, err = http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(errw.String(), "listening on") {
+		t.Fatalf("missing startup log: %s", errw.String())
+	}
+}

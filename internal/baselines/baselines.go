@@ -3,6 +3,11 @@
 // and a group-proportional degree strategy (the diversity-seeding idea of
 // Stoica & Chaintreau 2019 the paper discusses in §7.2). They share the
 // signature: given a graph and budget, return a seed set.
+//
+// In the layering, baselines sits beside internal/fairim: both consume the
+// graph substrate and (for Greedy) any estimator.Estimator, and both feed
+// the experiment harness and serving layer above. Nothing below depends on
+// it.
 package baselines
 
 import (

@@ -4,6 +4,11 @@
 // asynchronous label propagation (Raghavan et al. 2007) and recursive
 // spectral bisection via power iteration on the normalized adjacency, plus
 // the modularity quality measure.
+//
+// In the layering, community is a graph-preparation stage: it reads the
+// internal/graph substrate and relabels groups (graph.WithGroups) before
+// any estimation runs. Solvers, the experiment harness and the serving
+// layer treat its output like any other grouped graph.
 package community
 
 import (

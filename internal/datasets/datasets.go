@@ -7,6 +7,11 @@
 // identifies as driving disparity (group size imbalance, within-group
 // density, across-group sparsity). See DESIGN.md §3 for the substitution
 // rationale.
+//
+// In the layering, datasets sits beside internal/generate as a graph
+// source: both produce immutable *graph.Graph values consumed by every
+// layer above — estimators, solvers, the experiment harness, and the
+// serving layer's graph registry (internal/server).
 package datasets
 
 import (

@@ -14,6 +14,13 @@
 // so greedy/CELF machinery is engine-agnostic. New diffusion models,
 // sharded or batched estimators plug in behind this interface without
 // touching any solver.
+//
+// Concurrency: an Estimator instance is single-goroutine (except
+// InitialGains), but the sample it is built from — a []*cascade.World set
+// or a ris.Collection — is immutable once sampled and may be shared. To
+// serve concurrent queries against one sample, build one estimator per
+// goroutine over the shared sample; that is how the serving layer
+// (internal/server) amortizes sampling across requests.
 package estimator
 
 import "fairtcim/internal/graph"

@@ -2,7 +2,13 @@
 // table/figure in the paper (plus the ablations DESIGN.md calls out), each
 // regenerating the corresponding rows or series as a text table. The
 // experiment ids ("fig1", "fig4a", …, "abl-celf") match DESIGN.md §5, the
-// cmd/experiments CLI and the root bench targets.
+// cmd/experiments CLI and the root bench targets. Beyond the paper,
+// "serve-cache" drives the persistent serving layer (internal/server)
+// end-to-end, measuring cold-vs-warm sketch reuse and singleflight.
+//
+// In the layering, exp is the top consumer: it builds graphs from
+// internal/generate and internal/datasets, runs solvers and baselines
+// through the estimator seam, and renders results via internal/stats.
 package exp
 
 import (

@@ -20,6 +20,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-celf", "abl-ris", "abl-curvature", "abl-lt", "abl-samples",
 		"abl-icm", "abl-discount", "abl-robust", "abl-saturation",
 		"tab-datasets", "tab-baselines",
+		"serve-cache", // serving-layer workload (beyond DESIGN.md §5)
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

@@ -12,7 +12,9 @@
 // cover problems (Theorem 2 guarantee).
 //
 // Reported utilities are re-estimated on fresh Monte-Carlo worlds, not the
-// worlds the optimizer saw, to avoid optimizer's-curse bias.
+// worlds the optimizer saw, to avoid optimizer's-curse bias — unless
+// Config.ReportOnSample opts into the low-latency serving path, which
+// reports from the optimization sample.
 package fairim
 
 import (
@@ -99,6 +101,22 @@ type Config struct {
 	MaxSeeds    int  // safety bound for cover problems; 0 = |V|
 	PlainGreedy bool // disable CELF (ablation); output is identical
 	Trace       bool // record per-iteration group utilities
+	// Estimator, if non-nil, is used as the optimization estimator instead
+	// of sampling a fresh one — the serving fast path: a warm estimator
+	// built from a cached sample (e.g. a shared ris.Collection or world
+	// set) is Reset and reused, skipping sampling entirely. Its graph must
+	// match the solve's graph, and the instance must not be shared by
+	// concurrent solves — build one estimator per request from the shared
+	// (read-only) sample. Engine, Samples and RISPerGroup are ignored for
+	// optimization when set; final-report estimation still uses Model,
+	// EvalSamples and Seed.
+	Estimator estimator.Estimator
+	// ReportOnSample, if true, reports final utilities from the
+	// optimization sample instead of fresh Monte-Carlo worlds — the
+	// low-latency serving path. Solver results read slightly optimistic
+	// (optimizer's curse); EvaluateSeeds results are unbiased since the
+	// seed set was not chosen on the sample.
+	ReportOnSample bool
 }
 
 // DefaultConfig returns the paper's synthetic-experiment defaults (§6.1):
@@ -173,6 +191,9 @@ func (c *Config) validate(g *graph.Graph) error {
 	if c.RISPerGroup < 0 {
 		return fmt.Errorf("fairim: negative RISPerGroup")
 	}
+	if c.Estimator != nil && c.Estimator.Graph() != g {
+		return fmt.Errorf("fairim: injected estimator built for a different graph")
+	}
 	if c.Engine == EngineRIS {
 		if c.Model != cascade.IC {
 			return fmt.Errorf("fairim: the RIS engine supports only the IC model")
@@ -234,9 +255,14 @@ func (c *Config) risPerGroup() int {
 	return 20 * c.Samples
 }
 
-// newEstimator samples the optimization sample (live-edge worlds or RR
-// pools, per c.Engine) and wraps it in the matching estimator.
+// newEstimator returns the injected warm estimator if one is configured,
+// else samples the optimization sample (live-edge worlds or RR pools, per
+// c.Engine) and wraps it in the matching estimator.
 func (c *Config) newEstimator(g *graph.Graph) (estimator.Estimator, error) {
+	if c.Estimator != nil {
+		c.Estimator.Reset()
+		return c.Estimator, nil
+	}
 	if c.Engine == EngineRIS {
 		perGroup := make([]int, g.NumGroups())
 		for i := range perGroup {
@@ -388,7 +414,11 @@ func cover(obj *objective, cfg Config, g *graph.Graph, target float64) (submodul
 
 // EvaluateSeeds estimates utilities and disparity of an arbitrary seed set
 // on fresh worlds drawn with cfg.Seed+1 (the same stream final reports
-// use), so solver results and external seed sets are comparable.
+// use), so solver results and external seed sets are comparable. With
+// cfg.ReportOnSample the estimate instead comes from the optimization
+// sample (cfg.Estimator if injected, else drawn with cfg.Seed) — still
+// unbiased here, since the seed set was not chosen on that sample, but on
+// a different random stream than the fresh-world path.
 func EvaluateSeeds(g *graph.Graph, seeds []graph.NodeID, cfg Config) (*Result, error) {
 	if err := cfg.validate(g); err != nil {
 		return nil, err
@@ -398,9 +428,22 @@ func EvaluateSeeds(g *graph.Graph, seeds []graph.NodeID, cfg Config) (*Result, e
 			return nil, fmt.Errorf("fairim: seed %d out of range", v)
 		}
 	}
-	perGroup, err := cfg.estimate(g, seeds)
-	if err != nil {
-		return nil, err
+	var perGroup []float64
+	if cfg.ReportOnSample {
+		eval, err := cfg.newEstimator(g)
+		if err != nil {
+			return nil, err
+		}
+		for _, v := range seeds {
+			eval.Add(v)
+		}
+		perGroup = eval.GroupUtilities()
+	} else {
+		var err error
+		perGroup, err = cfg.estimate(g, seeds)
+		if err != nil {
+			return nil, err
+		}
 	}
 	r := &Result{Problem: "eval", Seeds: append([]graph.NodeID(nil), seeds...), PerGroup: perGroup}
 	fillDerived(r, g)
@@ -408,9 +451,16 @@ func EvaluateSeeds(g *graph.Graph, seeds []graph.NodeID, cfg Config) (*Result, e
 }
 
 func finishResult(problem string, g *graph.Graph, res submodular.Result, obj *objective, cfg Config) (*Result, error) {
-	perGroup, err := cfg.estimate(g, res.Seeds)
-	if err != nil {
-		return nil, err
+	var perGroup []float64
+	if cfg.ReportOnSample {
+		// The solver's estimator already holds the final seed set.
+		perGroup = obj.eval.GroupUtilities()
+	} else {
+		var err error
+		perGroup, err = cfg.estimate(g, res.Seeds)
+		if err != nil {
+			return nil, err
+		}
 	}
 	out := &Result{
 		Problem:     problem,

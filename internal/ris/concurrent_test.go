@@ -1,0 +1,64 @@
+package ris
+
+import (
+	"sync"
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+// TestCollectionConcurrentEstimators shares one Collection across many
+// goroutines, each running its own greedy loop on a private Estimator —
+// the serving-layer access pattern. Every goroutine must see identical
+// results, and the run must be race-clean under -race.
+func TestCollectionConcurrentEstimators(t *testing.T) {
+	g := generate.TwoStars()
+	perGroup := make([]int, g.NumGroups())
+	for i := range perGroup {
+		perGroup[i] = 500
+	}
+	col, err := Sample(g, 3, perGroup, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	seeds := make([][]graph.NodeID, workers)
+	utils := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e := NewEstimator(col)
+			for pick := 0; pick < 2; pick++ {
+				best, bestGain := graph.NodeID(-1), -1.0
+				for v := 0; v < g.N(); v++ {
+					if gain := e.Gain(graph.NodeID(v)); gain > bestGain {
+						best, bestGain = graph.NodeID(v), gain
+					}
+				}
+				e.Add(best)
+			}
+			seeds[w] = append([]graph.NodeID(nil), e.Seeds()...)
+			utils[w] = e.TotalUtility()
+		}(w)
+	}
+	wg.Wait()
+
+	for w := 1; w < workers; w++ {
+		if utils[w] != utils[0] {
+			t.Fatalf("worker %d utility %v != worker 0 utility %v", w, utils[w], utils[0])
+		}
+		for i := range seeds[0] {
+			if seeds[w][i] != seeds[0][i] {
+				t.Fatalf("worker %d seeds %v != worker 0 seeds %v", w, seeds[w], seeds[0])
+			}
+		}
+	}
+	// On the deterministic two-star fixture greedy must take the hubs.
+	if seeds[0][0] != 0 || seeds[0][1] != 11 {
+		t.Fatalf("greedy over shared collection picked %v, want [0 11]", seeds[0])
+	}
+}

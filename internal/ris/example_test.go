@@ -1,0 +1,42 @@
+package ris_test
+
+import (
+	"fmt"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/ris"
+)
+
+// Example_sketchReuse demonstrates the serving-layer access pattern that
+// makes RIS cheap across queries: sample one τ-bounded RR-sketch
+// Collection, then answer many independent queries by layering cheap
+// per-query Estimators over the shared, read-only sketch — no
+// re-sampling. internal/server keys exactly these Collections in its
+// cache.
+func Example_sketchReuse() {
+	g := generate.TwoStars()
+	col, err := ris.Sample(g, 3, []int{400, 400}, 1, 1)
+	if err != nil {
+		panic(err)
+	}
+
+	// Query 1: best single seed by total marginal gain.
+	e1 := ris.NewEstimator(col)
+	best, bestGain := graph.NodeID(-1), -1.0
+	for v := 0; v < g.N(); v++ {
+		if gain := e1.Gain(graph.NodeID(v)); gain > bestGain {
+			best, bestGain = graph.NodeID(v), gain
+		}
+	}
+	fmt.Println("best seed:", best)
+
+	// Query 2: evaluate a caller-supplied seed set on the same sketch.
+	e2 := ris.NewEstimator(col)
+	e2.Add(0)
+	e2.Add(11)
+	fmt.Println("f(S;V) =", e2.TotalUtility())
+	// Output:
+	// best seed: 0
+	// f(S;V) = 17
+}

@@ -33,6 +33,12 @@ type setRef struct {
 
 // Collection is a sampled family of τ-bounded RR sets, pooled per group,
 // with an inverted node→sets index.
+//
+// A built Collection is immutable: Sample is the only writer, and every
+// method only reads. It is therefore safe to share one Collection across
+// any number of goroutines, each wrapping it in its own Estimator — the
+// serving layer (internal/server) relies on this to answer concurrent
+// queries from a single cached sketch without re-sampling.
 type Collection struct {
 	g        *graph.Graph
 	tau      int32
@@ -187,7 +193,10 @@ func (c *Collection) NumSets() int {
 // can run on RIS estimates instead of forward Monte Carlo.
 //
 // Estimator methods are not safe for concurrent use except InitialGains,
-// which shards its scratch per worker and only reads coverage state.
+// which shards its scratch per worker and only reads coverage state. The
+// per-estimator coverage state is cheap relative to the Collection, so
+// concurrent solves should each construct their own Estimator over the
+// shared, read-only Collection.
 type Estimator struct {
 	c       *Collection
 	covered [][]bool // covered[group][index]

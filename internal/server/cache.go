@@ -1,0 +1,242 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/estimator"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/influence"
+	"fairtcim/internal/ris"
+)
+
+// sampleKey identifies one warm optimization sample. Everything the
+// sample's distribution depends on is part of the key, so a cached entry
+// can be reused verbatim by any request with matching parameters.
+type sampleKey struct {
+	graph  string        // registry name
+	engine fairim.Engine //
+	model  cascade.Model // forward-MC world model (IC for RIS)
+	// tau is the deadline RR sets are bounded by; always 0 for forward
+	// MC, whose live-edge worlds are τ-independent — one world set serves
+	// every deadline, so requests differing only in τ share the entry.
+	tau    int32
+	budget int   // RR sets per group (RIS) or live-edge worlds (forward MC)
+	seed   int64 // sampling seed
+}
+
+// sample is the cached, immutable artifact: an RR-sketch Collection or a
+// live-edge world set. Both are read-only after sampling and safe to
+// share across goroutines; per-request estimators are layered on top.
+type sample struct {
+	g      *graph.Graph
+	col    *ris.Collection  // EngineRIS
+	worlds []*cascade.World // EngineForwardMC
+}
+
+// newEstimator builds a fresh single-request estimator over the shared
+// sample: coverage bitmaps for RIS, activation-time matrices for forward
+// MC. The allocation is proportional to samples×N for forward MC, so
+// handlers call this inside a worker slot, never per queued request. tau
+// applies only to forward MC (a Collection is already bound to the τ it
+// was sampled with).
+func (s *sample) newEstimator(tau int32) (estimator.Estimator, error) {
+	if s.col != nil {
+		return ris.NewEstimator(s.col), nil
+	}
+	return influence.NewEvaluator(s.g, s.worlds, tau)
+}
+
+// cacheEntry is one cache slot. ready is closed once sample/err are
+// final, so concurrent requests for an in-flight key block on the same
+// build instead of starting their own (singleflight).
+type cacheEntry struct {
+	key     sampleKey
+	ready   chan struct{}
+	sample  *sample
+	err     error
+	elem    *list.Element
+	buildMS float64
+}
+
+// Cache is the keyed estimator-sample cache: LRU over sampleKey with
+// singleflight builds. All exported access goes through EstimatorFor and
+// Stats.
+type Cache struct {
+	mu        sync.Mutex
+	capacity  int
+	entries   map[sampleKey]*cacheEntry
+	lru       *list.List // of *cacheEntry; front = most recently used
+	hits      int64      // requests served from an existing (or in-flight) entry
+	misses    int64      // requests that had to start a build
+	builds    int64      // samples actually built
+	evictions int64      // entries dropped by the LRU
+}
+
+// NewCache returns a cache holding at most capacity samples; capacity
+// <= 0 defaults to 32.
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 32
+	}
+	return &Cache{
+		capacity: capacity,
+		entries:  map[sampleKey]*cacheEntry{},
+		lru:      list.New(),
+	}
+}
+
+// CacheStats snapshots cache effectiveness counters. A "hit" includes
+// joining an in-flight build: the request did not sample anything.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Builds    int64 `json:"builds"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats returns current counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Builds:    c.builds,
+		Evictions: c.evictions,
+	}
+}
+
+// ErrCapacity is returned when a build cannot obtain a worker slot;
+// handlers map it to 503.
+var ErrCapacity = errors.New("server at capacity")
+
+// workerGate bounds CPU-heavy phases (sample builds, solves). A nil gate
+// means unbounded. Only the goroutine that actually builds a sample holds
+// a slot; singleflight joiners wait slot-free on the entry.
+type workerGate interface {
+	acquire(ctx context.Context) bool
+	release()
+}
+
+// SampleFor returns the shared, read-only sample for key, building it at
+// most once across concurrent callers. The build runs inside gate;
+// joiners of an in-flight build hold no slot while they wait, but
+// respect ctx cancellation. Callers layer a per-request estimator on top
+// with sample.newEstimator — inside their own worker slot, since that
+// allocation is not free. hit reports whether the sample was reused
+// (including joining an in-flight build); buildMS is the wall time
+// whichever request built the entry spent sampling, echoed to every
+// request that reuses it.
+func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, parallelism int, gate workerGate) (smp *sample, hit bool, buildMS float64, err error) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		select {
+		case <-e.ready:
+		case <-ctx.Done():
+			return nil, true, 0, ctx.Err()
+		}
+	} else {
+		c.misses++
+		e = &cacheEntry{key: key, ready: make(chan struct{})}
+		e.elem = c.lru.PushFront(e)
+		c.entries[key] = e
+		c.evictLocked()
+		c.mu.Unlock()
+
+		// The entry is registered, so the build MUST be resolved on every
+		// path or joiners would block forever.
+		if gate != nil && !gate.acquire(ctx) {
+			e.err = ErrCapacity
+			c.dropEntry(e)
+			close(e.ready)
+			return nil, false, 0, e.err
+		}
+		c.mu.Lock()
+		c.builds++
+		c.mu.Unlock()
+		start := time.Now()
+		e.sample, e.err = buildSample(key, g, parallelism)
+		e.buildMS = float64(time.Since(start).Microseconds()) / 1000
+		if gate != nil {
+			gate.release()
+		}
+		if e.err != nil {
+			// Drop failed builds so the next request can retry.
+			c.dropEntry(e)
+		}
+		close(e.ready)
+	}
+	if e.err != nil {
+		return nil, ok, e.buildMS, e.err
+	}
+	return e.sample, ok, e.buildMS, nil
+}
+
+// dropEntry removes e from the index if it is still the current entry for
+// its key.
+func (c *Cache) dropEntry(e *cacheEntry) {
+	c.mu.Lock()
+	if cur, still := c.entries[e.key]; still && cur == e {
+		delete(c.entries, e.key)
+		c.lru.Remove(e.elem)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked drops least-recently-used *ready* entries beyond capacity.
+// In-flight entries are never evicted: dropping one would let an
+// identical request start a duplicate build, breaking the
+// one-build-per-key singleflight guarantee. If every entry is still
+// building, the cache temporarily overflows and the next insertion
+// evicts the backlog.
+func (c *Cache) evictLocked() {
+	for len(c.entries) > c.capacity {
+		evicted := false
+		for el := c.lru.Back(); el != nil; el = el.Prev() {
+			e := el.Value.(*cacheEntry)
+			select {
+			case <-e.ready:
+				c.lru.Remove(el)
+				delete(c.entries, e.key)
+				c.evictions++
+				evicted = true
+			default: // in flight; keep
+			}
+			if evicted {
+				break
+			}
+		}
+		if !evicted {
+			return
+		}
+	}
+}
+
+// buildSample draws the optimization sample key describes.
+func buildSample(key sampleKey, g *graph.Graph, parallelism int) (*sample, error) {
+	if key.engine == fairim.EngineRIS {
+		perGroup := make([]int, g.NumGroups())
+		for i := range perGroup {
+			perGroup[i] = key.budget
+		}
+		col, err := ris.Sample(g, key.tau, perGroup, key.seed, parallelism)
+		if err != nil {
+			return nil, err
+		}
+		return &sample{g: g, col: col}, nil
+	}
+	worlds := cascade.SampleWorlds(g, key.model, key.budget, key.seed, parallelism)
+	return &sample{g: g, worlds: worlds}, nil
+}

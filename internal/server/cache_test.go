@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+func tinyKey(seed int64) sampleKey {
+	return sampleKey{
+		graph:  "twostars",
+		engine: fairim.EngineForwardMC,
+		model:  cascade.IC,
+		budget: 5,
+		seed:   seed,
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(2)
+	for seed := int64(1); seed <= 3; seed++ {
+		if _, _, _, err := c.SampleFor(context.Background(), tinyKey(seed), g, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 || st.Builds != 3 {
+		t.Fatalf("after 3 inserts into capacity 2: %+v", st)
+	}
+	// Key 1 was least recently used and must have been evicted: asking
+	// again rebuilds. Key 3 is still warm.
+	if _, hit, _, err := c.SampleFor(context.Background(), tinyKey(1), g, 1, nil); err != nil || hit {
+		t.Fatalf("evicted key reported hit=%v err=%v", hit, err)
+	}
+	if _, hit, _, err := c.SampleFor(context.Background(), tinyKey(3), g, 1, nil); err != nil || !hit {
+		t.Fatalf("recent key reported hit=%v err=%v", hit, err)
+	}
+	st = c.Stats()
+	if st.Builds != 4 || st.Hits != 1 {
+		t.Fatalf("final stats: %+v", st)
+	}
+}
+
+func TestCacheConcurrentSingleflight(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	key := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 2000, seed: 1}
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			smp, _, _, err := c.SampleFor(context.Background(), key, g, 1, nil)
+			if err != nil || smp == nil {
+				t.Errorf("SampleFor: smp=%v err=%v", smp, err)
+				return
+			}
+			if est, err := smp.newEstimator(3); err != nil || est == nil {
+				t.Errorf("newEstimator: est=%v err=%v", est, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Builds != 1 || st.Hits+st.Misses != workers {
+		t.Fatalf("singleflight violated: %+v", st)
+	}
+}
+
+// TestCacheInFlightEntriesSurviveEviction overflows a capacity-1 cache
+// while a build is still in flight: the in-flight entry must not be
+// evicted (that would allow a duplicate build of the same key).
+func TestCacheInFlightEntriesSurviveEviction(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(1)
+	slow := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 60000, seed: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(context.Background(), slow, g, 1, nil)
+		done <- err
+	}()
+	// Insert another key while the slow build is (very likely) in flight.
+	if _, _, _, err := c.SampleFor(context.Background(), tinyKey(9), g, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	// The slow key must still be resident: re-requesting it is a hit.
+	if _, hit, _, err := c.SampleFor(context.Background(), slow, g, 1, nil); err != nil || !hit {
+		t.Fatalf("in-flight entry was evicted: hit=%v err=%v (stats %+v)", hit, err, c.Stats())
+	}
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("duplicate build after eviction of in-flight entry: %+v", st)
+	}
+}
+
+func TestCacheBuildErrorNotCached(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	bad := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: -1, budget: 10, seed: 1}
+	if _, _, _, err := c.SampleFor(context.Background(), bad, g, 1, nil); err == nil {
+		t.Fatal("negative-τ RIS build should fail")
+	}
+	st := c.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("failed build left a cache entry: %+v", st)
+	}
+	// The same key is retried, not served the stale error.
+	if _, _, _, err := c.SampleFor(context.Background(), bad, g, 1, nil); err == nil {
+		t.Fatal("retry should re-run the failing build")
+	}
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("retry did not rebuild: %+v", st)
+	}
+}
+
+// TestRegistryConcurrentLoadOnce checks that concurrent Gets share one
+// load and that introspection is not blocked behind it.
+func TestRegistryConcurrentLoadOnce(t *testing.T) {
+	reg := NewRegistry()
+	var loads atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if err := reg.Register("slow", "test", func() (*graph.Graph, error) {
+		loads.Add(1)
+		close(started)
+		<-release
+		return generate.TwoStars(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := reg.Get("slow"); err != nil {
+				t.Errorf("Get: %v", err)
+			}
+		}()
+	}
+	<-started
+	// Introspection must return while the load is still in flight.
+	if info := reg.Info(); len(info) != 1 || info[0].Loaded {
+		t.Fatalf("Info during load: %+v", info)
+	}
+	close(release)
+	wg.Wait()
+	if n := loads.Load(); n != 1 {
+		t.Fatalf("loader ran %d times, want 1", n)
+	}
+}
+
+func TestRegistryUnknownAndDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrUnknownGraph) {
+		t.Fatalf("err = %v, want ErrUnknownGraph", err)
+	}
+	if err := reg.RegisterGraph("g", "test", generate.TwoStars()); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterGraph("g", "test", generate.TwoStars()); err == nil {
+		t.Fatal("duplicate registration accepted")
+	}
+}
+
+func TestRegistryFileRoundtripAndRetry(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.txt")
+	reg := NewRegistry()
+	if err := reg.RegisterFile("late", path); err != nil {
+		t.Fatal(err)
+	}
+	// File does not exist yet: load fails but is not cached as permanent.
+	if _, err := reg.Get("late"); err == nil {
+		t.Fatal("expected load failure for missing file")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.Write(f, generate.TwoStars()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	g, err := reg.Get("late")
+	if err != nil {
+		t.Fatalf("retry after file appeared: %v", err)
+	}
+	if g.N() != 17 {
+		t.Fatalf("roundtrip graph has %d nodes, want 17", g.N())
+	}
+	// Loaded graphs are shared, not re-read.
+	g2, err := reg.Get("late")
+	if err != nil || g2 != g {
+		t.Fatalf("second Get returned a different graph (err=%v)", err)
+	}
+}

@@ -1,0 +1,31 @@
+// Package server is the persistent serving layer: a long-running
+// fairtcimd process answers (Fair)TCIM queries over HTTP/JSON instead of
+// rebuilding the graph and resampling estimator pools on every CLI
+// invocation — the TIM/IMM-style amortization of sketch construction
+// across queries.
+//
+// Request flow (client → server → estimator cache → engines → CSR graph):
+//
+//   - a Registry loads named graphs once (file-backed or synthetic via
+//     internal/generate) and shares the immutable *graph.Graph across
+//     all requests;
+//   - a Cache keys warm optimization samples — τ-bounded RR-sketch
+//     Collections (internal/ris) or live-edge world sets
+//     (internal/cascade) — by (graph, engine, model, τ, sample budget,
+//     seed), holds them behind an LRU, and singleflights concurrent
+//     builds so an identical sketch is sampled exactly once no matter
+//     how many requests ask for it at the same time;
+//   - each request constructs its own cheap estimator.Estimator over the
+//     shared read-only sample and injects it into the fairim solvers via
+//     fairim.Config.Estimator, so solves never contend on estimator
+//     state;
+//   - a worker-pool semaphore bounds concurrent solves; excess requests
+//     queue up to a timeout and are then shed with 503, degrading
+//     gracefully under load instead of thrashing.
+//
+// Endpoints: POST /v1/select (seed selection), POST /v1/estimate (spread
+// evaluation of a caller-supplied seed set), GET /v1/graphs
+// (introspection), GET /healthz (liveness + cache stats). cmd/fairtcimd
+// is the daemon wrapping this package; cmd/fairtcim -server is a thin
+// client for it.
+package server

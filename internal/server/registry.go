@@ -1,0 +1,173 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+
+	"fairtcim/internal/graph"
+)
+
+// ErrUnknownGraph marks lookups of names never registered; handlers map
+// it to 404 while load failures stay 500.
+var ErrUnknownGraph = errors.New("unknown graph")
+
+// Loader produces a graph on first use. Loaders run at most once
+// successfully; a failed load is retried on the next request for the
+// graph (so a file that appears after startup becomes servable).
+type Loader func() (*graph.Graph, error)
+
+// regEntry is one named graph with its lazily-loaded result. The loader
+// runs outside mu so introspection never blocks behind a slow load;
+// loading marks an in-flight load and is closed when it resolves.
+type regEntry struct {
+	source string
+	loader Loader
+
+	mu      sync.Mutex
+	loading chan struct{} // non-nil while a load is in flight
+	g       *graph.Graph  // non-nil once successfully loaded
+}
+
+// Registry maps names to lazily-loaded, immutable graphs. Registration
+// happens at daemon startup; Get is called per request and shares one
+// load among concurrent callers.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*regEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*regEntry{}}
+}
+
+// Register adds a named graph backed by a loader. source is a
+// human-readable origin shown by /v1/graphs (e.g. "file:net.txt" or
+// "synthetic:twoblock"). Duplicate names are rejected.
+func (r *Registry) Register(name, source string, load Loader) error {
+	if name == "" {
+		return fmt.Errorf("server: empty graph name")
+	}
+	if load == nil {
+		return fmt.Errorf("server: nil loader for graph %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("server: graph %q already registered", name)
+	}
+	r.entries[name] = &regEntry{source: source, loader: load}
+	return nil
+}
+
+// RegisterFile registers a graph read from a fairtcim edge-list file on
+// first use.
+func (r *Registry) RegisterFile(name, path string) error {
+	return r.Register(name, "file:"+path, func() (*graph.Graph, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.Read(f)
+	})
+}
+
+// RegisterGraph registers an already-built graph (tests, embedded
+// synthetics).
+func (r *Registry) RegisterGraph(name, source string, g *graph.Graph) error {
+	return r.Register(name, source, func() (*graph.Graph, error) { return g, nil })
+}
+
+// Get returns the named graph, loading it on first use. Concurrent
+// callers for the same graph share a single load; a failed load is
+// reported to everyone waiting on it and retried by the next request.
+func (r *Registry) Get(name string) (*graph.Graph, error) {
+	r.mu.RLock()
+	e := r.entries[name]
+	r.mu.RUnlock()
+	if e == nil {
+		return nil, fmt.Errorf("server: %w %q", ErrUnknownGraph, name)
+	}
+	for {
+		e.mu.Lock()
+		if e.g != nil {
+			g := e.g
+			e.mu.Unlock()
+			return g, nil
+		}
+		if e.loading == nil {
+			// Become the loader; run it without holding mu.
+			ch := make(chan struct{})
+			e.loading = ch
+			e.mu.Unlock()
+			g, err := e.loader()
+			e.mu.Lock()
+			if err == nil {
+				e.g = g
+			}
+			e.loading = nil
+			e.mu.Unlock()
+			close(ch)
+			if err != nil {
+				return nil, fmt.Errorf("server: loading graph %q: %w", name, err)
+			}
+			return g, nil
+		}
+		// Join the in-flight load, then re-check: on success e.g is set;
+		// on failure the loop retries the load.
+		ch := e.loading
+		e.mu.Unlock()
+		<-ch
+	}
+}
+
+// Names returns all registered graph names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// GraphInfo is one row of /v1/graphs. Size fields are present only once
+// the graph has been loaded; introspection never forces a load.
+type GraphInfo struct {
+	Name       string `json:"name"`
+	Source     string `json:"source"`
+	Loaded     bool   `json:"loaded"`
+	Nodes      int    `json:"nodes,omitempty"`
+	Edges      int    `json:"edges,omitempty"`
+	Groups     int    `json:"groups,omitempty"`
+	GroupSizes []int  `json:"group_sizes,omitempty"`
+}
+
+// Info snapshots every registered graph for introspection.
+func (r *Registry) Info() []GraphInfo {
+	names := r.Names()
+	out := make([]GraphInfo, 0, len(names))
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, name := range names {
+		e := r.entries[name]
+		info := GraphInfo{Name: name, Source: e.source}
+		e.mu.Lock()
+		if e.g != nil {
+			info.Loaded = true
+			info.Nodes = e.g.N()
+			info.Edges = e.g.M()
+			info.Groups = e.g.NumGroups()
+			info.GroupSizes = e.g.GroupSizes()
+		}
+		e.mu.Unlock()
+		out = append(out, info)
+	}
+	return out
+}

@@ -1,0 +1,556 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"time"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/concave"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/graph"
+)
+
+// Config parametrizes a Server. The zero value is usable with a non-nil
+// Registry: 32 cached samples, GOMAXPROCS-bounded worker pool, 10s queue
+// timeout.
+type Config struct {
+	Registry *Registry
+	// CacheSize bounds the number of warm samples kept (LRU); <= 0
+	// means 32.
+	CacheSize int
+	// MaxConcurrent bounds solves in flight; excess requests queue.
+	// <= 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// QueueTimeout is how long a request waits for a worker slot before
+	// being shed with 503; <= 0 means 10s.
+	QueueTimeout time.Duration
+	// SolverParallelism is the per-request worker count for sampling and
+	// first-pass gains; <= 0 means GOMAXPROCS. Lower it when
+	// MaxConcurrent > 1 so concurrent solves do not oversubscribe.
+	SolverParallelism int
+}
+
+// Server is the HTTP serving layer; see the package comment for the
+// request flow. Construct with New, mount via Handler.
+type Server struct {
+	reg          *Registry
+	cache        *Cache
+	sem          chan struct{}
+	queueTimeout time.Duration
+	parallelism  int
+	mux          *http.ServeMux
+}
+
+// New builds a Server over cfg.Registry.
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		return nil, fmt.Errorf("server: Config.Registry is required")
+	}
+	workers := cfg.MaxConcurrent
+	if workers <= 0 {
+		workers = defaultWorkers()
+	}
+	timeout := cfg.QueueTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	s := &Server{
+		reg:          cfg.Registry,
+		cache:        NewCache(cfg.CacheSize),
+		sem:          make(chan struct{}, workers),
+		queueTimeout: timeout,
+		parallelism:  cfg.SolverParallelism,
+		mux:          http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s, nil
+}
+
+func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Handler returns the root handler serving all endpoints.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// CacheStats exposes sketch-cache counters (tests, /healthz).
+func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
+
+// SelectRequest is the body of POST /v1/select. Zero/absent fields take
+// the documented defaults, which match the fairtcim CLI.
+type SelectRequest struct {
+	Graph   string  `json:"graph"`             // registry name (required)
+	Problem string  `json:"problem,omitempty"` // p1 | p2 | p4 | p6; default p4
+	Budget  int     `json:"budget,omitempty"`  // seed budget B (p1/p4); default 30
+	Quota   float64 `json:"quota,omitempty"`   // coverage quota Q (p2/p6); default 0.2
+	Tau     *int32  `json:"tau,omitempty"`     // deadline; -1 = none; default 20
+	Engine  string  `json:"engine,omitempty"`  // forward-mc | ris; default forward-mc
+	Model   string  `json:"model,omitempty"`   // ic | lt; default ic
+	Samples int     `json:"samples,omitempty"` // MC worlds; default 200
+	// RISPerGroup is the RR-pool size per group for engine "ris";
+	// 0 derives 20·samples.
+	RISPerGroup int    `json:"ris_per_group,omitempty"`
+	H           string `json:"h,omitempty"`    // p4 wrapper: id | log | sqrt | pow<a>; default log
+	Seed        int64  `json:"seed,omitempty"` // sampling seed; default 1
+	// Eval picks the final-report estimator: "fresh" re-estimates on
+	// fresh Monte-Carlo worlds (default, unbiased), "sample" reports from
+	// the cached optimization sample (fastest, slightly optimistic).
+	Eval        string `json:"eval,omitempty"`
+	EvalSamples int    `json:"eval_samples,omitempty"` // fresh worlds for eval "fresh"; default samples
+	MaxSeeds    int    `json:"max_seeds,omitempty"`    // cover-problem safety bound; default |V|
+}
+
+// EstimateRequest is the body of POST /v1/estimate: evaluate the spread
+// of a caller-supplied seed set. Eval defaults to "sample", reusing the
+// cached sketch (unbiased here — the seeds were not chosen on it).
+type EstimateRequest struct {
+	Graph       string         `json:"graph"`
+	Seeds       []graph.NodeID `json:"seeds"`
+	Tau         *int32         `json:"tau,omitempty"`
+	Engine      string         `json:"engine,omitempty"`
+	Model       string         `json:"model,omitempty"`
+	Samples     int            `json:"samples,omitempty"`
+	RISPerGroup int            `json:"ris_per_group,omitempty"`
+	Seed        int64          `json:"seed,omitempty"`
+	Eval        string         `json:"eval,omitempty"` // "sample" (default) | "fresh"
+}
+
+// UtilityReport is the shared result payload of select and estimate.
+type UtilityReport struct {
+	Seeds        []graph.NodeID `json:"seeds"`
+	Total        float64        `json:"total"`
+	NormTotal    float64        `json:"norm_total"`
+	PerGroup     []float64      `json:"per_group"`
+	NormPerGroup []float64      `json:"norm_per_group"`
+	Disparity    float64        `json:"disparity"`
+}
+
+// SelectResponse is the body of a successful /v1/select.
+type SelectResponse struct {
+	Problem string `json:"problem"`
+	Graph   string `json:"graph"`
+	Engine  string `json:"engine"`
+	UtilityReport
+	Evaluations int     `json:"evaluations"`
+	CacheHit    bool    `json:"cache_hit"`
+	SampleMS    float64 `json:"sample_ms"` // sketch build cost (paid once per key)
+	SolveMS     float64 `json:"solve_ms"`  // greedy/CELF + final report
+}
+
+// EstimateResponse is the body of a successful /v1/estimate.
+type EstimateResponse struct {
+	Graph  string `json:"graph"`
+	Engine string `json:"engine"`
+	UtilityReport
+	CacheHit bool    `json:"cache_hit"`
+	SampleMS float64 `json:"sample_ms"`
+	SolveMS  float64 `json:"solve_ms"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeCacheError maps EstimatorFor failures: capacity shedding and
+// client-gone cancellations are 503, anything else is a bad request.
+func writeCacheError(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrCapacity) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
+}
+
+// acquire takes a worker slot, queueing up to the configured timeout.
+func (s *Server) acquire(ctx context.Context) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	timer := time.NewTimer(s.queueTimeout)
+	defer timer.Stop()
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-timer.C:
+		return false
+	case <-ctx.Done():
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// solveSpec is the decoded, defaulted common subset of both request
+// kinds, ready to key the cache and build a fairim.Config.
+type solveSpec struct {
+	graphName string
+	engine    fairim.Engine
+	model     cascade.Model
+	tau       int32
+	samples   int
+	risPool   int
+	seed      int64
+	onSample  bool
+}
+
+func decodeSpec(graphName, engineName, modelName string, tau *int32, samples, risPool int, seed int64, eval, defaultEval string) (solveSpec, error) {
+	var spec solveSpec
+	if graphName == "" {
+		return spec, fmt.Errorf("missing \"graph\"")
+	}
+	spec.graphName = graphName
+	var err error
+	if spec.engine, err = fairim.EngineByName(engineName); err != nil {
+		return spec, err
+	}
+	switch strings.ToLower(modelName) {
+	case "", "ic":
+		spec.model = cascade.IC
+	case "lt":
+		spec.model = cascade.LT
+	default:
+		return spec, fmt.Errorf("unknown model %q (want ic or lt)", modelName)
+	}
+	spec.tau = 20
+	if tau != nil {
+		switch {
+		case *tau < -1:
+			return spec, fmt.Errorf("negative deadline %d", *tau)
+		case *tau == -1:
+			spec.tau = cascade.NoDeadline
+		default:
+			spec.tau = *tau
+		}
+	}
+	if samples < 0 {
+		return spec, fmt.Errorf("negative samples %d", samples)
+	}
+	spec.samples = samples
+	if spec.samples == 0 {
+		spec.samples = 200
+	}
+	if risPool < 0 {
+		return spec, fmt.Errorf("negative ris_per_group %d", risPool)
+	}
+	spec.risPool = risPool
+	if spec.risPool == 0 {
+		spec.risPool = 20 * spec.samples
+	}
+	spec.seed = seed
+	if spec.seed == 0 {
+		spec.seed = 1
+	}
+	switch strings.ToLower(eval) {
+	case "":
+		spec.onSample = defaultEval == "sample"
+	case "sample":
+		spec.onSample = true
+	case "fresh":
+		spec.onSample = false
+	default:
+		return spec, fmt.Errorf("unknown eval mode %q (want fresh or sample)", eval)
+	}
+	// Reject engine/model combinations up front, before any sample is
+	// built or worker slot taken (fairim would also catch this, but only
+	// after the expensive build).
+	if spec.engine == fairim.EngineRIS && spec.model != cascade.IC {
+		return spec, fmt.Errorf("the ris engine supports only the ic model")
+	}
+	return spec, nil
+}
+
+// key maps the spec onto the cache key: forward-MC keys by world count
+// with τ omitted (worlds are τ-independent, so one set serves every
+// deadline), RIS by per-group pool size and the τ that bounded the
+// sketch (model pinned to IC, the only one RIS supports).
+func (spec solveSpec) key() sampleKey {
+	k := sampleKey{
+		graph:  spec.graphName,
+		engine: spec.engine,
+		model:  spec.model,
+		budget: spec.samples,
+		seed:   spec.seed,
+	}
+	if spec.engine == fairim.EngineRIS {
+		k.model = cascade.IC
+		k.budget = spec.risPool
+		k.tau = spec.tau
+	}
+	return k
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SelectRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := decodeSpec(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Seed, req.Eval, "fresh")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Validate everything parameter-shaped before touching the cache or
+	// worker pool, so bad requests never pay for (or queue behind) a
+	// sample build.
+	problem := strings.ToLower(req.Problem)
+	if problem == "" {
+		problem = "p4"
+	}
+	budget := req.Budget
+	if budget == 0 {
+		budget = 30
+	}
+	quota := req.Quota
+	if quota == 0 {
+		quota = 0.2
+	}
+	switch problem {
+	case "p1", "p4":
+		if budget <= 0 {
+			writeError(w, http.StatusBadRequest, "budget must be positive, got %d", budget)
+			return
+		}
+	case "p2", "p6":
+		if quota <= 0 || quota > 1 {
+			writeError(w, http.StatusBadRequest, "quota %v outside (0,1]", quota)
+			return
+		}
+	default:
+		writeError(w, http.StatusBadRequest, "unknown problem %q (want p1, p2, p4 or p6)", req.Problem)
+		return
+	}
+	if req.EvalSamples < 0 {
+		writeError(w, http.StatusBadRequest, "negative eval_samples %d", req.EvalSamples)
+		return
+	}
+	if req.MaxSeeds < 0 {
+		writeError(w, http.StatusBadRequest, "negative max_seeds %d", req.MaxSeeds)
+		return
+	}
+	hName := req.H
+	if hName == "" {
+		hName = "log"
+	}
+	h, err := concave.ByName(hName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	g, err := s.reg.Get(spec.graphName)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+
+	smp, hit, buildMS, err := s.cache.SampleFor(r.Context(), spec.key(), g, s.parallelism, s)
+	if err != nil {
+		writeCacheError(w, err)
+		return
+	}
+
+	// The solve occupies a worker slot of its own; the build above held
+	// one only while sampling, and joiners waited slot-free. Estimator
+	// construction allocates proportional to the sample, so it happens
+	// inside the slot too.
+	if !s.acquire(r.Context()) {
+		writeError(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		return
+	}
+	defer s.release()
+	est, err := smp.newEstimator(spec.tau)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	cfg := fairim.Config{
+		Tau:            spec.tau,
+		Model:          spec.model,
+		Engine:         spec.engine,
+		Samples:        spec.samples,
+		EvalSamples:    req.EvalSamples,
+		RISPerGroup:    req.RISPerGroup,
+		Seed:           spec.seed,
+		Parallelism:    s.parallelism,
+		H:              h,
+		MaxSeeds:       req.MaxSeeds,
+		Estimator:      est,
+		ReportOnSample: spec.onSample,
+	}
+
+	start := time.Now()
+	var res *fairim.Result
+	switch problem {
+	case "p1":
+		res, err = fairim.SolveTCIMBudget(g, budget, cfg)
+	case "p2":
+		res, err = fairim.SolveTCIMCover(g, quota, cfg)
+	case "p4":
+		res, err = fairim.SolveFairTCIMBudget(g, budget, cfg)
+	default: // p6; other values were rejected above
+		res, err = fairim.SolveFairTCIMCover(g, quota, cfg)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	writeJSON(w, http.StatusOK, SelectResponse{
+		Problem:       res.Problem,
+		Graph:         spec.graphName,
+		Engine:        spec.engine.String(),
+		UtilityReport: reportOf(res),
+		Evaluations:   res.Evaluations,
+		CacheHit:      hit,
+		SampleMS:      buildMS,
+		SolveMS:       float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req EstimateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := decodeSpec(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Seed, req.Eval, "sample")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Seeds) == 0 {
+		writeError(w, http.StatusBadRequest, "missing \"seeds\"")
+		return
+	}
+
+	g, err := s.reg.Get(spec.graphName)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownGraph) {
+			status = http.StatusNotFound
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	// Range-check seeds before any sample build or worker slot is paid
+	// for (fairim would reject them, but only after the build).
+	for _, v := range req.Seeds {
+		if v < 0 || int(v) >= g.N() {
+			writeError(w, http.StatusBadRequest, "seed %d out of range [0,%d)", v, g.N())
+			return
+		}
+	}
+
+	cfg := fairim.Config{
+		Tau:            spec.tau,
+		Model:          spec.model,
+		Engine:         spec.engine,
+		Samples:        spec.samples,
+		RISPerGroup:    req.RISPerGroup,
+		Seed:           spec.seed,
+		Parallelism:    s.parallelism,
+		ReportOnSample: spec.onSample,
+	}
+	var hit bool
+	var buildMS float64
+	var smp *sample
+	if spec.onSample {
+		smp, hit, buildMS, err = s.cache.SampleFor(r.Context(), spec.key(), g, s.parallelism, s)
+		if err != nil {
+			writeCacheError(w, err)
+			return
+		}
+	}
+
+	if !s.acquire(r.Context()) {
+		writeError(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		return
+	}
+	defer s.release()
+	if smp != nil {
+		est, err := smp.newEstimator(spec.tau)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		cfg.Estimator = est
+	}
+
+	start := time.Now()
+	res, err := fairim.EvaluateSeeds(g, req.Seeds, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	writeJSON(w, http.StatusOK, EstimateResponse{
+		Graph:         spec.graphName,
+		Engine:        spec.engine.String(),
+		UtilityReport: reportOf(res),
+		CacheHit:      hit,
+		SampleMS:      buildMS,
+		SolveMS:       float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Graphs []GraphInfo `json:"graphs"`
+	}{Graphs: s.reg.Info()})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status string     `json:"status"`
+		Graphs []string   `json:"graphs"`
+		Cache  CacheStats `json:"cache"`
+	}{Status: "ok", Graphs: s.reg.Names(), Cache: s.cache.Stats()})
+}
+
+// reportOf projects a fairim.Result onto the wire payload.
+func reportOf(res *fairim.Result) UtilityReport {
+	seeds := res.Seeds
+	if seeds == nil {
+		seeds = []graph.NodeID{}
+	}
+	return UtilityReport{
+		Seeds:        seeds,
+		Total:        res.Total,
+		NormTotal:    res.NormTotal,
+		PerGroup:     res.PerGroup,
+		NormPerGroup: res.NormPerGroup,
+		Disparity:    res.Disparity,
+	}
+}

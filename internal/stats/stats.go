@@ -1,6 +1,10 @@
 // Package stats provides the small numeric and reporting helpers the
 // experiment harness uses: summary statistics with confidence intervals,
 // and fixed-width/CSV table rendering of experiment series.
+//
+// In the layering, stats is a leaf utility: it depends on nothing in the
+// module and is consumed only by internal/exp and the CLIs for output
+// formatting. It never touches graphs or estimators.
 package stats
 
 import (

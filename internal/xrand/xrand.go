@@ -1,5 +1,9 @@
 // Package xrand provides a small, fast, deterministic, splittable
-// pseudo-random number generator used throughout fairtcim.
+// pseudo-random number generator used throughout fairtcim. It is the
+// bottom of the layering: every sampling stage — graph generation,
+// live-edge worlds, RR sketches — draws from it, and cache keys in the
+// serving layer stay meaningful precisely because a (seed, parameters)
+// pair reproduces the identical sample.
 //
 // Influence estimation is embarrassingly parallel Monte Carlo: each sampled
 // "world" needs its own stream of random numbers, and the result must not
