@@ -1,10 +1,13 @@
 // Command experiments regenerates the paper's tables and figures (and the
-// extra ablations) as text tables. Experiment ids match DESIGN.md §5:
+// extra ablations) as text tables. Experiment ids match DESIGN.md §5,
+// plus "serve-cache" (serving-layer latency) and "accuracy" ((ε,δ)
+// stopping-rule sizing) beyond the paper:
 //
 //	experiments -list
 //	experiments fig4a fig4c
 //	experiments -quick all
 //	experiments -seed 42 -csv fig1
+//	experiments -engine ris accuracy
 package main
 
 import (

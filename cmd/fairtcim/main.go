@@ -9,15 +9,26 @@
 // Problems: p1 (TCIM-Budget), p2 (TCIM-Cover), p4 (FairTCIM-Budget),
 // p6 (FairTCIM-Cover). Use cmd/gengraph to produce input graphs.
 //
+// Instead of explicit sample budgets (-samples, -rispool), an accuracy
+// target can be requested: -epsilon and -delta invoke the (ε,δ) stopping
+// rule, which sizes the sample so every group utility the greedy run
+// compares is estimated within ε with probability 1−δ.
+//
+//	fairtcim -graph net.txt -problem p4 -epsilon 0.2 -delta 0.05
+//
 // With -server, fairtcim becomes a thin client for a running fairtcimd
 // daemon: -graph then names a graph registered on the server, the solve
 // runs remotely against its warm estimator cache, and the usual report is
-// printed from the JSON response.
+// printed from the JSON response. Adding -trace submits the solve as an
+// async job (POST /v1/jobs) and streams per-iteration picks live from the
+// job's server-sent-event trace before printing the final report.
 //
 //	fairtcim -server http://localhost:8732 -graph twoblock -problem p4 -engine ris
+//	fairtcim -server http://localhost:8732 -graph twoblock -epsilon 0.2 -delta 0.05 -trace
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
@@ -50,14 +61,17 @@ func run(args []string, stdout, stderr io.Writer) error {
 		budget    = fs.Int("budget", 30, "seed budget B (p1/p4)")
 		quota     = fs.Float64("quota", 0.2, "coverage quota Q (p2/p6)")
 		tau       = fs.Int("tau", 20, "deadline; -1 means no deadline")
-		samples   = fs.Int("samples", 200, "Monte-Carlo worlds for optimization")
+		samples   = fs.Int("samples", 0, "Monte-Carlo worlds for optimization; 0 = default 200")
 		hName     = fs.String("h", "log", "concave wrapper for p4: id | log | sqrt | pow<alpha>")
 		model     = fs.String("model", "ic", "diffusion model: ic | lt")
 		engine    = fs.String("engine", "forward-mc", "estimation engine: forward-mc | ris")
 		risPool   = fs.Int("rispool", 0, "RR sets per group for -engine ris; 0 derives from -samples")
+		epsilon   = fs.Float64("epsilon", 0, "accuracy target ε in (0,1); with -delta, replaces explicit budgets")
+		delta     = fs.Float64("delta", 0, "accuracy failure probability δ in (0,1); used with -epsilon")
 		meeting   = fs.Float64("meeting", 0, "IC-M meeting probability (0 disables delays)")
 		discount  = fs.Float64("discount", 0, "discount factor gamma in (0,1); 0 disables")
 		seed      = fs.Int64("seed", 1, "random seed")
+		trace     = fs.Bool("trace", false, "print each greedy pick as it happens (remote: stream the job trace)")
 		serverURL = fs.String("server", "", "fairtcimd base URL; solve remotely with -graph naming a server-side graph")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +80,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *graphPath == "" {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
+	}
+	if (*epsilon > 0) != (*delta > 0) {
+		return fmt.Errorf("-epsilon and -delta must be set together")
+	}
+	var accuracy *fairim.Accuracy
+	if *epsilon > 0 {
+		if *samples > 0 || *risPool > 0 {
+			return fmt.Errorf("-epsilon/-delta replace -samples/-rispool; set one or the other")
+		}
+		accuracy = &fairim.Accuracy{Epsilon: *epsilon, Delta: *delta}
 	}
 
 	if *serverURL != "" {
@@ -76,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		if *tau < 0 {
 			tau32 = -1
 		}
-		return runRemote(*serverURL, server.SelectRequest{
+		req := server.SolveRequest{
 			Graph:       *graphPath,
 			Problem:     strings.ToLower(*problem),
 			Budget:      *budget,
@@ -88,7 +112,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 			RISPerGroup: *risPool,
 			H:           *hName,
 			Seed:        *seed,
-		}, stdout)
+		}
+		if accuracy != nil {
+			req.Accuracy = &server.AccuracyRequest{Epsilon: accuracy.Epsilon, Delta: accuracy.Delta}
+		}
+		if *trace {
+			return runRemoteJob(*serverURL, req, stdout)
+		}
+		return runRemote(*serverURL, req, stdout)
 	}
 
 	f, err := os.Open(*graphPath)
@@ -102,7 +133,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 
 	cfg := fairim.DefaultConfig(*seed)
-	cfg.Samples = *samples
+	cfg.Samples = 0 // budgets come from the spec's Sampling block
 	if *tau < 0 {
 		cfg.Tau = cascade.NoDeadline
 	} else {
@@ -125,7 +156,6 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	cfg.RISPerGroup = *risPool
 	if *meeting > 0 {
 		if *meeting > 1 {
 			return fmt.Errorf("meeting probability %v outside (0,1]", *meeting)
@@ -135,20 +165,24 @@ func run(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 	cfg.Discount = *discount
-
-	var res *fairim.Result
-	switch strings.ToLower(*problem) {
-	case "p1":
-		res, err = fairim.SolveTCIMBudget(g, *budget, cfg)
-	case "p2":
-		res, err = fairim.SolveTCIMCover(g, *quota, cfg)
-	case "p4":
-		res, err = fairim.SolveFairTCIMBudget(g, *budget, cfg)
-	case "p6":
-		res, err = fairim.SolveFairTCIMCover(g, *quota, cfg)
-	default:
-		err = fmt.Errorf("unknown problem %q", *problem)
+	if *trace {
+		cfg.OnIteration = func(st fairim.IterationStat) {
+			fmt.Fprintf(stdout, "pick seed=%-6d objective=%-10.4f f(S;V)=%.2f\n", st.Seed, st.Objective, st.Total)
+		}
 	}
+
+	p, err := fairim.ProblemByName(*problem)
+	if err != nil {
+		return err
+	}
+	spec := fairim.ProblemSpec{
+		Problem:  p,
+		Budget:   *budget,
+		Quota:    *quota,
+		Sampling: fairim.Sampling{Samples: *samples, RISPerGroup: *risPool, Accuracy: accuracy},
+		Config:   cfg,
+	}
+	res, err := fairim.Solve(g, spec)
 	if err != nil {
 		return err
 	}
@@ -156,31 +190,126 @@ func run(args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
-// runRemote sends one /v1/select request to a fairtcimd daemon and prints
-// the report from the response.
-func runRemote(baseURL string, req server.SelectRequest, stdout io.Writer) error {
+// postJSON sends one JSON request and decodes the response into out,
+// mapping non-2xx bodies onto errors.
+func postJSON(baseURL, path string, req any, wantStatus int, out any) error {
 	body, err := json.Marshal(req)
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(strings.TrimRight(baseURL, "/")+"/v1/select", "application/json", bytes.NewReader(body))
+	resp, err := http.Post(strings.TrimRight(baseURL, "/")+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		return remoteError(resp.StatusCode, resp.Body)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func remoteError(status int, body io.Reader) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.NewDecoder(body).Decode(&e) == nil && e.Error != "" {
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error, status)
+	}
+	return fmt.Errorf("server: HTTP %d", status)
+}
+
+// runRemote sends one /v1/select request to a fairtcimd daemon and prints
+// the report from the response.
+func runRemote(baseURL string, req server.SolveRequest, stdout io.Writer) error {
+	var out server.SolveResponse
+	if err := postJSON(baseURL, "/v1/select", req, http.StatusOK, &out); err != nil {
+		return err
+	}
+	printRemoteReport(stdout, &out)
+	return nil
+}
+
+// runRemoteJob submits the solve as an async job, streams the per-pick SSE
+// trace while it runs, then fetches and prints the final result.
+func runRemoteJob(baseURL string, req server.SolveRequest, stdout io.Writer) error {
+	var st server.JobStatus
+	if err := postJSON(baseURL, "/v1/jobs", req, http.StatusAccepted, &st); err != nil {
+		return err
+	}
+	base := strings.TrimRight(baseURL, "/")
+	fmt.Fprintf(stdout, "job %s %s; streaming trace\n", st.ID, st.Status)
+
+	resp, err := http.Get(base + st.TraceURL)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		var e struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&e) == nil && e.Error != "" {
-			return fmt.Errorf("server: %s (HTTP %d)", e.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("server: HTTP %d", resp.StatusCode)
+		return remoteError(resp.StatusCode, resp.Body)
 	}
-	var out server.SelectResponse
-	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+	if err := streamTrace(resp.Body, stdout); err != nil {
 		return err
 	}
+
+	final, err := http.Get(base + st.StatusURL)
+	if err != nil {
+		return err
+	}
+	defer final.Body.Close()
+	if final.StatusCode != http.StatusOK {
+		return remoteError(final.StatusCode, final.Body)
+	}
+	if err := json.NewDecoder(final.Body).Decode(&st); err != nil {
+		return err
+	}
+	if st.Status != server.JobDone || st.Result == nil {
+		return fmt.Errorf("job %s %s: %s", st.ID, st.Status, st.Error)
+	}
+	printRemoteReport(stdout, st.Result)
+	return nil
+}
+
+// streamTrace prints "pick" server-sent events until the "done" event.
+func streamTrace(body io.Reader, stdout io.Writer) error {
+	scanner := bufio.NewScanner(body)
+	event := ""
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data := strings.TrimPrefix(line, "data: ")
+			switch event {
+			case "pick":
+				var ev server.TraceEvent
+				if err := json.Unmarshal([]byte(data), &ev); err != nil {
+					return fmt.Errorf("bad trace event %q: %v", data, err)
+				}
+				fmt.Fprintf(stdout, "pick %-3d seed=%-6d objective=%-10.4f f(S;V)=%.2f\n",
+					ev.Iteration, ev.Seed, ev.Objective, ev.Total)
+			case "done":
+				var d struct {
+					Status string `json:"status"`
+					Error  string `json:"error"`
+				}
+				if err := json.Unmarshal([]byte(data), &d); err != nil {
+					return fmt.Errorf("bad done event %q: %v", data, err)
+				}
+				if d.Status != server.JobDone {
+					return fmt.Errorf("job %s: %s", d.Status, d.Error)
+				}
+				return nil
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("trace stream ended without a done event")
+}
+
+func printRemoteReport(stdout io.Writer, out *server.SolveResponse) {
 	fmt.Fprintf(stdout, "problem       %s   (graph %s, engine %s, remote)\n", out.Problem, out.Graph, out.Engine)
 	fmt.Fprintf(stdout, "seeds (%d)    %v\n", len(out.Seeds), out.Seeds)
 	fmt.Fprintf(stdout, "f(S;V)        %.2f   (%.4f normalized)\n", out.Total, out.NormTotal)
@@ -189,8 +318,12 @@ func runRemote(baseURL string, req server.SelectRequest, stdout io.Writer) error
 	}
 	fmt.Fprintf(stdout, "disparity     %.4f\n", out.Disparity)
 	fmt.Fprintf(stdout, "evaluations   %d\n", out.Evaluations)
+	if out.ResolvedRISPerGroup > 0 {
+		fmt.Fprintf(stdout, "sampling      %d RR sets per group\n", out.ResolvedRISPerGroup)
+	} else if out.ResolvedSamples > 0 {
+		fmt.Fprintf(stdout, "sampling      %d worlds\n", out.ResolvedSamples)
+	}
 	fmt.Fprintf(stdout, "cache         hit=%v sample_ms=%.1f solve_ms=%.1f\n", out.CacheHit, out.SampleMS, out.SolveMS)
-	return nil
 }
 
 func printReport(w io.Writer, g *graph.Graph, res *fairim.Result) {
@@ -203,4 +336,9 @@ func printReport(w io.Writer, g *graph.Graph, res *fairim.Result) {
 	}
 	fmt.Fprintf(w, "disparity     %.4f\n", res.Disparity)
 	fmt.Fprintf(w, "evaluations   %d\n", res.Evaluations)
+	if res.RISPerGroup > 0 {
+		fmt.Fprintf(w, "sampling      %d RR sets per group\n", res.RISPerGroup)
+	} else {
+		fmt.Fprintf(w, "sampling      %d worlds\n", res.Samples)
+	}
 }

@@ -124,6 +124,64 @@ func TestRunRemote(t *testing.T) {
 	}
 }
 
+// TestRunAccuracyAndTrace covers the (ε,δ) flags and live pick printing
+// in local mode.
+func TestRunAccuracyAndTrace(t *testing.T) {
+	path := writeTestGraph(t)
+	var out, errw bytes.Buffer
+	args := []string{"-graph", path, "-problem", "p4", "-budget", "2", "-tau", "3",
+		"-epsilon", "0.25", "-delta", "0.1", "-trace"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("accuracy run: %v", err)
+	}
+	report := out.String()
+	if got := strings.Count(report, "pick seed="); got != 2 {
+		t.Fatalf("printed %d live picks, want 2:\n%s", got, report)
+	}
+	if !strings.Contains(report, "sampling") {
+		t.Fatalf("report missing resolved sampling line:\n%s", report)
+	}
+}
+
+// TestRunRemoteJobTrace drives -server -trace: submit a job, stream the
+// SSE trace, print the final report.
+func TestRunRemoteJobTrace(t *testing.T) {
+	reg := server.NewRegistry()
+	if err := reg.RegisterGraph("stars", "synthetic:twostars", generate.TwoStars()); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var out, errw bytes.Buffer
+	args := []string{"-server", ts.URL, "-graph", "stars", "-problem", "p1",
+		"-budget", "2", "-tau", "3", "-samples", "30", "-trace"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("remote job run: %v", err)
+	}
+	report := out.String()
+	for _, want := range []string{"job ", "streaming trace", "pick 1", "pick 2", "remote", "disparity"} {
+		if !strings.Contains(report, want) {
+			t.Fatalf("remote job report missing %q:\n%s", want, report)
+		}
+	}
+
+	// Accuracy-targeted remote job: the report names the derived budget.
+	out.Reset()
+	args = []string{"-server", ts.URL, "-graph", "stars", "-problem", "p4",
+		"-budget", "2", "-tau", "3", "-epsilon", "0.2", "-delta", "0.05", "-trace"}
+	if err := run(args, &out, &errw); err != nil {
+		t.Fatalf("remote accuracy job: %v", err)
+	}
+	if !strings.Contains(out.String(), "sampling") {
+		t.Fatalf("accuracy job report missing sampling line:\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	path := writeTestGraph(t)
 	var out, errw bytes.Buffer
@@ -137,6 +195,9 @@ func TestRunErrors(t *testing.T) {
 		{"-graph", path, "-discount", "1.5"},
 		{"-graph", path, "-problem", "p1", "-budget", "0"},
 		{"-graph", path, "-problem", "p2", "-quota", "0"},
+		{"-graph", path, "-epsilon", "0.2"}, // delta missing
+		{"-graph", path, "-epsilon", "0.2", "-delta", "0.1", "-samples", "50"}, // both budget kinds
+		{"-graph", path, "-epsilon", "2", "-delta", "0.1"},                     // epsilon out of range
 	}
 	for i, args := range cases {
 		if err := run(args, &out, &errw); err == nil {

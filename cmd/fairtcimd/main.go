@@ -11,7 +11,9 @@
 // -no-builtin is given, so the daemon is immediately usable:
 //
 //	curl -s localhost:8732/v1/select -d '{"graph":"twoblock","problem":"p4","budget":10,"engine":"ris"}'
+//	curl -s localhost:8732/v1/jobs -d '{"graph":"twoblock","problem":"p4","accuracy":{"epsilon":0.2,"delta":0.05}}'
 //	curl -s localhost:8732/v1/graphs
+//	curl -s localhost:8732/v1/stats
 package main
 
 import (
@@ -52,6 +54,7 @@ type options struct {
 	queueTimeout    time.Duration
 	shutdownTimeout time.Duration
 	parallelism     int
+	maxJobs         int
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -76,6 +79,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.queueTimeout, "queue-timeout", 10*time.Second, "max wait for a worker slot before shedding 503")
 	fs.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	fs.IntVar(&o.parallelism, "parallelism", 0, "per-solve worker count; 0 = GOMAXPROCS")
+	fs.IntVar(&o.maxJobs, "max-jobs", 0, "async jobs queued or running at once; 0 = 64")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -124,6 +128,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		MaxConcurrent:     o.maxConc,
 		QueueTimeout:      o.queueTimeout,
 		SolverParallelism: o.parallelism,
+		MaxJobs:           o.maxJobs,
 	})
 	if err != nil {
 		return err

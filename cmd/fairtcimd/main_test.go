@@ -92,6 +92,43 @@ func TestDaemonEndToEnd(t *testing.T) {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
 
+	// Submit an accuracy-targeted async job and poll it to completion.
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"graph":"twostars","problem":"p4","budget":2,"tau":3,"accuracy":{"epsilon":0.3,"delta":0.1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job server.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || job.ID == "" {
+		t.Fatalf("job submit: status %d %+v", resp.StatusCode, job)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for job.Status != server.JobDone && job.Status != server.JobFailed {
+		if time.Now().After(deadline) {
+			t.Fatalf("job still %q after 30s", job.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+		resp, err = http.Get(base + "/v1/jobs/" + job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&job)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if job.Status != server.JobDone || job.Result == nil || len(job.Result.Seeds) != 2 {
+		t.Fatalf("job did not finish cleanly: %+v", job)
+	}
+	if job.Result.ResolvedSamples <= 0 {
+		t.Fatalf("accuracy job did not report a resolved budget: %+v", job.Result)
+	}
+
 	cancel()
 	select {
 	case err := <-done:

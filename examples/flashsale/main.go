@@ -32,11 +32,11 @@ func main() {
 	cfg.Trace = true
 	const quota = 0.2
 
-	p2, err := fairim.SolveTCIMCover(g, quota, cfg)
+	p2, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P2, Quota: quota, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	p6, err := fairim.SolveFairTCIMCover(g, quota, cfg)
+	p6, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P6, Quota: quota, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -40,7 +40,7 @@ func main() {
 		"strategy", "total%", "g1%", "g2%", "g3%", "g4%", "disparity")
 
 	addRow := func(name string, seeds []graph.NodeID) {
-		res, err := fairim.EvaluateSeeds(g, seeds, cfg)
+		res, err := fairim.Evaluate(g, seeds, fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -51,13 +51,13 @@ func main() {
 			res.Disparity)
 	}
 
-	p1, err := fairim.SolveTCIMBudget(g, budget, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: budget, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
 	addRow("greedy-P1", p1.Seeds)
 
-	p4, err := fairim.SolveFairTCIMBudget(g, budget, cfg)
+	p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: budget, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func main() {
 		Cap:   float64(g.N()) / float64(g.NumGroups()) * targetFrac,
 		Inner: concave.Log{},
 	}
-	p4s, err := fairim.SolveFairTCIMBudget(g, budget, wcfg)
+	p4s, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: budget, Config: wcfg})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -28,14 +28,14 @@ func main() {
 	cfg := fairim.DefaultConfig(2) // τ = 20, IC model, 200 MC samples
 	const budget = 30
 
-	unfair, err := fairim.SolveTCIMBudget(g, budget, cfg)
+	unfair, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: budget, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
 	report("TCIM-Budget (P1, fairness-blind)", unfair)
 
 	cfg.H = concave.Log{}
-	fair, err := fairim.SolveFairTCIMBudget(g, budget, cfg)
+	fair, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: budget, Config: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -41,11 +41,11 @@ func TestPipelineRoundTrip(t *testing.T) {
 	cfg := fairim.DefaultConfig(2)
 	cfg.Tau = 8
 	cfg.Samples = 80
-	a, err := fairim.SolveFairTCIMBudget(g, 5, cfg)
+	a, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: 5, Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := fairim.SolveFairTCIMBudget(g2, 5, cfg)
+	b, err := fairim.Solve(g2, fairim.ProblemSpec{Problem: fairim.P4, Budget: 5, Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,11 +93,11 @@ func TestFairnessStoryAcrossDatasets(t *testing.T) {
 			cfg.Tau = c.tau
 			cfg.Samples = 120
 			cfg.EvalSamples = 240
-			p1, err := fairim.SolveTCIMBudget(g, 20, cfg)
+			p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: 20, Config: cfg})
 			if err != nil {
 				t.Fatal(err)
 			}
-			p4, err := fairim.SolveFairTCIMBudget(g, 20, cfg)
+			p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: 20, Config: cfg})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -134,7 +134,7 @@ func TestGreedyBeatsBaselinesOnObjective(t *testing.T) {
 	cfg.Tau = 5
 	cfg.Samples = 150
 	const B = 8
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestGreedyBeatsBaselinesOnObjective(t *testing.T) {
 		"degree": baselines.TopDegree(g, B),
 		"random": baselines.Random(g, B, 7),
 	} {
-		res, err := fairim.EvaluateSeeds(g, seeds, cfg)
+		res, err := fairim.Evaluate(g, seeds, fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -192,7 +192,7 @@ func TestP6DisparityBound(t *testing.T) {
 		cfg := fairim.DefaultConfig(10)
 		cfg.Tau = 10
 		cfg.Samples = 150
-		res, err := fairim.SolveFairTCIMCover(g, quota, cfg)
+		res, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P6, Quota: quota, Config: cfg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +213,7 @@ func TestSaturatedWeightedObjective(t *testing.T) {
 	cfg := fairim.DefaultConfig(2)
 	cfg.Tau = 5
 	cfg.Samples = 150
-	p1, err := fairim.SolveTCIMBudget(g, 20, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: 20, Config: cfg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +223,7 @@ func TestSaturatedWeightedObjective(t *testing.T) {
 		Cap:   float64(g.N()) / float64(g.NumGroups()) * 0.06,
 		Inner: concave.Log{},
 	}
-	sat, err := fairim.SolveFairTCIMBudget(g, 20, wcfg)
+	sat, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: 20, Config: wcfg})
 	if err != nil {
 		t.Fatal(err)
 	}

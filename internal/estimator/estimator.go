@@ -60,6 +60,13 @@ type Estimator interface {
 	// candidate in candidate order. parallelism <= 0 means GOMAXPROCS.
 	InitialGains(candidates []graph.NodeID, parallelism int) [][]float64
 
+	// SampleSize reports the size of the underlying optimization sample:
+	// live-edge worlds for forward Monte Carlo, RR sets per group (the
+	// minimum across groups) for RIS. Consumers use it to report the
+	// resolved sample budget when it was derived from an accuracy target
+	// rather than configured explicitly.
+	SampleSize() int
+
 	// Reset clears the seed set, returning the estimator to its initial
 	// state on the same sample.
 	Reset()

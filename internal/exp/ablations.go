@@ -48,12 +48,12 @@ func runAblCELF(o Options) (*stats.Table, error) {
 		"Ablation: CELF vs plain greedy on P4-log (same seeds expected)",
 		"variant", "evaluations", "total", "disparity", "seeds-agree")
 	cfg := synthConfig(o, o.Seed+1)
-	lazy, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+	lazy, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
 	cfg.PlainGreedy = true
-	plain, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+	plain, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -89,12 +89,12 @@ func runAblRIS(o Options) (*stats.Table, error) {
 	cfg := fairim.DefaultConfig(o.Seed + 1)
 	cfg.Tau = tau
 	cfg.Samples = pick(o, 300, 60)
-	fwd, err := fairim.SolveTCIMBudget(g, B, cfg)
+	fwd, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
 	// Evaluate both seed sets with the same fresh forward estimator.
-	risEval, err := fairim.EvaluateSeeds(g, risSeeds, cfg)
+	risEval, err := fairim.Evaluate(g, risSeeds, fairim.ProblemSpec{Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -125,7 +125,7 @@ func runAblCurvature(o Options) (*stats.Table, error) {
 	for _, h := range hs {
 		cfg := synthConfig(o, o.Seed+1)
 		cfg.H = h
-		res, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		res, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +146,7 @@ func runAblLT(o Options) (*stats.Table, error) {
 	cfg := synthConfig(o, o.Seed+1)
 	cfg.Model = cascade.LT
 	cfg.Engine = fairim.EngineForwardMC // RIS cannot express LT
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -154,7 +154,7 @@ func runAblLT(o Options) (*stats.Table, error) {
 	for _, h := range []concave.Function{concave.Log{}, concave.Sqrt{}} {
 		c := cfg
 		c.H = h
-		p4, err := fairim.SolveFairTCIMBudget(g, B, c)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: c})
 		if err != nil {
 			return nil, err
 		}
@@ -187,11 +187,11 @@ func runAblICM(o Options) (*stats.Table, error) {
 		if m < 1 {
 			cfg.Delay = cascade.GeometricDelay{M: m}
 		}
-		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+		p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -221,11 +221,11 @@ func runAblDiscount(o Options) (*stats.Table, error) {
 		cfg := synthConfig(o, o.Seed+1)
 		cfg.Engine = fairim.EngineForwardMC // RIS cannot express discounting
 		cfg.Discount = gamma
-		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+		p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -249,11 +249,11 @@ func runAblRobust(o Options) (*stats.Table, error) {
 	if o.Quick {
 		drops = []float64{0, 0.5}
 	}
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+	p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -292,12 +292,12 @@ func runAblSaturation(o Options) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Ablation: budgeted-parity frontier on Rice (tau=5, all-pairs Eq.2 disparity)",
 		"objective", "total", "disparity")
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
 	t.AddRow("P1", p1.NormTotal, p1.Disparity)
-	p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+	p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +314,7 @@ func runAblSaturation(o Options) (*stats.Table, error) {
 			Cap:   float64(g.N()) / float64(g.NumGroups()) * target,
 			Inner: concave.Log{},
 		}
-		res, err := fairim.SolveFairTCIMBudget(g, B, wcfg)
+		res, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: wcfg})
 		if err != nil {
 			return nil, err
 		}

@@ -4,7 +4,9 @@
 // experiment ids ("fig1", "fig4a", …, "abl-celf") match DESIGN.md §5, the
 // cmd/experiments CLI and the root bench targets. Beyond the paper,
 // "serve-cache" drives the persistent serving layer (internal/server)
-// end-to-end, measuring cold-vs-warm sketch reuse and singleflight.
+// end-to-end, measuring cold-vs-warm sketch reuse and singleflight, and
+// "accuracy" sweeps (ε,δ) targets through the unified fairim.Solve entry
+// point to show what the stopping rules resolve them into.
 //
 // In the layering, exp is the top consumer: it builds graphs from
 // internal/generate and internal/datasets, runs solvers and baselines

@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"abl-icm", "abl-discount", "abl-robust", "abl-saturation",
 		"tab-datasets", "tab-baselines",
 		"serve-cache", // serving-layer workload (beyond DESIGN.md §5)
+		"accuracy",    // (eps,delta) stopping-rule sizing (beyond DESIGN.md §5)
 	}
 	have := map[string]bool{}
 	for _, id := range IDs() {

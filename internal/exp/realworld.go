@@ -51,7 +51,7 @@ func runFig7a(o Options) (*stats.Table, error) {
 	}
 	cfg := riceConfig(o)
 	B := synthBudget(o)
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -63,7 +63,7 @@ func runFig7a(o Options) (*stats.Table, error) {
 	for _, h := range []concave.Function{concave.Log{}, concave.Sqrt{}} {
 		c := cfg
 		c.H = h
-		p4, err := fairim.SolveFairTCIMBudget(g, B, c)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: c})
 		if err != nil {
 			return nil, err
 		}
@@ -83,11 +83,11 @@ func runFig7b(o Options) (*stats.Table, error) {
 	if o.Quick {
 		budgets = []int{2, 5, 10}
 	}
-	p1, err := fairim.SolveTCIMBudget(g, maxB, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: maxB, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	p4, err := fairim.SolveFairTCIMBudget(g, maxB, cfg)
+	p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: maxB, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -99,11 +99,11 @@ func runFig7b(o Options) (*stats.Table, error) {
 		if b > len(p1.Seeds) || b > len(p4.Seeds) {
 			continue
 		}
-		r1, err := fairim.EvaluateSeeds(g, p1.Seeds[:b], cfg)
+		r1, err := fairim.Evaluate(g, p1.Seeds[:b], fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		r4, err := fairim.EvaluateSeeds(g, p4.Seeds[:b], cfg)
+		r4, err := fairim.Evaluate(g, p4.Seeds[:b], fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -132,11 +132,11 @@ func runFig7c(o Options) (*stats.Table, error) {
 	for _, tau := range taus {
 		cfg := riceConfig(o)
 		cfg.Tau = tau
-		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+		p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -157,11 +157,11 @@ func runFig8a(o Options) (*stats.Table, error) {
 	}
 	cfg := riceConfig(o)
 	cfg.Trace = true
-	p2, err := fairim.SolveTCIMCover(g, quota, cfg)
+	p2, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P2, Quota: quota, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	p6, err := fairim.SolveFairTCIMCover(g, quota, cfg)
+	p6, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P6, Quota: quota, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +184,7 @@ func riceCoverSweep(o Options, title string, sizes bool) (*stats.Table, error) {
 	}
 	cfg := riceConfig(o)
 	// Determine the reporting pair from the first-quota P2 solution.
-	p2, err := fairim.SolveTCIMCover(g, quotas[0], cfg)
+	p2, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P2, Quota: quotas[0], Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -233,7 +233,7 @@ func runFig9a(o Options) (*stats.Table, error) {
 	t := stats.NewTable(
 		"Fig 9a: Instagram budget problem, fraction influenced per gender",
 		"algorithm", "total", "male", "female", "disparity")
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +241,7 @@ func runFig9a(o Options) (*stats.Table, error) {
 	for _, h := range []concave.Function{concave.Log{}, concave.Sqrt{}} {
 		c := cfg
 		c.H = h
-		p4, err := fairim.SolveFairTCIMBudget(g, B, c)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: c})
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +301,7 @@ func runFig10a(o Options) (*stats.Table, error) {
 		return nil, err
 	}
 	B := synthBudget(o)
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -313,7 +313,7 @@ func runFig10a(o Options) (*stats.Table, error) {
 	for _, h := range []concave.Function{concave.Log{}, concave.Sqrt{}} {
 		c := cfg
 		c.H = h
-		p4, err := fairim.SolveFairTCIMBudget(g, B, c)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: c})
 		if err != nil {
 			return nil, err
 		}
@@ -335,7 +335,7 @@ func runFig10b(o Options) (*stats.Table, error) {
 		return nil, err
 	}
 	quotas := snapQuota(o)
-	p2, err := fairim.SolveTCIMCover(g, quotas[0], cfg)
+	p2, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P2, Quota: quotas[0], Config: cfg})
 	if err != nil {
 		return nil, err
 	}

@@ -153,7 +153,7 @@ func runFig4a(o Options) (*stats.Table, error) {
 		"Fig 4a: fraction influenced, synthetic SBM (tau=20, B=30)",
 		"algorithm", "total", "group1", "group2", "disparity")
 
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -162,7 +162,7 @@ func runFig4a(o Options) (*stats.Table, error) {
 	for _, h := range []concave.Function{concave.Log{}, concave.Sqrt{}} {
 		c := cfg
 		c.H = h
-		p4, err := fairim.SolveFairTCIMBudget(g, B, c)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: c})
 		if err != nil {
 			return nil, err
 		}
@@ -185,11 +185,11 @@ func runFig4b(o Options) (*stats.Table, error) {
 
 	// Greedy solutions nest, so one max-budget run yields every prefix;
 	// each prefix is re-evaluated on fresh worlds.
-	p1, err := fairim.SolveTCIMBudget(g, maxB, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: maxB, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	p4, err := fairim.SolveFairTCIMBudget(g, maxB, cfg)
+	p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: maxB, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -200,11 +200,11 @@ func runFig4b(o Options) (*stats.Table, error) {
 		if b > len(p1.Seeds) || b > len(p4.Seeds) {
 			continue
 		}
-		r1, err := fairim.EvaluateSeeds(g, p1.Seeds[:b], cfg)
+		r1, err := fairim.Evaluate(g, p1.Seeds[:b], fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		r4, err := fairim.EvaluateSeeds(g, p4.Seeds[:b], cfg)
+		r4, err := fairim.Evaluate(g, p4.Seeds[:b], fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -231,11 +231,11 @@ func runFig4c(o Options) (*stats.Table, error) {
 	for _, tau := range taus {
 		cfg := synthConfig(o, o.Seed+1)
 		cfg.Tau = tau
-		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+		p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -267,11 +267,11 @@ func runFig5a(o Options) (*stats.Table, error) {
 		for _, tau := range []int32{2, cascade.NoDeadline} {
 			cfg := synthConfig(o, o.Seed+1)
 			cfg.Tau = tau
-			p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+			p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 			if err != nil {
 				return nil, err
 			}
-			p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+			p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 			if err != nil {
 				return nil, err
 			}
@@ -304,11 +304,11 @@ func runFig5b(o Options) (*stats.Table, error) {
 			return nil, err
 		}
 		cfg := synthConfig(o, o.Seed+1)
-		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+		p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -340,11 +340,11 @@ func runFig5c(o Options) (*stats.Table, error) {
 			return nil, err
 		}
 		cfg := synthConfig(o, o.Seed+1)
-		p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+		p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+		p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
@@ -364,11 +364,11 @@ func runFig6a(o Options) (*stats.Table, error) {
 	}
 	cfg := synthConfig(o, o.Seed+1)
 	cfg.Trace = true
-	p2, err := fairim.SolveTCIMCover(g, quota, cfg)
+	p2, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P2, Quota: quota, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
-	p6, err := fairim.SolveFairTCIMCover(g, quota, cfg)
+	p6, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P6, Quota: quota, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
@@ -412,11 +412,11 @@ func coverSweepOn(g *graph.Graph, quotas []float64, cfg fairim.Config, title str
 		t = stats.NewTable(title, "Q", "P2-g1", "P2-g2", "P6-g1", "P6-g2")
 	}
 	for _, q := range quotas {
-		p2, err := fairim.SolveTCIMCover(g, q, cfg)
+		p2, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P2, Quota: q, Config: cfg})
 		if err != nil {
 			return nil, err
 		}
-		p6, err := fairim.SolveFairTCIMCover(g, q, cfg)
+		p6, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P6, Quota: q, Config: cfg})
 		if err != nil {
 			return nil, err
 		}

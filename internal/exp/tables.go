@@ -86,7 +86,7 @@ func runTabBaselines(o Options) (*stats.Table, error) {
 		"Seeding strategies on the synthetic SBM (tau=20): reach vs disparity",
 		"strategy", "total", "group1", "group2", "disparity")
 	addSeeds := func(name string, seeds []graph.NodeID) error {
-		res, err := fairim.EvaluateSeeds(g, seeds, cfg)
+		res, err := fairim.Evaluate(g, seeds, fairim.ProblemSpec{Config: cfg})
 		if err != nil {
 			return err
 		}
@@ -94,14 +94,14 @@ func runTabBaselines(o Options) (*stats.Table, error) {
 		return nil
 	}
 
-	p1, err := fairim.SolveTCIMBudget(g, B, cfg)
+	p1, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P1, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}
 	if err := addSeeds("greedy-P1", p1.Seeds); err != nil {
 		return nil, err
 	}
-	p4, err := fairim.SolveFairTCIMBudget(g, B, cfg)
+	p4, err := fairim.Solve(g, fairim.ProblemSpec{Problem: fairim.P4, Budget: B, Config: cfg})
 	if err != nil {
 		return nil, err
 	}

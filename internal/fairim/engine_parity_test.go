@@ -20,7 +20,7 @@ func TestEnginesAgreeOnDeterministicGraph(t *testing.T) {
 		cfg.Tau = 1
 		cfg.Samples = 50
 		cfg.Engine = engine
-		res, err := SolveTCIMBudget(g, 2, cfg)
+		res, err := Solve(g, ProblemSpec{Problem: P1, Budget: 2, Config: cfg})
 		if err != nil {
 			t.Fatalf("%v: %v", engine, err)
 		}
@@ -37,26 +37,25 @@ func TestEnginesAgreeOnSynthetic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run := func(engine Engine, problem string) *Result {
+	// Parity is checked through the unified Solve entry point: both
+	// engines run the same spec, differing only in Engine.
+	run := func(engine Engine, problem Problem) *Result {
 		cfg := DefaultConfig(5)
 		cfg.Tau = 5
-		cfg.Samples = 200
 		cfg.EvalSamples = 400
-		cfg.RISPerGroup = 6000
 		cfg.Engine = engine
-		var res *Result
-		var err error
-		if problem == "P1" {
-			res, err = SolveTCIMBudget(g, 5, cfg)
-		} else {
-			res, err = SolveFairTCIMBudget(g, 5, cfg)
-		}
+		res, err := Solve(g, ProblemSpec{
+			Problem:  problem,
+			Budget:   5,
+			Sampling: Sampling{Samples: 200, RISPerGroup: 6000},
+			Config:   cfg,
+		})
 		if err != nil {
 			t.Fatalf("%v %s: %v", engine, problem, err)
 		}
 		return res
 	}
-	for _, problem := range []string{"P1", "P4"} {
+	for _, problem := range []Problem{P1, P4} {
 		fwd := run(EngineForwardMC, problem)
 		ris := run(EngineRIS, problem)
 		// Both results are re-estimated on the same fresh forward worlds

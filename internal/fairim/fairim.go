@@ -101,6 +101,12 @@ type Config struct {
 	MaxSeeds    int  // safety bound for cover problems; 0 = |V|
 	PlainGreedy bool // disable CELF (ablation); output is identical
 	Trace       bool // record per-iteration group utilities
+	// OnIteration, if non-nil, is called synchronously from the solver
+	// goroutine after every greedy pick with that iteration's snapshot —
+	// the streaming counterpart of Trace (the serving layer forwards these
+	// as server-sent events). The snapshot's slices are not reused; the
+	// callback may retain them.
+	OnIteration func(IterationStat)
 	// Estimator, if non-nil, is used as the optimization estimator instead
 	// of sampling a fresh one — the serving fast path: a warm estimator
 	// built from a cached sample (e.g. a shared ris.Collection or world
@@ -145,6 +151,11 @@ type Result struct {
 	Disparity    float64         // Eq. 2
 	Evaluations  int             // marginal-gain queries spent
 	Trace        []IterationStat // non-nil iff cfg.Trace
+	// Resolved sampling budgets the solve actually used — interesting when
+	// they were derived from a ProblemSpec accuracy target rather than
+	// configured explicitly.
+	Samples     int // forward-MC worlds
+	RISPerGroup int // RR sets per group (0 unless the RIS engine ran)
 }
 
 func (c *Config) validate(g *graph.Graph) error {
@@ -298,90 +309,37 @@ func (c *Config) estimate(g *graph.Graph, seeds []graph.NodeID) ([]float64, erro
 }
 
 // SolveTCIMBudget solves problem P1 with greedy/CELF.
+//
+// Deprecated: use Solve with ProblemSpec{Problem: P1, Budget: budget}.
 func SolveTCIMBudget(g *graph.Graph, budget int, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	if budget <= 0 {
-		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
-	}
-	eval, err := cfg.newEstimator(g)
-	if err != nil {
-		return nil, err
-	}
-	obj := newObjective(eval, totalValue{}, cfg.Trace)
-	res, err := maximize(obj, cfg, g, budget)
-	if err != nil {
-		return nil, err
-	}
-	return finishResult("P1", g, res, obj, cfg)
+	return Solve(g, ProblemSpec{Problem: P1, Budget: budget, Config: cfg})
 }
 
 // SolveFairTCIMBudget solves the surrogate problem P4 with greedy/CELF:
 // maximize Σᵢ H(fτ(S;Vᵢ)) under the budget, carrying Theorem 1's bound on
 // total influence.
+//
+// Deprecated: use Solve with ProblemSpec{Problem: P4, Budget: budget}.
 func SolveFairTCIMBudget(g *graph.Graph, budget int, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	if budget <= 0 {
-		return nil, fmt.Errorf("fairim: budget must be positive, got %d", budget)
-	}
-	eval, err := cfg.newEstimator(g)
-	if err != nil {
-		return nil, err
-	}
-	obj := newObjective(eval, concaveValue{h: cfg.h(), weights: cfg.GroupWeights}, cfg.Trace)
-	res, err := maximize(obj, cfg, g, budget)
-	if err != nil {
-		return nil, err
-	}
-	return finishResult("P4", g, res, obj, cfg)
+	return Solve(g, ProblemSpec{Problem: P4, Budget: budget, Config: cfg})
 }
 
 // SolveTCIMCover solves problem P2: the smallest greedy seed set whose
 // total normalized influence reaches quota.
+//
+// Deprecated: use Solve with ProblemSpec{Problem: P2, Quota: quota}.
 func SolveTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	if quota <= 0 || quota > 1 {
-		return nil, fmt.Errorf("fairim: quota %v outside (0,1]", quota)
-	}
-	eval, err := cfg.newEstimator(g)
-	if err != nil {
-		return nil, err
-	}
-	obj := newObjective(eval, totalQuotaValue{quota: quota}, cfg.Trace)
-	res, err := cover(obj, cfg, g, quota-coverSlack)
-	if err != nil {
-		return nil, err
-	}
-	return finishResult("P2", g, res, obj, cfg)
+	return Solve(g, ProblemSpec{Problem: P2, Quota: quota, Config: cfg})
 }
 
 // SolveFairTCIMCover solves the surrogate problem P6: the smallest greedy
 // seed set influencing *every* group up to quota, via the truncated
 // objective Σᵢ min(fτ(S;Vᵢ)/|Vᵢ|, Q) ≥ kQ (Theorem 2). Any feasible
 // solution has disparity at most 1 − Q.
+//
+// Deprecated: use Solve with ProblemSpec{Problem: P6, Quota: quota}.
 func SolveFairTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	if quota <= 0 || quota > 1 {
-		return nil, fmt.Errorf("fairim: quota %v outside (0,1]", quota)
-	}
-	eval, err := cfg.newEstimator(g)
-	if err != nil {
-		return nil, err
-	}
-	obj := newObjective(eval, groupQuotaValue{quota: quota}, cfg.Trace)
-	target := quota*float64(g.NumGroups()) - coverSlack
-	res, err := cover(obj, cfg, g, target)
-	if err != nil {
-		return nil, err
-	}
-	return finishResult("P6", g, res, obj, cfg)
+	return Solve(g, ProblemSpec{Problem: P6, Quota: quota, Config: cfg})
 }
 
 // coverSlack absorbs floating-point noise in Monte-Carlo-estimated cover
@@ -419,35 +377,10 @@ func cover(obj *objective, cfg Config, g *graph.Graph, target float64) (submodul
 // sample (cfg.Estimator if injected, else drawn with cfg.Seed) — still
 // unbiased here, since the seed set was not chosen on that sample, but on
 // a different random stream than the fresh-world path.
+//
+// Deprecated: use Evaluate with a ProblemSpec.
 func EvaluateSeeds(g *graph.Graph, seeds []graph.NodeID, cfg Config) (*Result, error) {
-	if err := cfg.validate(g); err != nil {
-		return nil, err
-	}
-	for _, v := range seeds {
-		if v < 0 || int(v) >= g.N() {
-			return nil, fmt.Errorf("fairim: seed %d out of range", v)
-		}
-	}
-	var perGroup []float64
-	if cfg.ReportOnSample {
-		eval, err := cfg.newEstimator(g)
-		if err != nil {
-			return nil, err
-		}
-		for _, v := range seeds {
-			eval.Add(v)
-		}
-		perGroup = eval.GroupUtilities()
-	} else {
-		var err error
-		perGroup, err = cfg.estimate(g, seeds)
-		if err != nil {
-			return nil, err
-		}
-	}
-	r := &Result{Problem: "eval", Seeds: append([]graph.NodeID(nil), seeds...), PerGroup: perGroup}
-	fillDerived(r, g)
-	return r, nil
+	return Evaluate(g, seeds, ProblemSpec{Config: cfg})
 }
 
 func finishResult(problem string, g *graph.Graph, res submodular.Result, obj *objective, cfg Config) (*Result, error) {
@@ -468,6 +401,13 @@ func finishResult(problem string, g *graph.Graph, res submodular.Result, obj *ob
 		PerGroup:    perGroup,
 		Evaluations: res.Evaluations,
 		Trace:       obj.trace,
+	}
+	// Report the sample the optimizer actually ran on; a RIS solve draws
+	// no forward-MC worlds, so its Samples stays zero.
+	if rs, ok := obj.eval.(*ris.Estimator); ok {
+		out.RISPerGroup = rs.SampleSize()
+	} else {
+		out.Samples = obj.eval.SampleSize()
 	}
 	fillDerived(out, g)
 	return out, nil

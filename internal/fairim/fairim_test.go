@@ -35,7 +35,7 @@ func TestConfigValidation(t *testing.T) {
 	g := smallSBM(t, 1)
 	bad := []Config{
 		{Tau: -1, Samples: 10},
-		{Tau: 5, Samples: 0},
+		{Tau: 5, Samples: -2}, // zero now means DefaultSamples; negative stays invalid
 		{Tau: 5, Samples: 10, EvalSamples: -1},
 		{Tau: 5, Samples: 10, Candidates: []graph.NodeID{-1}},
 		{Tau: 5, Samples: 10, Candidates: []graph.NodeID{9999}},

@@ -86,17 +86,19 @@ type objective struct {
 	g       *graph.Graph
 	traceOn bool
 	trace   []IterationStat
+	onIter  func(IterationStat) // streaming observer; nil = none
 
 	cur  []float64 // cached GroupUtilities of the current set
 	next []float64 // scratch for candidate utilities
 }
 
-func newObjective(eval estimator.Estimator, vf valueFn, traceOn bool) *objective {
+func newObjective(eval estimator.Estimator, vf valueFn, traceOn bool, onIter func(IterationStat)) *objective {
 	return &objective{
 		eval:    eval,
 		vf:      vf,
 		g:       eval.Graph(),
 		traceOn: traceOn,
+		onIter:  onIter,
 		cur:     eval.GroupUtilities(),
 		next:    make([]float64, eval.Graph().NumGroups()),
 	}
@@ -116,18 +118,24 @@ func (o *objective) Gain(v graph.NodeID) float64 {
 func (o *objective) Add(v graph.NodeID) {
 	o.eval.Add(v)
 	o.cur = o.eval.GroupUtilities()
-	if o.traceOn {
+	if o.traceOn || o.onIter != nil {
 		norm := o.eval.NormGroupUtilities()
 		total := 0.0
 		for _, u := range o.cur {
 			total += u
 		}
-		o.trace = append(o.trace, IterationStat{
+		st := IterationStat{
 			Seed:      v,
 			Objective: o.vf.value(o.cur, o.g),
 			Total:     total,
 			NormGroup: norm,
-		})
+		}
+		if o.traceOn {
+			o.trace = append(o.trace, st)
+		}
+		if o.onIter != nil {
+			o.onIter(st)
+		}
 	}
 }
 

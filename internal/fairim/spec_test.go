@@ -1,0 +1,334 @@
+package fairim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/influence"
+	"fairtcim/internal/ris"
+)
+
+func TestProblemByName(t *testing.T) {
+	for name, want := range map[string]Problem{
+		"p1": P1, "P2": P2, "p4": P4, "P6": P6,
+	} {
+		got, err := ProblemByName(name)
+		if err != nil || got != want {
+			t.Errorf("ProblemByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ProblemByName("p3"); err == nil {
+		t.Error("ProblemByName accepted p3")
+	}
+	if P1.String() != "P1" || P6.String() != "P6" {
+		t.Errorf("String(): %s %s", P1, P6)
+	}
+	if !P1.IsBudget() || !P4.IsBudget() || P2.IsBudget() || P6.IsBudget() {
+		t.Error("IsBudget misclassifies")
+	}
+}
+
+func TestSolveRejectsBadSpecs(t *testing.T) {
+	g := smallSBM(t, 1)
+	cases := map[string]ProblemSpec{
+		"zero problem":     {Budget: 3, Config: quickCfg(1)},
+		"zero budget":      {Problem: P1, Config: quickCfg(1)},
+		"zero quota":       {Problem: P6, Config: quickCfg(1)},
+		"quota above one":  {Problem: P2, Quota: 1.5, Config: quickCfg(1)},
+		"negative samples": {Problem: P1, Budget: 3, Sampling: Sampling{Samples: -5}, Config: quickCfg(1)},
+		"explicit and accuracy": {Problem: P1, Budget: 3,
+			Sampling: Sampling{Samples: 50, Accuracy: &Accuracy{Epsilon: 0.2, Delta: 0.1}}, Config: quickCfg(1)},
+		"bad epsilon": {Problem: P1, Budget: 3,
+			Sampling: Sampling{Accuracy: &Accuracy{Epsilon: 0, Delta: 0.1}}, Config: quickCfg(1)},
+		"bad delta": {Problem: P1, Budget: 3,
+			Sampling: Sampling{Accuracy: &Accuracy{Epsilon: 0.2, Delta: 1}}, Config: quickCfg(1)},
+	}
+	for name, spec := range cases {
+		if _, err := Solve(g, spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+// TestSolveMatchesDeprecatedWrappers pins the wrappers as pure sugar: the
+// unified entry point must reproduce their results exactly.
+func TestSolveMatchesDeprecatedWrappers(t *testing.T) {
+	g := smallSBM(t, 2)
+	cfg := quickCfg(3)
+	p4, err := Solve(g, ProblemSpec{Problem: P4, Budget: 5, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := SolveFairTCIMBudget(g, 5, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p4.Seeds, old.Seeds) || p4.Total != old.Total {
+		t.Errorf("Solve and wrapper disagree: %v/%v vs %v/%v", p4.Seeds, p4.Total, old.Seeds, old.Total)
+	}
+	p6, err := Solve(g, ProblemSpec{Problem: P6, Quota: 0.15, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldCover, err := SolveFairTCIMCover(g, 0.15, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p6.Seeds, oldCover.Seeds) {
+		t.Errorf("cover seeds differ: %v vs %v", p6.Seeds, oldCover.Seeds)
+	}
+	if p6.Problem != "P6" {
+		t.Errorf("problem name %q", p6.Problem)
+	}
+}
+
+// TestSolveSamplingBlockPrecedence: explicit Sampling budgets override the
+// embedded Config's, and the zero spec falls back to DefaultSamples.
+func TestSolveSamplingBlockPrecedence(t *testing.T) {
+	g := generate.TwoStars()
+	cfg := DefaultConfig(1)
+	cfg.Tau = 3
+	cfg.Samples = 40
+	res, err := Solve(g, ProblemSpec{Problem: P1, Budget: 1, Sampling: Sampling{Samples: 77}, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 77 {
+		t.Errorf("resolved samples %d, want Sampling override 77", res.Samples)
+	}
+	cfg.Samples = 0
+	res, err = Solve(g, ProblemSpec{Problem: P1, Budget: 1, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != DefaultSamples {
+		t.Errorf("resolved samples %d, want default %d", res.Samples, DefaultSamples)
+	}
+}
+
+// TestSolveAccuracyForwardMC: an accuracy target with no explicit budgets
+// resolves to the Hoeffding world count and completes the solve.
+func TestSolveAccuracyForwardMC(t *testing.T) {
+	g := generate.TwoStars()
+	cfg := DefaultConfig(1)
+	cfg.Tau = 3
+	cfg.Samples = 0
+	spec := ProblemSpec{
+		Problem: P4, Budget: 2,
+		Sampling: Sampling{Accuracy: &Accuracy{Epsilon: 0.2, Delta: 0.05}},
+		Config:   cfg,
+	}
+	res, err := Solve(g, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := HoeffdingWorlds(0.2, 0.05, 2, g.N(), g.NumGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != want {
+		t.Errorf("resolved samples %d, want Hoeffding %d", res.Samples, want)
+	}
+	if len(res.Seeds) != 2 {
+		t.Errorf("picked %d seeds", len(res.Seeds))
+	}
+}
+
+// TestSolveAccuracyRIS: under the RIS engine the accuracy target drives
+// the geometric-doubling pool sizer, and the resolved pool is reported.
+func TestSolveAccuracyRIS(t *testing.T) {
+	g := smallSBM(t, 4)
+	cfg := DefaultConfig(2)
+	cfg.Tau = 5
+	cfg.Engine = EngineRIS
+	cfg.Samples = 0
+	res, err := Solve(g, ProblemSpec{
+		Problem: P4, Budget: 3,
+		Sampling: Sampling{Accuracy: &Accuracy{Epsilon: 0.3, Delta: 0.1}},
+		Config:   cfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RISPerGroup < 256 {
+		t.Errorf("accuracy-derived pool %d below the pilot size", res.RISPerGroup)
+	}
+	if res.Samples != 0 {
+		t.Errorf("RIS solve reports %d forward worlds; none were drawn", res.Samples)
+	}
+	if len(res.Seeds) != 3 {
+		t.Errorf("picked %d seeds", len(res.Seeds))
+	}
+	// The wrapper path with explicit budgets must report its pool too.
+	explicit, err := Solve(g, ProblemSpec{Problem: P4, Budget: 3,
+		Sampling: Sampling{RISPerGroup: 4000}, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if explicit.RISPerGroup != 4000 {
+		t.Errorf("explicit pool reported as %d, want 4000", explicit.RISPerGroup)
+	}
+}
+
+func TestHoeffdingWorlds(t *testing.T) {
+	base, err := HoeffdingWorlds(0.2, 0.05, 5, 200, 2)
+	if err != nil || base <= 0 {
+		t.Fatalf("base: %d, %v", base, err)
+	}
+	tighter, err := HoeffdingWorlds(0.1, 0.05, 5, 200, 2)
+	if err != nil || tighter <= base {
+		t.Fatalf("halving epsilon should grow worlds: %d vs %d (%v)", tighter, base, err)
+	}
+	if _, err := HoeffdingWorlds(0.001, 0.0001, 400, 1e6, 5); err == nil {
+		t.Error("absurd accuracy target not rejected by the cap")
+	}
+	if _, err := HoeffdingWorlds(0, 0.05, 5, 200, 2); err == nil {
+		t.Error("epsilon 0 accepted")
+	}
+}
+
+// TestOnIterationStreams pins the streaming seam the job-trace API relies
+// on: the callback fires once per greedy pick, in pick order, with the
+// same snapshots Trace records.
+func TestOnIterationStreams(t *testing.T) {
+	g := smallSBM(t, 5)
+	cfg := quickCfg(6)
+	cfg.Trace = true
+	var streamed []IterationStat
+	cfg.OnIteration = func(st IterationStat) { streamed = append(streamed, st) }
+	res, err := Solve(g, ProblemSpec{Problem: P4, Budget: 4, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(streamed) != len(res.Seeds) {
+		t.Fatalf("callback fired %d times for %d picks", len(streamed), len(res.Seeds))
+	}
+	if !reflect.DeepEqual(streamed, res.Trace) {
+		t.Errorf("streamed stats differ from recorded trace")
+	}
+	for i, st := range streamed {
+		if st.Seed != res.Seeds[i] {
+			t.Errorf("pick %d: streamed seed %d, result seed %d", i, st.Seed, res.Seeds[i])
+		}
+	}
+}
+
+// TestEvaluateWithInjectedEstimator covers the serving fast path directly:
+// a warm estimator built from a shared sample is injected and must (a) be
+// Reset before use, (b) produce exactly the estimates the sample implies,
+// and (c) be reported against the sample's size.
+func TestEvaluateWithInjectedEstimator(t *testing.T) {
+	g := smallSBM(t, 7)
+	seeds := []graph.NodeID{0, 1, 5}
+
+	// RIS: one shared Collection, estimator reused across calls.
+	col, err := ris.Sample(g, 5, []int{3000, 3000}, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := ris.NewEstimator(col)
+	warm.Add(2) // stale state the solve must Reset away
+	cfg := DefaultConfig(9)
+	cfg.Tau = 5
+	cfg.Engine = EngineRIS
+	cfg.Estimator = warm
+	cfg.ReportOnSample = true
+	res, err := Evaluate(g, seeds, ProblemSpec{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := ris.NewEstimator(col)
+	for _, v := range seeds {
+		direct.Add(v)
+	}
+	if want := direct.GroupUtilities(); !reflect.DeepEqual(res.PerGroup, want) {
+		t.Errorf("injected-estimator utilities %v, want %v", res.PerGroup, want)
+	}
+	if res.RISPerGroup != 3000 {
+		t.Errorf("reported pool %d, want 3000", res.RISPerGroup)
+	}
+
+	// Forward MC: same contract over a shared world set.
+	worlds := cascade.SampleWorlds(g, cascade.IC, 80, 9, 0)
+	ev, err := influence.NewEvaluator(g, worlds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Add(3)
+	fcfg := DefaultConfig(9)
+	fcfg.Tau = 5
+	fcfg.Estimator = ev
+	fcfg.ReportOnSample = true
+	fres, err := Evaluate(g, seeds, ProblemSpec{Config: fcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := influence.NewEvaluator(g, worlds, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range seeds {
+		ref.Add(v)
+	}
+	if want := ref.GroupUtilities(); !reflect.DeepEqual(fres.PerGroup, want) {
+		t.Errorf("forward injected utilities %v, want %v", fres.PerGroup, want)
+	}
+	if fres.Samples != 80 {
+		t.Errorf("reported worlds %d, want 80", fres.Samples)
+	}
+
+	// A mismatched graph is still rejected through the spec path.
+	other := generate.TwoStars()
+	if _, err := Evaluate(other, []graph.NodeID{0}, ProblemSpec{Config: cfg}); err == nil {
+		t.Error("estimator for the wrong graph accepted")
+	}
+}
+
+// TestEvaluateAccuracySizesForSingleSet: accuracy-targeted evaluation of a
+// fixed seed set needs no union over candidates, so it resolves far fewer
+// worlds than a same-target solve.
+func TestEvaluateAccuracySizesForSingleSet(t *testing.T) {
+	g := smallSBM(t, 8)
+	cfg := DefaultConfig(3)
+	cfg.Tau = 5
+	cfg.Samples = 0
+	cfg.ReportOnSample = true
+	spec := ProblemSpec{Sampling: Sampling{Accuracy: &Accuracy{Epsilon: 0.2, Delta: 0.05}}, Config: cfg}
+	res, err := Evaluate(g, []graph.NodeID{0, 4}, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveWorlds, err := HoeffdingWorlds(0.2, 0.05, 10, g.N(), g.NumGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples >= solveWorlds {
+		t.Errorf("eval-only sizing %d not below solve sizing %d", res.Samples, solveWorlds)
+	}
+	if math.IsNaN(res.Disparity) || res.Total <= 0 {
+		t.Errorf("implausible result: %+v", res)
+	}
+
+	// Fresh-world evaluation under the RIS engine must not build an
+	// accuracy-sized RR pool it never reads: the report comes from (and
+	// names) eval worlds only.
+	rcfg := DefaultConfig(3)
+	rcfg.Tau = 5
+	rcfg.Engine = EngineRIS
+	rcfg.Samples = 0
+	fresh, err := Evaluate(g, []graph.NodeID{0, 4},
+		ProblemSpec{Sampling: Sampling{Accuracy: &Accuracy{Epsilon: 0.2, Delta: 0.05}}, Config: rcfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.RISPerGroup != 0 {
+		t.Errorf("fresh-world eval reports an RR pool of %d", fresh.RISPerGroup)
+	}
+	if fresh.Samples != EvalWorlds(Accuracy{Epsilon: 0.2, Delta: 0.05}, g.NumGroups()) {
+		t.Errorf("fresh-world eval reports %d worlds, want the eval-sized count", fresh.Samples)
+	}
+}

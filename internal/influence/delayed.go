@@ -102,6 +102,9 @@ func (e *DelayedEvaluator) Tau() int32 { return e.tau }
 // Graph returns the underlying graph.
 func (e *DelayedEvaluator) Graph() *graph.Graph { return e.g }
 
+// SampleSize returns the number of weighted Monte-Carlo worlds.
+func (e *DelayedEvaluator) SampleSize() int { return len(e.worlds) }
+
 // Seeds returns the current seed set (shared; do not modify).
 func (e *DelayedEvaluator) Seeds() []graph.NodeID { return e.seeds }
 

@@ -99,6 +99,9 @@ func (e *DiscountedEvaluator) discount(d int32) float64 {
 // Graph returns the underlying graph.
 func (e *DiscountedEvaluator) Graph() *graph.Graph { return e.g }
 
+// SampleSize returns the number of Monte-Carlo worlds.
+func (e *DiscountedEvaluator) SampleSize() int { return len(e.worlds) }
+
 // Seeds returns the current seed set (shared; do not modify).
 func (e *DiscountedEvaluator) Seeds() []graph.NodeID { return e.seeds }
 

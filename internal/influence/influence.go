@@ -101,6 +101,10 @@ func (e *Evaluator) Tau() int32 { return e.tau }
 // NumWorlds returns the number of Monte-Carlo worlds.
 func (e *Evaluator) NumWorlds() int { return len(e.worlds) }
 
+// SampleSize returns the number of Monte-Carlo worlds (the
+// estimator.Estimator sample-budget accessor).
+func (e *Evaluator) SampleSize() int { return len(e.worlds) }
+
 // Graph returns the underlying graph.
 func (e *Evaluator) Graph() *graph.Graph { return e.g }
 

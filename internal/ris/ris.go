@@ -225,6 +225,18 @@ func (e *Estimator) Collection() *Collection { return e.c }
 // Graph returns the underlying graph.
 func (e *Estimator) Graph() *graph.Graph { return e.c.g }
 
+// SampleSize returns the smallest per-group RR-pool size — the budget that
+// bounds every group's estimation error.
+func (e *Estimator) SampleSize() int {
+	m := 0
+	for i, s := range e.c.poolSize {
+		if i == 0 || s < m {
+			m = s
+		}
+	}
+	return m
+}
+
 // GainPerGroup returns the estimated per-group utility increase from
 // adding v. The returned slice is reused; copy to keep.
 func (e *Estimator) GainPerGroup(v graph.NodeID) []float64 {

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"context"
 	"errors"
+	"math"
 	"sync"
 	"time"
 
@@ -26,8 +27,52 @@ type sampleKey struct {
 	// MC, whose live-edge worlds are τ-independent — one world set serves
 	// every deadline, so requests differing only in τ share the entry.
 	tau    int32
-	budget int   // RR sets per group (RIS) or live-edge worlds (forward MC)
+	budget int   // RR sets per group (RIS) or live-edge worlds (forward MC); 0 when accuracy-sized
 	seed   int64 // sampling seed
+	// Accuracy-sized samples key by the (ε,δ) target and the seed-set
+	// size the stopping rule unions over instead of an explicit budget.
+	// All three are zero for explicitly budgeted samples.
+	epsBits, deltaBits uint64
+	sizingK            int
+	// evalOnly marks an accuracy-sized sample that only estimates fixed
+	// seed sets (/v1/estimate): forward-MC worlds need no candidate
+	// union, so the pool is far smaller than a solve's and must not be
+	// confused with one. RIS pools are solve-sized either way (shareable
+	// with solves by construction, though keyed separately here).
+	evalOnly bool
+}
+
+// sampleKeyFor maps a decoded spec onto the cache key: forward-MC keys by
+// world count with τ omitted (worlds are τ-independent, so one set serves
+// every deadline), RIS by per-group pool size and the τ that bounded the
+// sketch (model pinned to IC, the only one RIS supports).
+// Accuracy-targeted requests key by (ε, δ, sizing k) instead of a count —
+// two requests demanding the same accuracy share one stopping-rule-sized
+// sample.
+func sampleKeyFor(graphName string, g *graph.Graph, spec fairim.ProblemSpec, evalOnly bool) sampleKey {
+	k := sampleKey{
+		graph:  graphName,
+		engine: spec.Engine,
+		model:  spec.Model,
+		seed:   spec.Seed,
+	}
+	if spec.Engine == fairim.EngineRIS {
+		k.model = cascade.IC
+		k.tau = spec.Tau
+	}
+	if acc := spec.Sampling.Accuracy; acc != nil {
+		k.epsBits = math.Float64bits(acc.Epsilon)
+		k.deltaBits = math.Float64bits(acc.Delta)
+		k.sizingK = spec.SizingSeeds(g)
+		k.evalOnly = evalOnly
+		return k
+	}
+	if spec.Engine == fairim.EngineRIS {
+		k.budget = spec.Sampling.RISPerGroup
+	} else {
+		k.budget = spec.Sampling.Samples
+	}
+	return k
 }
 
 // sample is the cached, immutable artifact: an RR-sketch Collection or a
@@ -224,8 +269,35 @@ func (c *Cache) evictLocked() {
 	}
 }
 
-// buildSample draws the optimization sample key describes.
+// buildSample draws the optimization sample key describes. Accuracy keys
+// resolve their budget here — inside the singleflight, so the (possibly
+// doubling) sizing run happens once per key no matter the fan-in.
 func buildSample(key sampleKey, g *graph.Graph, parallelism int) (*sample, error) {
+	if key.epsBits != 0 {
+		eps := math.Float64frombits(key.epsBits)
+		delta := math.Float64frombits(key.deltaBits)
+		if key.engine == fairim.EngineRIS {
+			col, err := ris.SampleForAccuracy(g, key.tau, key.sizingK, eps, delta, key.seed, parallelism)
+			if err != nil {
+				return nil, err
+			}
+			return &sample{g: g, col: col}, nil
+		}
+		var m int
+		if key.evalOnly {
+			// Fixed-seed-set estimation: no candidate union, the per-set
+			// Hoeffding count suffices.
+			m = fairim.EvalWorlds(fairim.Accuracy{Epsilon: eps, Delta: delta}, g.NumGroups())
+		} else {
+			var err error
+			m, err = fairim.HoeffdingWorlds(eps, delta, key.sizingK, g.N(), g.NumGroups())
+			if err != nil {
+				return nil, err
+			}
+		}
+		worlds := cascade.SampleWorlds(g, key.model, m, key.seed, parallelism)
+		return &sample{g: g, worlds: worlds}, nil
+	}
 	if key.engine == fairim.EngineRIS {
 		perGroup := make([]int, g.NumGroups())
 		for i := range perGroup {

@@ -9,23 +9,38 @@
 //   - a Registry loads named graphs once (file-backed or synthetic via
 //     internal/generate) and shares the immutable *graph.Graph across
 //     all requests;
+//   - requests decode directly into a fairim.ProblemSpec (SolveRequest is
+//     its wire form), so the HTTP layer adds no second validation or
+//     defaulting scheme on top of the solver's;
 //   - a Cache keys warm optimization samples — τ-bounded RR-sketch
 //     Collections (internal/ris) or live-edge world sets
 //     (internal/cascade) — by (graph, engine, model, τ, sample budget,
 //     seed), holds them behind an LRU, and singleflights concurrent
 //     builds so an identical sketch is sampled exactly once no matter
-//     how many requests ask for it at the same time;
+//     how many requests ask for it at the same time. Accuracy-targeted
+//     requests key by (ε, δ, sizing k) instead of a count: the
+//     stopping-rule-sized pool (ris.SampleForAccuracy for RIS,
+//     fairim.HoeffdingWorlds for forward MC) is derived once inside the
+//     singleflight and shared like any other sample;
 //   - each request constructs its own cheap estimator.Estimator over the
 //     shared read-only sample and injects it into the fairim solvers via
 //     fairim.Config.Estimator, so solves never contend on estimator
 //     state;
-//   - a worker-pool semaphore bounds concurrent solves; excess requests
-//     queue up to a timeout and are then shed with 503, degrading
-//     gracefully under load instead of thrashing.
+//   - a worker-pool semaphore bounds concurrent solves; excess
+//     synchronous requests queue up to a timeout and are then shed with
+//     503, degrading gracefully under load instead of thrashing.
 //
-// Endpoints: POST /v1/select (seed selection), POST /v1/estimate (spread
-// evaluation of a caller-supplied seed set), GET /v1/graphs
-// (introspection), GET /healthz (liveness + cache stats). cmd/fairtcimd
-// is the daemon wrapping this package; cmd/fairtcim -server is a thin
-// client for it.
+// Long solves go through the async job API instead of holding an HTTP
+// worker: POST /v1/jobs returns a job id immediately, the solve gates on
+// the same worker pool (without the synchronous queue timeout), GET
+// /v1/jobs/{id} polls status and result, and GET /v1/jobs/{id}/trace
+// streams one server-sent "pick" event per greedy iteration — the
+// fairim.Config.OnIteration seam — followed by a terminal "done" event.
+//
+// Endpoints: POST /v1/select (synchronous seed selection), POST
+// /v1/estimate (spread evaluation of a caller-supplied seed set), POST
+// /v1/jobs + GET /v1/jobs[/{id}[/trace]] (async jobs), GET /v1/stats
+// (cache, worker-pool and job counters), GET /v1/graphs (introspection),
+// GET /healthz (liveness + cache stats). cmd/fairtcimd is the daemon
+// wrapping this package; cmd/fairtcim -server is a thin client for it.
 package server

@@ -1,0 +1,408 @@
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/graph"
+)
+
+// The async job API: POST /v1/jobs submits a solve and returns
+// immediately with a job id; GET /v1/jobs/{id} reports status and, once
+// finished, the result; GET /v1/jobs/{id}/trace streams one server-sent
+// "pick" event per greedy iteration while the solve runs. Long solves on
+// large graphs therefore hold a worker slot only while actually solving —
+// never an HTTP connection of the submitter.
+
+// Job states.
+const (
+	JobQueued  = "queued"  // accepted, waiting for a worker slot
+	JobRunning = "running" // solving
+	JobDone    = "done"    // finished successfully; result available
+	JobFailed  = "failed"  // finished with an error
+)
+
+// jobRetention bounds how many finished jobs are kept for status polling;
+// the oldest finished jobs are evicted first (counters survive eviction).
+const jobRetention = 256
+
+// job is one submitted solve. All mutable state is guarded by mu; notify
+// is closed and replaced on every change so any number of trace streams
+// can wait for progress without polling.
+type job struct {
+	id      string
+	graphN  string
+	problem string
+	created time.Time
+
+	mu       sync.Mutex
+	state    string
+	started  time.Time
+	finished time.Time
+	result   *SolveResponse
+	errMsg   string
+	trace    []TraceEvent
+	notify   chan struct{}
+}
+
+// signalLocked wakes every waiter; callers hold mu.
+func (j *job) signalLocked() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendPick records one greedy pick and wakes trace streams. It is the
+// fairim.Config.OnIteration callback, called synchronously from the
+// solver goroutine.
+func (j *job) appendPick(st fairim.IterationStat) {
+	j.mu.Lock()
+	j.trace = append(j.trace, TraceEvent{
+		Iteration: len(j.trace) + 1,
+		Seed:      st.Seed,
+		Objective: st.Objective,
+		Total:     st.Total,
+		NormGroup: st.NormGroup,
+	})
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.started = time.Now()
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
+func (j *job) finish(resp *SolveResponse, err error) {
+	j.mu.Lock()
+	j.finished = time.Now()
+	if err != nil {
+		j.state = JobFailed
+		j.errMsg = err.Error()
+	} else {
+		j.state = JobDone
+		j.result = resp
+	}
+	j.signalLocked()
+	j.mu.Unlock()
+}
+
+// JobStatus is the wire form of a job, returned by POST /v1/jobs (202)
+// and GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID      string `json:"id"`
+	Status  string `json:"status"`
+	Graph   string `json:"graph"`
+	Problem string `json:"problem"`
+	// Picks counts greedy iterations completed so far — live progress for
+	// pollers who do not consume the SSE trace.
+	Picks     int            `json:"picks"`
+	Error     string         `json:"error,omitempty"`
+	Result    *SolveResponse `json:"result,omitempty"`
+	StatusURL string         `json:"status_url"`
+	TraceURL  string         `json:"trace_url"`
+}
+
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:        j.id,
+		Status:    j.state,
+		Graph:     j.graphN,
+		Problem:   j.problem,
+		Picks:     len(j.trace),
+		Error:     j.errMsg,
+		Result:    j.result,
+		StatusURL: "/v1/jobs/" + j.id,
+		TraceURL:  "/v1/jobs/" + j.id + "/trace",
+	}
+}
+
+// JobStats counts jobs by lifecycle state; done/failed are cumulative
+// (they survive retention eviction).
+type JobStats struct {
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	Done    int64 `json:"done"`
+	Failed  int64 `json:"failed"`
+}
+
+// jobStore indexes jobs by id, bounds how many are active at once, and
+// retains a bounded history of finished jobs.
+type jobStore struct {
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []*job // insertion order, for retention eviction
+	maxActive int
+	done      int64 // cumulative, incl. evicted
+	failed    int64
+}
+
+func newJobStore(maxActive int) *jobStore {
+	if maxActive <= 0 {
+		maxActive = 64
+	}
+	return &jobStore{jobs: map[string]*job{}, maxActive: maxActive}
+}
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: job id entropy unavailable: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// add registers a new queued job, enforcing the active cap and evicting
+// the oldest finished jobs beyond retention.
+func (st *jobStore) add(graphName, problem string) (*job, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	active := 0
+	for _, j := range st.order {
+		j.mu.Lock()
+		if j.state == JobQueued || j.state == JobRunning {
+			active++
+		}
+		j.mu.Unlock()
+	}
+	if active >= st.maxActive {
+		return nil, ErrCapacity
+	}
+	j := &job{
+		id:      newJobID(),
+		graphN:  graphName,
+		problem: problem,
+		created: time.Now(),
+		state:   JobQueued,
+		notify:  make(chan struct{}),
+	}
+	st.jobs[j.id] = j
+	st.order = append(st.order, j)
+	st.evictLocked()
+	return j, nil
+}
+
+// evictLocked drops the oldest finished jobs beyond the retention bound.
+func (st *jobStore) evictLocked() {
+	if len(st.order) <= jobRetention {
+		return
+	}
+	kept := st.order[:0]
+	excess := len(st.order) - jobRetention
+	for _, j := range st.order {
+		j.mu.Lock()
+		finished := j.state == JobDone || j.state == JobFailed
+		j.mu.Unlock()
+		if excess > 0 && finished {
+			delete(st.jobs, j.id)
+			excess--
+			continue
+		}
+		kept = append(kept, j)
+	}
+	st.order = kept
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.jobs[id]
+	return j, ok
+}
+
+func (st *jobStore) noteFinished(failed bool) {
+	st.mu.Lock()
+	if failed {
+		st.failed++
+	} else {
+		st.done++
+	}
+	st.mu.Unlock()
+}
+
+func (st *jobStore) stats() JobStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := JobStats{Done: st.done, Failed: st.failed}
+	for _, j := range st.order {
+		j.mu.Lock()
+		switch j.state {
+		case JobQueued:
+			out.Queued++
+		case JobRunning:
+			out.Running++
+		}
+		j.mu.Unlock()
+	}
+	return out
+}
+
+func (st *jobStore) list() []JobStatus {
+	st.mu.Lock()
+	jobs := append([]*job(nil), st.order...)
+	st.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		s := j.status()
+		s.Result = nil // keep the listing light; fetch one job for the result
+		out[i] = s
+	}
+	return out
+}
+
+func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Resolve the graph synchronously so unknown names are a 404 at
+	// submission, not a failed job discovered later.
+	g, ok := s.getGraph(w, req.Graph)
+	if !ok {
+		return
+	}
+	j, err := s.jobs.add(req.Graph, spec.Problem.String())
+	if err != nil {
+		writeError(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		return
+	}
+	go s.runJob(j, g, req.Graph, spec)
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// startGate wraps a workerGate so the job flips from "queued" to
+// "running" only when it first actually holds a worker slot — until then
+// GET /v1/jobs/{id} and the /v1/stats queue counters report the backlog
+// truthfully.
+type startGate struct {
+	workerGate
+	once    *sync.Once
+	started func()
+}
+
+func (g startGate) acquire(ctx context.Context) bool {
+	if !g.workerGate.acquire(ctx) {
+		return false
+	}
+	g.once.Do(g.started)
+	return true
+}
+
+// runJob executes one submitted solve. It runs detached from the
+// submitting request: the sample build and solve gate on the shared
+// worker pool without a queue timeout (blockingGate), and every greedy
+// pick is forwarded to the job's trace buffer for streaming. The job
+// stays "queued" until the solve first holds a worker slot.
+func (s *Server) runJob(j *job, g *graph.Graph, graphName string, spec fairim.ProblemSpec) {
+	gate := startGate{workerGate: blockingGate{s}, once: &sync.Once{}, started: j.setRunning}
+	resp, err := s.solve(context.Background(), gate, graphName, g, spec, j.appendPick)
+	if resp != nil {
+		// The job trace is streamed separately; keep the stored result to
+		// the synchronous shape (trace only when the request asked).
+		if !spec.Trace {
+			resp.Trace = nil
+		}
+	}
+	j.finish(resp, err)
+	s.jobs.noteFinished(err != nil)
+}
+
+func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobStatus `json:"jobs"`
+	}{Jobs: s.jobs.list()})
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleJobTrace streams the job's greedy picks as server-sent events:
+// one "pick" event per iteration (replaying history first, then live),
+// then a terminal "done" event carrying the final status. The stream ends
+// when the job finishes or the client disconnects.
+func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	sent := 0
+	for {
+		j.mu.Lock()
+		pending := append([]TraceEvent(nil), j.trace[sent:]...)
+		state := j.state
+		errMsg := j.errMsg
+		notify := j.notify
+		j.mu.Unlock()
+
+		for _, ev := range pending {
+			if err := writeSSE(w, "pick", ev); err != nil {
+				return
+			}
+			sent++
+		}
+		if len(pending) > 0 {
+			fl.Flush()
+		}
+		if state == JobDone || state == JobFailed {
+			_ = writeSSE(w, "done", struct {
+				Status string `json:"status"`
+				Picks  int    `json:"picks"`
+				Error  string `json:"error,omitempty"`
+			}{Status: state, Picks: sent, Error: errMsg})
+			fl.Flush()
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one server-sent event with a JSON data payload.
+func writeSSE(w http.ResponseWriter, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+	return err
+}

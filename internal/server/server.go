@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"fairtcim/internal/cascade"
@@ -18,7 +19,7 @@ import (
 
 // Config parametrizes a Server. The zero value is usable with a non-nil
 // Registry: 32 cached samples, GOMAXPROCS-bounded worker pool, 10s queue
-// timeout.
+// timeout, 64 active jobs.
 type Config struct {
 	Registry *Registry
 	// CacheSize bounds the number of warm samples kept (LRU); <= 0
@@ -27,13 +28,17 @@ type Config struct {
 	// MaxConcurrent bounds solves in flight; excess requests queue.
 	// <= 0 means GOMAXPROCS.
 	MaxConcurrent int
-	// QueueTimeout is how long a request waits for a worker slot before
-	// being shed with 503; <= 0 means 10s.
+	// QueueTimeout is how long a synchronous request waits for a worker
+	// slot before being shed with 503; <= 0 means 10s. Async jobs are not
+	// subject to it — they wait for a slot as long as they must.
 	QueueTimeout time.Duration
 	// SolverParallelism is the per-request worker count for sampling and
 	// first-pass gains; <= 0 means GOMAXPROCS. Lower it when
 	// MaxConcurrent > 1 so concurrent solves do not oversubscribe.
 	SolverParallelism int
+	// MaxJobs bounds jobs queued or running at once; submissions beyond
+	// it are shed with 503. <= 0 means 64.
+	MaxJobs int
 }
 
 // Server is the HTTP serving layer; see the package comment for the
@@ -45,6 +50,10 @@ type Server struct {
 	queueTimeout time.Duration
 	parallelism  int
 	mux          *http.ServeMux
+	jobs         *jobStore
+
+	queued atomic.Int64 // requests currently waiting for a worker slot
+	shed   atomic.Int64 // requests turned away at capacity
 }
 
 // New builds a Server over cfg.Registry.
@@ -67,9 +76,15 @@ func New(cfg Config) (*Server, error) {
 		queueTimeout: timeout,
 		parallelism:  cfg.SolverParallelism,
 		mux:          http.NewServeMux(),
+		jobs:         newJobStore(cfg.MaxJobs),
 	}
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
@@ -80,12 +95,21 @@ func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // Handler returns the root handler serving all endpoints.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// CacheStats exposes sketch-cache counters (tests, /healthz).
+// CacheStats exposes sketch-cache counters (tests, /healthz, /v1/stats).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
-// SelectRequest is the body of POST /v1/select. Zero/absent fields take
-// the documented defaults, which match the fairtcim CLI.
-type SelectRequest struct {
+// AccuracyRequest is the wire form of an (ε,δ) estimation target.
+type AccuracyRequest struct {
+	Epsilon float64 `json:"epsilon"`
+	Delta   float64 `json:"delta"`
+}
+
+// SolveRequest is the body of POST /v1/select and POST /v1/jobs. It is
+// the wire form of fairim.ProblemSpec: zero/absent fields take the
+// documented defaults, which match the fairtcim CLI. Budgets come either
+// from explicit counts (samples, ris_per_group) or from an accuracy
+// target; setting both is an error.
+type SolveRequest struct {
 	Graph   string  `json:"graph"`             // registry name (required)
 	Problem string  `json:"problem,omitempty"` // p1 | p2 | p4 | p6; default p4
 	Budget  int     `json:"budget,omitempty"`  // seed budget B (p1/p4); default 30
@@ -96,30 +120,43 @@ type SelectRequest struct {
 	Samples int     `json:"samples,omitempty"` // MC worlds; default 200
 	// RISPerGroup is the RR-pool size per group for engine "ris";
 	// 0 derives 20·samples.
-	RISPerGroup int    `json:"ris_per_group,omitempty"`
-	H           string `json:"h,omitempty"`    // p4 wrapper: id | log | sqrt | pow<a>; default log
-	Seed        int64  `json:"seed,omitempty"` // sampling seed; default 1
+	RISPerGroup int `json:"ris_per_group,omitempty"`
+	// Accuracy, if set, replaces the explicit budgets: the server derives
+	// the pool size from the (ε,δ) stopping rule (IMM-style doubling for
+	// ris, a Hoeffding world count for forward-mc).
+	Accuracy *AccuracyRequest `json:"accuracy,omitempty"`
+	H        string           `json:"h,omitempty"`    // p4 wrapper: id | log | sqrt | pow<a>; default log
+	Seed     int64            `json:"seed,omitempty"` // sampling seed; default 1
 	// Eval picks the final-report estimator: "fresh" re-estimates on
 	// fresh Monte-Carlo worlds (default, unbiased), "sample" reports from
 	// the cached optimization sample (fastest, slightly optimistic).
 	Eval        string `json:"eval,omitempty"`
 	EvalSamples int    `json:"eval_samples,omitempty"` // fresh worlds for eval "fresh"; default samples
 	MaxSeeds    int    `json:"max_seeds,omitempty"`    // cover-problem safety bound; default |V|
+	// Trace includes the per-iteration picks in a synchronous response;
+	// jobs always record a trace for GET /v1/jobs/{id}/trace.
+	Trace bool `json:"trace,omitempty"`
 }
+
+// SelectRequest is the former name of SolveRequest.
+//
+// Deprecated: use SolveRequest.
+type SelectRequest = SolveRequest
 
 // EstimateRequest is the body of POST /v1/estimate: evaluate the spread
 // of a caller-supplied seed set. Eval defaults to "sample", reusing the
 // cached sketch (unbiased here — the seeds were not chosen on it).
 type EstimateRequest struct {
-	Graph       string         `json:"graph"`
-	Seeds       []graph.NodeID `json:"seeds"`
-	Tau         *int32         `json:"tau,omitempty"`
-	Engine      string         `json:"engine,omitempty"`
-	Model       string         `json:"model,omitempty"`
-	Samples     int            `json:"samples,omitempty"`
-	RISPerGroup int            `json:"ris_per_group,omitempty"`
-	Seed        int64          `json:"seed,omitempty"`
-	Eval        string         `json:"eval,omitempty"` // "sample" (default) | "fresh"
+	Graph       string           `json:"graph"`
+	Seeds       []graph.NodeID   `json:"seeds"`
+	Tau         *int32           `json:"tau,omitempty"`
+	Engine      string           `json:"engine,omitempty"`
+	Model       string           `json:"model,omitempty"`
+	Samples     int              `json:"samples,omitempty"`
+	RISPerGroup int              `json:"ris_per_group,omitempty"`
+	Accuracy    *AccuracyRequest `json:"accuracy,omitempty"`
+	Seed        int64            `json:"seed,omitempty"`
+	Eval        string           `json:"eval,omitempty"` // "sample" (default) | "fresh"
 }
 
 // UtilityReport is the shared result payload of select and estimate.
@@ -132,8 +169,19 @@ type UtilityReport struct {
 	Disparity    float64        `json:"disparity"`
 }
 
-// SelectResponse is the body of a successful /v1/select.
-type SelectResponse struct {
+// TraceEvent is one greedy pick, as carried in synchronous trace arrays
+// and streamed as an SSE "pick" event on /v1/jobs/{id}/trace.
+type TraceEvent struct {
+	Iteration int          `json:"iteration"` // 1-based pick index
+	Seed      graph.NodeID `json:"seed"`
+	Objective float64      `json:"objective"`
+	Total     float64      `json:"total"`
+	NormGroup []float64    `json:"norm_group"`
+}
+
+// SolveResponse is the body of a successful /v1/select and the result
+// embedded in a finished job.
+type SolveResponse struct {
 	Problem string `json:"problem"`
 	Graph   string `json:"graph"`
 	Engine  string `json:"engine"`
@@ -142,16 +190,29 @@ type SelectResponse struct {
 	CacheHit    bool    `json:"cache_hit"`
 	SampleMS    float64 `json:"sample_ms"` // sketch build cost (paid once per key)
 	SolveMS     float64 `json:"solve_ms"`  // greedy/CELF + final report
+	// Resolved sampling budgets the solve actually used — how large the
+	// accuracy-derived pool came out when the request carried an (ε,δ)
+	// target instead of explicit counts.
+	ResolvedSamples     int          `json:"resolved_samples,omitempty"`
+	ResolvedRISPerGroup int          `json:"resolved_ris_per_group,omitempty"`
+	Trace               []TraceEvent `json:"trace,omitempty"`
 }
+
+// SelectResponse is the former name of SolveResponse.
+//
+// Deprecated: use SolveResponse.
+type SelectResponse = SolveResponse
 
 // EstimateResponse is the body of a successful /v1/estimate.
 type EstimateResponse struct {
 	Graph  string `json:"graph"`
 	Engine string `json:"engine"`
 	UtilityReport
-	CacheHit bool    `json:"cache_hit"`
-	SampleMS float64 `json:"sample_ms"`
-	SolveMS  float64 `json:"solve_ms"`
+	CacheHit            bool    `json:"cache_hit"`
+	SampleMS            float64 `json:"sample_ms"`
+	SolveMS             float64 `json:"solve_ms"`
+	ResolvedSamples     int     `json:"resolved_samples,omitempty"`
+	ResolvedRISPerGroup int     `json:"resolved_ris_per_group,omitempty"`
 }
 
 // errorResponse is every non-2xx body.
@@ -171,14 +232,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
 }
 
-// writeCacheError maps EstimatorFor failures: capacity shedding and
-// client-gone cancellations are 503, anything else is a bad request.
-func writeCacheError(w http.ResponseWriter, err error) {
+// errStatus maps a solve-pipeline failure onto an HTTP status: capacity
+// shedding and client-gone cancellations are 503, anything else is a bad
+// request.
+func errStatus(err error) int {
 	if errors.Is(err, ErrCapacity) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func writeSolveError(w http.ResponseWriter, err error) {
+	status := errStatus(err)
+	if status == http.StatusServiceUnavailable {
+		writeError(w, status, "server at capacity; retry later")
 		return
 	}
-	writeError(w, http.StatusBadRequest, "%v", err)
+	writeError(w, status, "%v", err)
 }
 
 // acquire takes a worker slot, queueing up to the configured timeout.
@@ -188,254 +258,294 @@ func (s *Server) acquire(ctx context.Context) bool {
 		return true
 	default:
 	}
+	s.queued.Add(1)
+	defer s.queued.Add(-1)
 	timer := time.NewTimer(s.queueTimeout)
 	defer timer.Stop()
 	select {
 	case s.sem <- struct{}{}:
 		return true
 	case <-timer.C:
+		s.shed.Add(1)
 		return false
 	case <-ctx.Done():
+		// The client gave up while queued — not a capacity refusal, so
+		// it does not count toward shed.
 		return false
 	}
 }
 
 func (s *Server) release() { <-s.sem }
 
-// solveSpec is the decoded, defaulted common subset of both request
-// kinds, ready to key the cache and build a fairim.Config.
-type solveSpec struct {
-	graphName string
-	engine    fairim.Engine
-	model     cascade.Model
-	tau       int32
-	samples   int
-	risPool   int
-	seed      int64
-	onSample  bool
+// blockingGate is the worker gate async jobs use: unlike the synchronous
+// path it has no queue timeout — a job occupies no HTTP worker while it
+// waits, so it simply queues until a slot frees. Jobs currently run under
+// context.Background() (cancellation is a ROADMAP follow-up), so the ctx
+// branch exists for future callers, and a cancelled wait is not a
+// capacity shed.
+type blockingGate struct{ s *Server }
+
+func (b blockingGate) acquire(ctx context.Context) bool {
+	select {
+	case b.s.sem <- struct{}{}:
+		return true
+	default:
+	}
+	b.s.queued.Add(1)
+	defer b.s.queued.Add(-1)
+	select {
+	case b.s.sem <- struct{}{}:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
-func decodeSpec(graphName, engineName, modelName string, tau *int32, samples, risPool int, seed int64, eval, defaultEval string) (solveSpec, error) {
-	var spec solveSpec
+func (b blockingGate) release() { b.s.release() }
+
+// decodeCommon resolves the request fields shared by solve and estimate
+// into a fairim.ProblemSpec, applying the documented defaults and
+// rejecting anything malformed before a sample build or worker slot is
+// paid for.
+func decodeCommon(graphName, engineName, modelName string, tau *int32, samples, risPool int, acc *AccuracyRequest, seed int64, eval, defaultEval string) (fairim.ProblemSpec, error) {
+	var spec fairim.ProblemSpec
 	if graphName == "" {
 		return spec, fmt.Errorf("missing \"graph\"")
 	}
-	spec.graphName = graphName
 	var err error
-	if spec.engine, err = fairim.EngineByName(engineName); err != nil {
+	if spec.Engine, err = fairim.EngineByName(engineName); err != nil {
 		return spec, err
 	}
 	switch strings.ToLower(modelName) {
 	case "", "ic":
-		spec.model = cascade.IC
+		spec.Model = cascade.IC
 	case "lt":
-		spec.model = cascade.LT
+		spec.Model = cascade.LT
 	default:
 		return spec, fmt.Errorf("unknown model %q (want ic or lt)", modelName)
 	}
-	spec.tau = 20
+	spec.Tau = 20
 	if tau != nil {
 		switch {
 		case *tau < -1:
 			return spec, fmt.Errorf("negative deadline %d", *tau)
 		case *tau == -1:
-			spec.tau = cascade.NoDeadline
+			spec.Tau = cascade.NoDeadline
 		default:
-			spec.tau = *tau
+			spec.Tau = *tau
 		}
 	}
 	if samples < 0 {
 		return spec, fmt.Errorf("negative samples %d", samples)
 	}
-	spec.samples = samples
-	if spec.samples == 0 {
-		spec.samples = 200
-	}
 	if risPool < 0 {
 		return spec, fmt.Errorf("negative ris_per_group %d", risPool)
 	}
-	spec.risPool = risPool
-	if spec.risPool == 0 {
-		spec.risPool = 20 * spec.samples
+	if acc != nil {
+		if samples > 0 || risPool > 0 {
+			return spec, fmt.Errorf("request sets both explicit budgets and an accuracy target; choose one")
+		}
+		if acc.Epsilon <= 0 || acc.Epsilon >= 1 {
+			return spec, fmt.Errorf("accuracy epsilon %v outside (0,1)", acc.Epsilon)
+		}
+		if acc.Delta <= 0 || acc.Delta >= 1 {
+			return spec, fmt.Errorf("accuracy delta %v outside (0,1)", acc.Delta)
+		}
+		spec.Sampling.Accuracy = &fairim.Accuracy{Epsilon: acc.Epsilon, Delta: acc.Delta}
+	} else {
+		// Materialize the documented defaults so the cache key and the
+		// solver agree on the effective budgets.
+		if samples == 0 {
+			samples = fairim.DefaultSamples
+		}
+		if risPool == 0 {
+			risPool = 20 * samples
+		}
+		spec.Sampling.Samples = samples
+		spec.Sampling.RISPerGroup = risPool
 	}
-	spec.seed = seed
-	if spec.seed == 0 {
-		spec.seed = 1
+	spec.Seed = seed
+	if spec.Seed == 0 {
+		spec.Seed = 1
 	}
 	switch strings.ToLower(eval) {
 	case "":
-		spec.onSample = defaultEval == "sample"
+		spec.ReportOnSample = defaultEval == "sample"
 	case "sample":
-		spec.onSample = true
+		spec.ReportOnSample = true
 	case "fresh":
-		spec.onSample = false
+		spec.ReportOnSample = false
 	default:
 		return spec, fmt.Errorf("unknown eval mode %q (want fresh or sample)", eval)
 	}
 	// Reject engine/model combinations up front, before any sample is
 	// built or worker slot taken (fairim would also catch this, but only
 	// after the expensive build).
-	if spec.engine == fairim.EngineRIS && spec.model != cascade.IC {
+	if spec.Engine == fairim.EngineRIS && spec.Model != cascade.IC {
 		return spec, fmt.Errorf("the ris engine supports only the ic model")
 	}
 	return spec, nil
 }
 
-// key maps the spec onto the cache key: forward-MC keys by world count
-// with τ omitted (worlds are τ-independent, so one set serves every
-// deadline), RIS by per-group pool size and the τ that bounded the
-// sketch (model pinned to IC, the only one RIS supports).
-func (spec solveSpec) key() sampleKey {
-	k := sampleKey{
-		graph:  spec.graphName,
-		engine: spec.engine,
-		model:  spec.model,
-		budget: spec.samples,
-		seed:   spec.seed,
-	}
-	if spec.engine == fairim.EngineRIS {
-		k.model = cascade.IC
-		k.budget = spec.risPool
-		k.tau = spec.tau
-	}
-	return k
-}
-
-func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	var req SelectRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
-		return
-	}
-	spec, err := decodeSpec(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Seed, req.Eval, "fresh")
+// toSpec decodes the full solve request into a fairim.ProblemSpec.
+func (req SolveRequest) toSpec() (fairim.ProblemSpec, error) {
+	spec, err := decodeCommon(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Accuracy, req.Seed, req.Eval, "fresh")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return spec, err
 	}
-	// Validate everything parameter-shaped before touching the cache or
-	// worker pool, so bad requests never pay for (or queue behind) a
-	// sample build.
-	problem := strings.ToLower(req.Problem)
-	if problem == "" {
-		problem = "p4"
+	name := req.Problem
+	if name == "" {
+		name = "p4"
 	}
-	budget := req.Budget
-	if budget == 0 {
-		budget = 30
+	if spec.Problem, err = fairim.ProblemByName(name); err != nil {
+		return spec, err
 	}
-	quota := req.Quota
-	if quota == 0 {
-		quota = 0.2
+	spec.Budget = req.Budget
+	if spec.Budget == 0 {
+		spec.Budget = 30
 	}
-	switch problem {
-	case "p1", "p4":
-		if budget <= 0 {
-			writeError(w, http.StatusBadRequest, "budget must be positive, got %d", budget)
-			return
+	spec.Quota = req.Quota
+	if spec.Quota == 0 {
+		spec.Quota = 0.2
+	}
+	if spec.Problem.IsBudget() {
+		if spec.Budget <= 0 {
+			return spec, fmt.Errorf("budget must be positive, got %d", spec.Budget)
 		}
-	case "p2", "p6":
-		if quota <= 0 || quota > 1 {
-			writeError(w, http.StatusBadRequest, "quota %v outside (0,1]", quota)
-			return
-		}
-	default:
-		writeError(w, http.StatusBadRequest, "unknown problem %q (want p1, p2, p4 or p6)", req.Problem)
-		return
+	} else if spec.Quota <= 0 || spec.Quota > 1 {
+		return spec, fmt.Errorf("quota %v outside (0,1]", spec.Quota)
 	}
 	if req.EvalSamples < 0 {
-		writeError(w, http.StatusBadRequest, "negative eval_samples %d", req.EvalSamples)
-		return
+		return spec, fmt.Errorf("negative eval_samples %d", req.EvalSamples)
 	}
+	spec.EvalSamples = req.EvalSamples
 	if req.MaxSeeds < 0 {
-		writeError(w, http.StatusBadRequest, "negative max_seeds %d", req.MaxSeeds)
-		return
+		return spec, fmt.Errorf("negative max_seeds %d", req.MaxSeeds)
 	}
+	spec.MaxSeeds = req.MaxSeeds
 	hName := req.H
 	if hName == "" {
 		hName = "log"
 	}
-	h, err := concave.ByName(hName)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+	if spec.H, err = concave.ByName(hName); err != nil {
+		return spec, err
 	}
+	spec.Trace = req.Trace
+	return spec, nil
+}
 
-	g, err := s.reg.Get(spec.graphName)
+// getGraph resolves a registry name, mapping unknown names to 404.
+func (s *Server) getGraph(w http.ResponseWriter, name string) (*graph.Graph, bool) {
+	g, err := s.reg.Get(name)
 	if err != nil {
 		status := http.StatusInternalServerError
 		if errors.Is(err, ErrUnknownGraph) {
 			status = http.StatusNotFound
 		}
 		writeError(w, status, "%v", err)
-		return
+		return nil, false
 	}
+	return g, true
+}
 
-	smp, hit, buildMS, err := s.cache.SampleFor(r.Context(), spec.key(), g, s.parallelism, s)
+// solve runs the full pipeline for a decoded spec: warm sample from the
+// cache (built at most once per key), a per-request estimator inside a
+// worker slot, then fairim.Solve. onIter, if non-nil, observes every
+// greedy pick (the job-trace stream). The gate decides the queueing
+// policy — timeout-bounded for synchronous requests, unbounded for jobs.
+func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g *graph.Graph, spec fairim.ProblemSpec, onIter func(fairim.IterationStat)) (*SolveResponse, error) {
+	smp, hit, buildMS, err := s.cache.SampleFor(ctx, sampleKeyFor(graphName, g, spec, false), g, s.parallelism, gate)
 	if err != nil {
-		writeCacheError(w, err)
-		return
+		return nil, err
 	}
 
 	// The solve occupies a worker slot of its own; the build above held
 	// one only while sampling, and joiners waited slot-free. Estimator
 	// construction allocates proportional to the sample, so it happens
 	// inside the slot too.
-	if !s.acquire(r.Context()) {
-		writeError(w, http.StatusServiceUnavailable, "server at capacity; retry later")
-		return
+	if !gate.acquire(ctx) {
+		return nil, ErrCapacity
 	}
-	defer s.release()
-	est, err := smp.newEstimator(spec.tau)
+	defer gate.release()
+	est, err := smp.newEstimator(spec.Tau)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
+		return nil, err
 	}
-
-	cfg := fairim.Config{
-		Tau:            spec.tau,
-		Model:          spec.model,
-		Engine:         spec.engine,
-		Samples:        spec.samples,
-		EvalSamples:    req.EvalSamples,
-		RISPerGroup:    req.RISPerGroup,
-		Seed:           spec.seed,
-		Parallelism:    s.parallelism,
-		H:              h,
-		MaxSeeds:       req.MaxSeeds,
-		Estimator:      est,
-		ReportOnSample: spec.onSample,
+	spec.Estimator = est
+	spec.Parallelism = s.parallelism
+	if onIter != nil {
+		spec.OnIteration = onIter
 	}
 
 	start := time.Now()
-	var res *fairim.Result
-	switch problem {
-	case "p1":
-		res, err = fairim.SolveTCIMBudget(g, budget, cfg)
-	case "p2":
-		res, err = fairim.SolveTCIMCover(g, quota, cfg)
-	case "p4":
-		res, err = fairim.SolveFairTCIMBudget(g, budget, cfg)
-	default: // p6; other values were rejected above
-		res, err = fairim.SolveFairTCIMCover(g, quota, cfg)
+	res, err := fairim.Solve(g, spec)
+	if err != nil {
+		return nil, err
 	}
+	resp := &SolveResponse{
+		Problem:             res.Problem,
+		Graph:               graphName,
+		Engine:              spec.Engine.String(),
+		UtilityReport:       reportOf(res),
+		Evaluations:         res.Evaluations,
+		CacheHit:            hit,
+		SampleMS:            buildMS,
+		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
+		ResolvedSamples:     res.Samples,
+		ResolvedRISPerGroup: res.RISPerGroup,
+		Trace:               traceEvents(res.Trace),
+	}
+	return resp, nil
+}
+
+func traceEvents(trace []fairim.IterationStat) []TraceEvent {
+	if trace == nil {
+		return nil
+	}
+	out := make([]TraceEvent, len(trace))
+	for i, st := range trace {
+		out[i] = TraceEvent{
+			Iteration: i + 1,
+			Seed:      st.Seed,
+			Objective: st.Objective,
+			Total:     st.Total,
+			NormGroup: st.NormGroup,
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req SolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return
+	}
+	spec, err := req.toSpec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-
-	writeJSON(w, http.StatusOK, SelectResponse{
-		Problem:       res.Problem,
-		Graph:         spec.graphName,
-		Engine:        spec.engine.String(),
-		UtilityReport: reportOf(res),
-		Evaluations:   res.Evaluations,
-		CacheHit:      hit,
-		SampleMS:      buildMS,
-		SolveMS:       float64(time.Since(start).Microseconds()) / 1000,
-	})
+	g, ok := s.getGraph(w, req.Graph)
+	if !ok {
+		return
+	}
+	resp, err := s.solve(r.Context(), serverGate{s}, req.Graph, g, spec, nil)
+	if err != nil {
+		writeSolveError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
+
+// serverGate is the synchronous-request worker gate: queue up to the
+// configured timeout, then shed.
+type serverGate struct{ s *Server }
+
+func (g serverGate) acquire(ctx context.Context) bool { return g.s.acquire(ctx) }
+func (g serverGate) release()                         { g.s.release() }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest
@@ -445,7 +555,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
 		return
 	}
-	spec, err := decodeSpec(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Seed, req.Eval, "sample")
+	spec, err := decodeCommon(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Accuracy, req.Seed, req.Eval, "sample")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -454,14 +564,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "missing \"seeds\"")
 		return
 	}
-
-	g, err := s.reg.Get(spec.graphName)
-	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, ErrUnknownGraph) {
-			status = http.StatusNotFound
-		}
-		writeError(w, status, "%v", err)
+	g, ok := s.getGraph(w, req.Graph)
+	if !ok {
 		return
 	}
 	// Range-check seeds before any sample build or worker slot is paid
@@ -472,24 +576,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// Accuracy-sized estimation unions over this one fixed seed set.
+	spec.Budget = len(req.Seeds)
 
-	cfg := fairim.Config{
-		Tau:            spec.tau,
-		Model:          spec.model,
-		Engine:         spec.engine,
-		Samples:        spec.samples,
-		RISPerGroup:    req.RISPerGroup,
-		Seed:           spec.seed,
-		Parallelism:    s.parallelism,
-		ReportOnSample: spec.onSample,
-	}
 	var hit bool
 	var buildMS float64
 	var smp *sample
-	if spec.onSample {
-		smp, hit, buildMS, err = s.cache.SampleFor(r.Context(), spec.key(), g, s.parallelism, s)
+	if spec.ReportOnSample {
+		smp, hit, buildMS, err = s.cache.SampleFor(r.Context(), sampleKeyFor(req.Graph, g, spec, true), g, s.parallelism, serverGate{s})
 		if err != nil {
-			writeCacheError(w, err)
+			writeSolveError(w, err)
 			return
 		}
 	}
@@ -500,28 +596,31 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	if smp != nil {
-		est, err := smp.newEstimator(spec.tau)
+		est, err := smp.newEstimator(spec.Tau)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		cfg.Estimator = est
+		spec.Estimator = est
 	}
+	spec.Parallelism = s.parallelism
 
 	start := time.Now()
-	res, err := fairim.EvaluateSeeds(g, req.Seeds, cfg)
+	res, err := fairim.Evaluate(g, req.Seeds, spec)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
 	writeJSON(w, http.StatusOK, EstimateResponse{
-		Graph:         spec.graphName,
-		Engine:        spec.engine.String(),
-		UtilityReport: reportOf(res),
-		CacheHit:      hit,
-		SampleMS:      buildMS,
-		SolveMS:       float64(time.Since(start).Microseconds()) / 1000,
+		Graph:               req.Graph,
+		Engine:              spec.Engine.String(),
+		UtilityReport:       reportOf(res),
+		CacheHit:            hit,
+		SampleMS:            buildMS,
+		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
+		ResolvedSamples:     res.Samples,
+		ResolvedRISPerGroup: res.RISPerGroup,
 	})
 }
 
@@ -537,6 +636,41 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		Graphs []string   `json:"graphs"`
 		Cache  CacheStats `json:"cache"`
 	}{Status: "ok", Graphs: s.reg.Names(), Cache: s.cache.Stats()})
+}
+
+// WorkerStats snapshots the worker pool: slot capacity, slots in use,
+// requests waiting for a slot, and requests shed at capacity since start.
+type WorkerStats struct {
+	Capacity int   `json:"capacity"`
+	Active   int   `json:"active"`
+	Queued   int64 `json:"queued"`
+	Shed     int64 `json:"shed"`
+}
+
+// StatsResponse is the body of GET /v1/stats — the observability roll-up
+// of cache effectiveness, worker-pool pressure and job lifecycle counts.
+type StatsResponse struct {
+	Cache   CacheStats  `json:"cache"`
+	Workers WorkerStats `json:"workers"`
+	Jobs    JobStats    `json:"jobs"`
+}
+
+// Stats snapshots all server counters (also served at GET /v1/stats).
+func (s *Server) Stats() StatsResponse {
+	return StatsResponse{
+		Cache: s.cache.Stats(),
+		Workers: WorkerStats{
+			Capacity: cap(s.sem),
+			Active:   len(s.sem),
+			Queued:   s.queued.Load(),
+			Shed:     s.shed.Load(),
+		},
+		Jobs: s.jobs.stats(),
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
 }
 
 // reportOf projects a fairim.Result onto the wire payload.
