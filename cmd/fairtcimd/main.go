@@ -5,6 +5,14 @@
 //
 //	fairtcimd -addr :8732 -graph prod=net.txt -graph staging=small.txt
 //	fairtcimd -addr :8732 -cache 64 -max-concurrent 8
+//	fairtcimd -addr :8732 -state-dir /var/lib/fairtcim
+//
+// With -state-dir the daemon restarts warm: every built RIS sketch and
+// Monte-Carlo world set is written through to <dir>/sketches and reloaded
+// on demand after a restart (no re-sampling), and finished-job history is
+// journaled to <dir>/jobs.jsonl so GET /v1/jobs survives restarts. Files
+// are validated (magic, codec version, checksum, graph fingerprint)
+// before use; anything stale or corrupt falls back to a cold build.
 //
 // Built-in synthetic graphs "twoblock" (the paper's §6.1 two-group SBM)
 // and "twostars" (the deterministic parity fixture) are registered unless
@@ -55,6 +63,8 @@ type options struct {
 	shutdownTimeout time.Duration
 	parallelism     int
 	maxJobs         int
+	jobRetention    int
+	stateDir        string
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -80,6 +90,8 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.shutdownTimeout, "shutdown-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
 	fs.IntVar(&o.parallelism, "parallelism", 0, "per-solve worker count; 0 = GOMAXPROCS")
 	fs.IntVar(&o.maxJobs, "max-jobs", 0, "async jobs queued or running at once; 0 = 64")
+	fs.IntVar(&o.jobRetention, "job-retention", 0, "finished jobs kept for /v1/jobs history; 0 = 256")
+	fs.StringVar(&o.stateDir, "state-dir", "", "warm-restart state directory (persisted sketches + job history); empty = in-memory only")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -129,6 +141,8 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		QueueTimeout:      o.queueTimeout,
 		SolverParallelism: o.parallelism,
 		MaxJobs:           o.maxJobs,
+		JobRetention:      o.jobRetention,
+		StateDir:          o.stateDir,
 	})
 	if err != nil {
 		return err

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"strings"
 	"testing"
@@ -20,6 +21,16 @@ func TestParseFlags(t *testing.T) {
 	}
 	if o.graphs["a"] != "x.txt" || o.graphs["b"] != "y.txt" || o.cacheSize != 4 {
 		t.Fatalf("parsed options: %+v", o)
+	}
+	if o.stateDir != "" || o.jobRetention != 0 {
+		t.Fatalf("persistence defaults: %+v", o)
+	}
+	o, err = parseFlags([]string{"-state-dir", "/tmp/state", "-job-retention", "17"}, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.stateDir != "/tmp/state" || o.jobRetention != 17 {
+		t.Fatalf("persistence flags: %+v", o)
 	}
 	if _, err := parseFlags([]string{"-graph", "nopath"}, &errw); err == nil {
 		t.Fatal("malformed -graph accepted")
@@ -141,4 +152,90 @@ func TestDaemonEndToEnd(t *testing.T) {
 	if !strings.Contains(errw.String(), "listening on") {
 		t.Fatalf("missing startup log: %s", errw.String())
 	}
+}
+
+// TestDaemonWarmRestart boots the daemon with a state dir, warms one
+// sketch, restarts the daemon on the same dir, and checks the first
+// post-restart repeat query is served from persisted state (cache_hit
+// with zero builds).
+func TestDaemonWarmRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	body := `{"graph":"twostars","problem":"p1","budget":2,"tau":3,"engine":"ris","samples":40}`
+
+	boot := func() (addr string, cancel context.CancelFunc, done chan error) {
+		ctx, cancelFn := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done = make(chan error, 1)
+		var errw bytes.Buffer
+		go func() {
+			done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-state-dir", stateDir}, &errw, ready)
+		}()
+		select {
+		case addr = <-ready:
+		case err := <-done:
+			t.Fatalf("daemon exited early: %v (%s)", err, errw.String())
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon never became ready")
+		}
+		return addr, cancelFn, done
+	}
+	stop := func(cancel context.CancelFunc, done chan error) {
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("daemon did not shut down")
+		}
+	}
+	sel := func(addr string) server.SolveResponse {
+		resp, err := http.Post("http://"+addr+"/v1/select", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out server.SolveResponse
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("select status %d", resp.StatusCode)
+		}
+		return out
+	}
+
+	addr, cancel, done := boot()
+	first := sel(addr)
+	if first.CacheHit {
+		t.Fatal("very first query reported a cache hit")
+	}
+	stop(cancel, done)
+
+	addr, cancel, done = boot()
+	second := sel(addr)
+	if !second.CacheHit {
+		t.Error("first post-restart query was not served warm")
+	}
+	if fmt.Sprint(second.Seeds) != fmt.Sprint(first.Seeds) || second.Total != first.Total {
+		t.Errorf("post-restart result differs: %v/%v vs %v/%v", second.Seeds, second.Total, first.Seeds, first.Total)
+	}
+	resp, err := http.Get("http://" + addr + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats server.StatsResponse
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Builds != 0 || stats.Cache.DiskHits < 1 {
+		t.Errorf("post-restart cache counters: %+v", stats.Cache)
+	}
+	if stats.StateDir != stateDir {
+		t.Errorf("stats state_dir = %q, want %q", stats.StateDir, stateDir)
+	}
+	stop(cancel, done)
 }

@@ -1,0 +1,73 @@
+package cascade
+
+import (
+	"fmt"
+
+	"fairtcim/internal/persist"
+)
+
+// WorldCodecKind and WorldCodecVersion identify a live-edge world-set
+// payload inside a persist frame. Bump WorldCodecVersion whenever the
+// payload layout below changes; old files are then rejected with
+// persist.ErrMismatch and the caller re-samples.
+const (
+	WorldCodecKind    = "wrld"
+	WorldCodecVersion = 1
+)
+
+// EncodeWorlds flattens a world set into the version-1 payload: the world
+// count, then each world's CSR offsets and surviving-edge targets. Worlds
+// are graph-shaped but self-contained, so the payload carries everything
+// needed to reconstruct them; persistence binds it to the source graph
+// through the frame's fingerprint.
+func EncodeWorlds(worlds []*World) []byte {
+	var e persist.Enc
+	e.U64(uint64(len(worlds)))
+	for _, w := range worlds {
+		e.I32s(w.offsets)
+		e.I32s(w.targets)
+	}
+	return e.Bytes()
+}
+
+// DecodeWorlds reconstructs a world set over an n-node graph from a
+// version-1 payload, re-validating every CSR invariant (offset
+// monotonicity, edge-count consistency, target range) so a forged or
+// stale payload cannot produce out-of-range traversals or silently wrong
+// estimates.
+func DecodeWorlds(payload []byte, n int) ([]*World, error) {
+	d := persist.NewDec(payload)
+	r := d.Len(1)
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	worlds := make([]*World, r)
+	for i := range worlds {
+		offsets := d.I32s()
+		targets := d.I32s()
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if len(offsets) != n+1 {
+			return nil, fmt.Errorf("cascade: decoded world %d has %d offsets for %d nodes", i, len(offsets), n)
+		}
+		if offsets[0] != 0 || int(offsets[n]) != len(targets) {
+			return nil, fmt.Errorf("cascade: decoded world %d offsets cover %d..%d, targets %d", i, offsets[0], offsets[n], len(targets))
+		}
+		for v := 0; v < n; v++ {
+			if offsets[v+1] < offsets[v] {
+				return nil, fmt.Errorf("cascade: decoded world %d offsets not monotone at node %d", i, v)
+			}
+		}
+		for _, t := range targets {
+			if t < 0 || int(t) >= n {
+				return nil, fmt.Errorf("cascade: decoded world %d target %d out of range [0,%d)", i, t, n)
+			}
+		}
+		worlds[i] = &World{offsets: offsets, targets: targets}
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return worlds, nil
+}

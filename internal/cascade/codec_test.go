@@ -1,0 +1,87 @@
+package cascade
+
+import (
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/persist"
+)
+
+// TestWorldCodecRoundTrip: decoded worlds are structurally identical to
+// the saved ones — every node's surviving out-neighborhood matches in
+// every world — so forward-MC estimates over them are byte-identical.
+func TestWorldCodecRoundTrip(t *testing.T) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, model := range []Model{IC, LT} {
+		worlds := SampleWorlds(g, model, 20, 9, 2)
+		back, err := DecodeWorlds(EncodeWorlds(worlds), g.N())
+		if err != nil {
+			t.Fatalf("%v: %v", model, err)
+		}
+		if len(back) != len(worlds) {
+			t.Fatalf("%v: %d worlds, want %d", model, len(back), len(worlds))
+		}
+		for i, w := range worlds {
+			if back[i].N() != w.N() || back[i].M() != w.M() {
+				t.Fatalf("%v world %d: shape %d/%d, want %d/%d", model, i, back[i].N(), back[i].M(), w.N(), w.M())
+			}
+			for v := 0; v < g.N(); v++ {
+				a, b := w.Out(int32(v)), back[i].Out(int32(v))
+				if len(a) != len(b) {
+					t.Fatalf("%v world %d node %d: %v vs %v", model, i, v, a, b)
+				}
+				for j := range a {
+					if a[j] != b[j] {
+						t.Fatalf("%v world %d node %d: %v vs %v", model, i, v, a, b)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestWorldCodecRejectsMalformedPayloads(t *testing.T) {
+	g := generate.TwoStars()
+	worlds := SampleWorlds(g, IC, 5, 1, 1)
+	good := EncodeWorlds(worlds)
+
+	if _, err := DecodeWorlds(good[:len(good)-3], g.N()); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := DecodeWorlds(append(append([]byte(nil), good...), 0), g.N()); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeWorlds(good, g.N()+1); err == nil {
+		t.Error("wrong node count accepted")
+	}
+
+	// Target out of range.
+	var e persist.Enc
+	e.U64(1)
+	e.I32s([]int32{0, 1, 1, 1}) // 3 nodes, one edge from node 0
+	e.I32s([]int32{99})         // ...to a node that does not exist
+	if _, err := DecodeWorlds(e.Bytes(), 3); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+
+	// Non-monotone offsets.
+	var m persist.Enc
+	m.U64(1)
+	m.I32s([]int32{0, 2, 1, 2})
+	m.I32s([]int32{0, 1})
+	if _, err := DecodeWorlds(m.Bytes(), 3); err == nil {
+		t.Error("non-monotone offsets accepted")
+	}
+
+	// Offsets/targets length disagreement.
+	var d persist.Enc
+	d.U64(1)
+	d.I32s([]int32{0, 1, 1, 2})
+	d.I32s([]int32{0})
+	if _, err := DecodeWorlds(d.Bytes(), 3); err == nil {
+		t.Error("offset/target length mismatch accepted")
+	}
+}

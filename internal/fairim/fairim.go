@@ -18,6 +18,7 @@
 package fairim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
@@ -107,6 +108,13 @@ type Config struct {
 	// as server-sent events). The snapshot's slices are not reused; the
 	// callback may retain them.
 	OnIteration func(IterationStat)
+	// Cancel, if non-nil, is polled at the same between-picks seam as
+	// OnIteration: once the channel is closed, the solve aborts after the
+	// current pick and returns ErrCanceled. Sampling and the parallel
+	// first gain pass are not interrupted — cancellation takes effect at
+	// the next pick boundary, keeping partial state consistent. The
+	// serving layer wires a job's cancellation context here.
+	Cancel <-chan struct{}
 	// Estimator, if non-nil, is used as the optimization estimator instead
 	// of sampling a fresh one — the serving fast path: a warm estimator
 	// built from a cached sample (e.g. a shared ris.Collection or world
@@ -124,6 +132,11 @@ type Config struct {
 	// seed set was not chosen on the sample.
 	ReportOnSample bool
 }
+
+// ErrCanceled reports a solve aborted between greedy picks because
+// Config.Cancel fired. The Result is discarded; callers that want the
+// partial seed set should consume OnIteration snapshots instead.
+var ErrCanceled = errors.New("fairim: solve canceled")
 
 // DefaultConfig returns the paper's synthetic-experiment defaults (§6.1):
 // τ = 20 and 200 Monte-Carlo samples.

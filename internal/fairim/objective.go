@@ -87,22 +87,45 @@ type objective struct {
 	traceOn bool
 	trace   []IterationStat
 	onIter  func(IterationStat) // streaming observer; nil = none
+	cancel  <-chan struct{}     // cooperative cancellation; nil = none
+	stopErr error               // latched once cancel fires
 
 	cur  []float64 // cached GroupUtilities of the current set
 	next []float64 // scratch for candidate utilities
 }
 
-func newObjective(eval estimator.Estimator, vf valueFn, traceOn bool, onIter func(IterationStat)) *objective {
-	return &objective{
+func newObjective(eval estimator.Estimator, vf valueFn, cfg Config) *objective {
+	o := &objective{
 		eval:    eval,
 		vf:      vf,
 		g:       eval.Graph(),
-		traceOn: traceOn,
-		onIter:  onIter,
+		traceOn: cfg.Trace,
+		onIter:  cfg.OnIteration,
+		cancel:  cfg.Cancel,
 		cur:     eval.GroupUtilities(),
 		next:    make([]float64, eval.Graph().NumGroups()),
 	}
+	// A cancel that fired before the first pick stops the optimizer
+	// before it spends anything.
+	o.pollCancel()
+	return o
 }
+
+// pollCancel latches ErrCanceled once the cancel channel is closed; the
+// submodular optimizers read it through Stopped after every pick.
+func (o *objective) pollCancel() {
+	if o.cancel == nil || o.stopErr != nil {
+		return
+	}
+	select {
+	case <-o.cancel:
+		o.stopErr = ErrCanceled
+	default:
+	}
+}
+
+// Stopped implements submodular.Stopper.
+func (o *objective) Stopped() error { return o.stopErr }
 
 // Gain returns the objective's exact marginal for adding v to the current
 // set (exact w.r.t. the fixed Monte-Carlo worlds).
@@ -137,6 +160,7 @@ func (o *objective) Add(v graph.NodeID) {
 			o.onIter(st)
 		}
 	}
+	o.pollCancel()
 }
 
 // Value returns the objective at the current set.

@@ -170,16 +170,17 @@ func HoeffdingWorlds(eps, delta float64, k, n, groups int) (int, error) {
 // within additive ε with probability 1−δ — Hoeffding with a union bound
 // over the groups only, no union over candidate sets, so far smaller than
 // a solve's HoeffdingWorlds. The serving layer uses it to size cached
-// estimation samples.
-func EvalWorlds(a Accuracy, groups int) int {
+// estimation samples. Like HoeffdingWorlds, a target beyond the
+// auto-sizing cap is an error — never a silently degraded guarantee.
+func EvalWorlds(a Accuracy, groups int) (int, error) {
 	need := math.Log(2*float64(groups)/a.Delta) / (2 * a.Epsilon * a.Epsilon)
-	if need < 1 {
-		return 1
-	}
 	if need > maxAutoSamples {
-		return maxAutoSamples
+		return 0, fmt.Errorf("fairim: accuracy target (ε=%v, δ=%v) demands %.0f eval worlds (cap %d); relax the target or set explicit budgets", a.Epsilon, a.Delta, need, maxAutoSamples)
 	}
-	return int(math.Ceil(need))
+	if need < 1 {
+		return 1, nil
+	}
+	return int(math.Ceil(need)), nil
 }
 
 // resolveMode tells resolve what the resulting Config will drive, which
@@ -242,7 +243,10 @@ func (s ProblemSpec) resolve(g *graph.Graph, k int, mode resolveMode) (Config, e
 	}
 
 	if cfg.EvalSamples == 0 {
-		cfg.EvalSamples = EvalWorlds(*acc, g.NumGroups())
+		var err error
+		if cfg.EvalSamples, err = EvalWorlds(*acc, g.NumGroups()); err != nil {
+			return cfg, err
+		}
 	}
 	if cfg.Estimator != nil || mode == resolveEvalFresh {
 		// A warm estimator carries its own sample, and a fresh-world
@@ -257,7 +261,10 @@ func (s ProblemSpec) resolve(g *graph.Graph, k int, mode resolveMode) (Config, e
 	if mode == resolveEvalSample && cfg.Engine != EngineRIS {
 		// One fixed seed set: no candidate union, the plain per-set
 		// Hoeffding count suffices.
-		cfg.Samples = EvalWorlds(*acc, g.NumGroups())
+		var err error
+		if cfg.Samples, err = EvalWorlds(*acc, g.NumGroups()); err != nil {
+			return cfg, err
+		}
 		return cfg, nil
 	}
 	if cfg.Engine == EngineRIS {
@@ -307,16 +314,16 @@ func Solve(g *graph.Graph, spec ProblemSpec) (*Result, error) {
 	var res submodular.Result
 	switch spec.Problem {
 	case P1:
-		obj = newObjective(eval, totalValue{}, cfg.Trace, cfg.OnIteration)
+		obj = newObjective(eval, totalValue{}, cfg)
 		res, err = maximize(obj, cfg, g, spec.Budget)
 	case P4:
-		obj = newObjective(eval, concaveValue{h: cfg.h(), weights: cfg.GroupWeights}, cfg.Trace, cfg.OnIteration)
+		obj = newObjective(eval, concaveValue{h: cfg.h(), weights: cfg.GroupWeights}, cfg)
 		res, err = maximize(obj, cfg, g, spec.Budget)
 	case P2:
-		obj = newObjective(eval, totalQuotaValue{quota: spec.Quota}, cfg.Trace, cfg.OnIteration)
+		obj = newObjective(eval, totalQuotaValue{quota: spec.Quota}, cfg)
 		res, err = cover(obj, cfg, g, spec.Quota-coverSlack)
 	default: // P6
-		obj = newObjective(eval, groupQuotaValue{quota: spec.Quota}, cfg.Trace, cfg.OnIteration)
+		obj = newObjective(eval, groupQuotaValue{quota: spec.Quota}, cfg)
 		res, err = cover(obj, cfg, g, spec.Quota*float64(g.NumGroups())-coverSlack)
 	}
 	if err != nil {

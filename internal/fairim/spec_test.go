@@ -1,6 +1,7 @@
 package fairim
 
 import (
+	"errors"
 	"math"
 	"reflect"
 	"testing"
@@ -328,7 +329,77 @@ func TestEvaluateAccuracySizesForSingleSet(t *testing.T) {
 	if fresh.RISPerGroup != 0 {
 		t.Errorf("fresh-world eval reports an RR pool of %d", fresh.RISPerGroup)
 	}
-	if fresh.Samples != EvalWorlds(Accuracy{Epsilon: 0.2, Delta: 0.05}, g.NumGroups()) {
+	evalSized, err := EvalWorlds(Accuracy{Epsilon: 0.2, Delta: 0.05}, g.NumGroups())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Samples != evalSized {
 		t.Errorf("fresh-world eval reports %d worlds, want the eval-sized count", fresh.Samples)
+	}
+
+	// A target beyond the auto-sizing cap errors like HoeffdingWorlds
+	// instead of silently clamping the guarantee.
+	if _, err := EvalWorlds(Accuracy{Epsilon: 0.0005, Delta: 0.05}, g.NumGroups()); err == nil {
+		t.Error("absurd eval accuracy target not rejected by the cap")
+	}
+}
+
+// TestSolveCancelBetweenPicks pins the cooperative cancellation seam the
+// job API relies on: closing Config.Cancel from an OnIteration callback
+// (i.e. exactly between greedy picks) aborts the solve with ErrCanceled
+// after the current pick, deterministically.
+func TestSolveCancelBetweenPicks(t *testing.T) {
+	g := smallSBM(t, 5)
+	cancel := make(chan struct{})
+	cfg := quickCfg(6)
+	picks := 0
+	cfg.Cancel = cancel
+	cfg.OnIteration = func(IterationStat) {
+		picks++
+		if picks == 2 {
+			close(cancel)
+		}
+	}
+	_, err := Solve(g, ProblemSpec{Problem: P4, Budget: 10, Config: cfg})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if picks != 2 {
+		t.Fatalf("solve ran %d picks after the cancel, want exactly 2", picks)
+	}
+
+	// Cover problems abort through the same seam.
+	picks = 0
+	cancel = make(chan struct{})
+	ccfg := quickCfg(6)
+	ccfg.Cancel = cancel
+	ccfg.OnIteration = func(IterationStat) {
+		picks++
+		if picks == 1 {
+			close(cancel)
+		}
+	}
+	_, err = Solve(g, ProblemSpec{Problem: P6, Quota: 0.9, Config: ccfg})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("cover: err = %v, want ErrCanceled", err)
+	}
+	if picks != 1 {
+		t.Fatalf("cover ran %d picks after the cancel, want exactly 1", picks)
+	}
+
+	// A cancel that fired before the solve starts costs zero picks.
+	pre := make(chan struct{})
+	close(pre)
+	pcfg := quickCfg(6)
+	pcfg.Cancel = pre
+	pcfg.OnIteration = func(IterationStat) { t.Fatal("pick happened after pre-cancel") }
+	if _, err := Solve(g, ProblemSpec{Problem: P1, Budget: 3, Config: pcfg}); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled: err = %v, want ErrCanceled", err)
+	}
+
+	// A nil Cancel changes nothing.
+	ncfg := quickCfg(6)
+	if _, err := Solve(g, ProblemSpec{Problem: P1, Budget: 3, Config: ncfg}); err != nil {
+		t.Fatalf("nil cancel: %v", err)
 	}
 }

@@ -1,0 +1,148 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Enc appends little-endian primitives to a growing buffer. The zero
+// value is ready to use; read the result with Bytes.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U32 appends one uint32.
+func (e *Enc) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends one uint64.
+func (e *Enc) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I32 appends one int32.
+func (e *Enc) I32(v int32) { e.U32(uint32(v)) }
+
+// I64 appends one int64.
+func (e *Enc) I64(v int64) { e.U64(uint64(v)) }
+
+// I32s appends a length-prefixed []int32.
+func (e *Enc) I32s(s []int32) {
+	e.U64(uint64(len(s)))
+	for _, v := range s {
+		e.I32(v)
+	}
+}
+
+// Ints appends a length-prefixed []int as int64 values.
+func (e *Enc) Ints(s []int) {
+	e.U64(uint64(len(s)))
+	for _, v := range s {
+		e.I64(int64(v))
+	}
+}
+
+// Dec reads little-endian primitives from a buffer. The first malformed
+// read latches an error; every later read returns zero values, so callers
+// decode straight through and check Err (or Close) once at the end.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over buf.
+func NewDec(buf []byte) *Dec { return &Dec{buf: buf} }
+
+// err4 checks n more bytes are available, latching ErrCorrupt if not.
+func (d *Dec) err4(n int, what string) bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+n > len(d.buf) {
+		d.err = fmt.Errorf("%w: truncated payload reading %s at offset %d", ErrCorrupt, what, d.off)
+		return false
+	}
+	return true
+}
+
+// U32 reads one uint32.
+func (d *Dec) U32() uint32 {
+	if !d.err4(4, "uint32") {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+// U64 reads one uint64.
+func (d *Dec) U64() uint64 {
+	if !d.err4(8, "uint64") {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+// I32 reads one int32.
+func (d *Dec) I32() int32 { return int32(d.U32()) }
+
+// I64 reads one int64.
+func (d *Dec) I64() int64 { return int64(d.U64()) }
+
+// Len reads a length prefix, validated against the given per-element
+// width so a corrupt length can never trigger a huge allocation.
+func (d *Dec) Len(elemBytes int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)-d.off)/uint64(elemBytes) {
+		d.err = fmt.Errorf("%w: length prefix %d exceeds remaining payload", ErrCorrupt, n)
+		return 0
+	}
+	return int(n)
+}
+
+// I32s reads a length-prefixed []int32.
+func (d *Dec) I32s() []int32 {
+	n := d.Len(4)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = d.I32()
+	}
+	return out
+}
+
+// Ints reads a length-prefixed []int encoded as int64 values.
+func (d *Dec) Ints() []int {
+	n := d.Len(8)
+	if d.err != nil {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(d.I64())
+	}
+	return out
+}
+
+// Err returns the first decoding error, if any.
+func (d *Dec) Err() error { return d.err }
+
+// Close returns the first decoding error, or ErrCorrupt if undecoded
+// bytes remain — a payload must be consumed exactly.
+func (d *Dec) Close() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("%w: %d trailing payload bytes", ErrCorrupt, len(d.buf)-d.off)
+	}
+	return nil
+}

@@ -1,0 +1,162 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fairtcim/internal/generate"
+)
+
+func testMeta() Meta { return Meta{Kind: "test", Version: 3, Fingerprint: 0xfeedface} }
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "a.sample")
+	payload := []byte("the quick brown fox")
+	if err := Save(path, testMeta(), payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload %q, want %q", got, payload)
+	}
+	// Empty payloads are legal too.
+	if err := Save(path, testMeta(), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := Load(path, testMeta()); err != nil || len(got) != 0 {
+		t.Fatalf("empty round trip: %q, %v", got, err)
+	}
+}
+
+func TestLoadMissingFileIsNotExist(t *testing.T) {
+	_, err := Load(filepath.Join(t.TempDir(), "nope"), testMeta())
+	if !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+func TestLoadRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.sample")
+	payload := []byte("some payload bytes with enough length to corrupt")
+	if err := Save(path, testMeta(), payload); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte, want error) {
+		t.Helper()
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path, testMeta()); !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+
+	check("truncated header", good[:10], ErrCorrupt)
+	check("truncated payload", good[:len(good)-5], ErrCorrupt)
+	check("empty file", nil, ErrCorrupt)
+
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-3] ^= 0x40 // payload bit rot
+	check("checksum failure", flipped, ErrCorrupt)
+
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] ^= 0xff
+	check("bad magic", badMagic, ErrCorrupt)
+
+	// Valid frames for the wrong thing are a mismatch, not corruption.
+	if err := os.WriteFile(path, good, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]Meta{
+		"wrong version":     {Kind: "test", Version: 4, Fingerprint: 0xfeedface},
+		"wrong kind":        {Kind: "diff", Version: 3, Fingerprint: 0xfeedface},
+		"wrong fingerprint": {Kind: "test", Version: 3, Fingerprint: 1},
+	} {
+		if _, err := Load(path, want); !errors.Is(err, ErrMismatch) {
+			t.Errorf("%s: err = %v, want ErrMismatch", name, err)
+		}
+	}
+}
+
+func TestEncodeRejectsBadKind(t *testing.T) {
+	if _, err := Encode(Meta{Kind: "toolong"}, nil); err == nil {
+		t.Fatal("5-byte kind accepted")
+	}
+}
+
+func TestGraphFingerprint(t *testing.T) {
+	g1 := generate.TwoStars()
+	g2 := generate.TwoStars()
+	if GraphFingerprint(g1) != GraphFingerprint(g2) {
+		t.Fatal("identical graphs fingerprint differently")
+	}
+	sbm, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphFingerprint(g1) == GraphFingerprint(sbm) {
+		t.Fatal("different graphs share a fingerprint")
+	}
+	// Same topology, different group labels: the sampling distribution of
+	// per-group pools changes, so the fingerprint must too.
+	labels := make([]int, g1.N())
+	relabeled, err := g1.WithGroups(labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphFingerprint(g1) == GraphFingerprint(relabeled) {
+		t.Fatal("relabeled graph shares a fingerprint")
+	}
+}
+
+func TestDecHelpers(t *testing.T) {
+	var e Enc
+	e.I32(-7)
+	e.U64(42)
+	e.I32s([]int32{1, 2, 3})
+	e.Ints([]int{9, -9})
+	d := NewDec(e.Bytes())
+	if v := d.I32(); v != -7 {
+		t.Fatalf("I32 = %d", v)
+	}
+	if v := d.U64(); v != 42 {
+		t.Fatalf("U64 = %d", v)
+	}
+	if got := d.I32s(); len(got) != 3 || got[2] != 3 {
+		t.Fatalf("I32s = %v", got)
+	}
+	if got := d.Ints(); len(got) != 2 || got[1] != -9 {
+		t.Fatalf("Ints = %v", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A huge length prefix must not allocate; it fails against the
+	// remaining byte count.
+	var bad Enc
+	bad.U64(1 << 60)
+	d = NewDec(bad.Bytes())
+	if d.I32s(); !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("oversized length: err = %v", d.Err())
+	}
+
+	// Trailing bytes are an error: payloads must be consumed exactly.
+	d = NewDec([]byte{1, 2, 3, 4})
+	if err := d.Close(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing bytes: err = %v", err)
+	}
+}

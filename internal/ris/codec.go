@@ -1,0 +1,98 @@
+package ris
+
+import (
+	"fmt"
+
+	"fairtcim/internal/graph"
+	"fairtcim/internal/persist"
+)
+
+// CodecKind and CodecVersion identify the Collection payload inside a
+// persist frame. Bump CodecVersion whenever the payload layout below
+// changes; old files are then rejected with persist.ErrMismatch and the
+// caller re-samples.
+const (
+	CodecKind    = "risc"
+	CodecVersion = 1
+)
+
+// EncodePayload flattens the Collection into the version-1 payload: τ,
+// the per-group pool sizes, then the inverted node→sets index verbatim.
+// The graph itself is not serialized — persistence binds the payload to
+// it through the frame's graph fingerprint — so a decoded Collection is
+// byte-for-byte the index that was saved, over the caller-supplied graph.
+func (c *Collection) EncodePayload() []byte {
+	var e persist.Enc
+	e.I32(c.tau)
+	e.Ints(c.poolSize)
+	e.U64(uint64(len(c.contains)))
+	for _, refs := range c.contains {
+		e.U64(uint64(len(refs)))
+		for _, r := range refs {
+			e.I32(r.group)
+			e.I32(r.index)
+		}
+	}
+	return e.Bytes()
+}
+
+// DecodePayload reconstructs a Collection over g from a version-1
+// payload. Every structural invariant is re-validated — group count,
+// positive pool sizes, node count, and each set reference's bounds — so a
+// forged or stale payload that slipped past the frame checks still cannot
+// produce out-of-range indexing or silently wrong estimates.
+func DecodePayload(payload []byte, g *graph.Graph) (*Collection, error) {
+	d := persist.NewDec(payload)
+	tau := d.I32()
+	poolSize := d.Ints()
+	n := int(d.U64())
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if tau < 0 {
+		return nil, fmt.Errorf("ris: decoded negative deadline %d", tau)
+	}
+	if len(poolSize) != g.NumGroups() {
+		return nil, fmt.Errorf("ris: decoded %d pool sizes for %d groups", len(poolSize), g.NumGroups())
+	}
+	for i, s := range poolSize {
+		if s <= 0 {
+			return nil, fmt.Errorf("ris: decoded pool size %d for group %d", s, i)
+		}
+	}
+	if n != g.N() {
+		return nil, fmt.Errorf("ris: decoded index over %d nodes, graph has %d", n, g.N())
+	}
+	c := &Collection{
+		g:        g,
+		tau:      tau,
+		poolSize: poolSize,
+		contains: make([][]setRef, n),
+	}
+	for v := 0; v < n; v++ {
+		m := d.Len(8)
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if m == 0 {
+			continue
+		}
+		refs := make([]setRef, m)
+		for i := range refs {
+			refs[i] = setRef{group: d.I32(), index: d.I32()}
+		}
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		for _, r := range refs {
+			if r.group < 0 || int(r.group) >= len(poolSize) || r.index < 0 || int(r.index) >= poolSize[r.group] {
+				return nil, fmt.Errorf("ris: decoded set ref (%d,%d) out of range", r.group, r.index)
+			}
+		}
+		c.contains[v] = refs
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,126 @@
+package ris
+
+import (
+	"math"
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/persist"
+)
+
+// TestCodecRoundTrip pins the warm-restart guarantee at the sketch level:
+// a decoded Collection is indistinguishable from the one that was saved —
+// same shape, and bit-identical estimates for every node along a greedy
+// path — so a solve over it returns byte-identical results.
+func TestCodecRoundTrip(t *testing.T) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := Sample(g, 5, []int{300, 300}, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodePayload(col.EncodePayload(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tau() != col.Tau() || back.NumSets() != col.NumSets() {
+		t.Fatalf("shape changed: tau %d->%d, sets %d->%d", col.Tau(), back.Tau(), col.NumSets(), back.NumSets())
+	}
+	a, b := NewEstimator(col), NewEstimator(back)
+	for _, v := range []graph.NodeID{0, 7, 42, 199} {
+		ga, gb := a.GainPerGroup(v), b.GainPerGroup(v)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("gain of %d differs in group %d: %v vs %v", v, i, ga[i], gb[i])
+			}
+		}
+		a.Add(v)
+		b.Add(v)
+		ua, ub := a.GroupUtilities(), b.GroupUtilities()
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatalf("utilities differ after adding %d: %v vs %v", v, ua, ub)
+			}
+		}
+	}
+}
+
+// TestCodecRejectsMalformedPayloads: a payload that passed the frame
+// checks but violates the Collection's structural invariants must be
+// rejected, never loaded into an index that could answer wrongly.
+func TestCodecRejectsMalformedPayloads(t *testing.T) {
+	g := generate.TwoStars()
+	col, err := Sample(g, 3, []int{50, 50}, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := col.EncodePayload()
+
+	if _, err := DecodePayload(good[:len(good)-2], g); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := DecodePayload(append(append([]byte(nil), good...), 0), g); err == nil {
+		t.Error("payload with trailing bytes accepted")
+	}
+
+	// Wrong graph shape: decode against a graph with a different node
+	// count and group structure.
+	bigger, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodePayload(good, bigger); err == nil {
+		t.Error("payload decoded against a different graph")
+	}
+
+	// Out-of-range set refs: hand-craft a payload whose single ref points
+	// beyond its group's pool.
+	var e persist.Enc
+	e.I32(3)             // tau
+	e.Ints([]int{2, 2})  // pool sizes
+	e.U64(uint64(g.N())) // node count
+	e.U64(1)             // node 0 appears in one set...
+	e.I32(0)
+	e.I32(5) // ...whose index 5 is outside pool size 2
+	for v := 1; v < g.N(); v++ {
+		e.U64(0)
+	}
+	if _, err := DecodePayload(e.Bytes(), g); err == nil {
+		t.Error("out-of-range set ref accepted")
+	}
+
+	// Negative deadline and non-positive pool sizes.
+	var neg persist.Enc
+	neg.I32(-1)
+	neg.Ints([]int{2, 2})
+	neg.U64(uint64(g.N()))
+	for v := 0; v < g.N(); v++ {
+		neg.U64(0)
+	}
+	if _, err := DecodePayload(neg.Bytes(), g); err == nil {
+		t.Error("negative deadline accepted")
+	}
+	var zero persist.Enc
+	zero.I32(3)
+	zero.Ints([]int{0, 2})
+	zero.U64(uint64(g.N()))
+	for v := 0; v < g.N(); v++ {
+		zero.U64(0)
+	}
+	if _, err := DecodePayload(zero.Bytes(), g); err == nil {
+		t.Error("zero pool size accepted")
+	}
+
+	// A huge per-node ref count must fail on bounds, not allocate.
+	var huge persist.Enc
+	huge.I32(3)
+	huge.Ints([]int{2, 2})
+	huge.U64(uint64(g.N()))
+	huge.U64(math.MaxUint32)
+	if _, err := DecodePayload(huge.Bytes(), g); err == nil {
+		t.Error("oversized ref count accepted")
+	}
+}

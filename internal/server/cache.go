@@ -110,17 +110,25 @@ type cacheEntry struct {
 }
 
 // Cache is the keyed estimator-sample cache: LRU over sampleKey with
-// singleflight builds. All exported access goes through EstimatorFor and
-// Stats.
+// singleflight builds and an optional write-through disk tier. All
+// exported access goes through SampleFor and Stats.
 type Cache struct {
-	mu        sync.Mutex
-	capacity  int
-	entries   map[sampleKey]*cacheEntry
-	lru       *list.List // of *cacheEntry; front = most recently used
-	hits      int64      // requests served from an existing (or in-flight) entry
-	misses    int64      // requests that had to start a build
-	builds    int64      // samples actually built
-	evictions int64      // entries dropped by the LRU
+	// disk, when non-nil, persists every built sample and answers memory
+	// misses before sampling. Loads and saves run inside the singleflight,
+	// so disk too is touched once per key. Set once before first use.
+	disk *diskStore
+
+	mu         sync.Mutex
+	capacity   int
+	entries    map[sampleKey]*cacheEntry
+	lru        *list.List // of *cacheEntry; front = most recently used
+	hits       int64      // requests served from an existing (or in-flight) entry
+	misses     int64      // requests that had to start a build
+	builds     int64      // samples actually built (not loaded from disk)
+	evictions  int64      // entries dropped by the LRU
+	diskHits   int64      // memory misses served from a persisted sample
+	diskWrites int64      // built samples persisted successfully
+	diskErrors int64      // unusable state files (corrupt/mismatched) or failed writes
 }
 
 // NewCache returns a cache holding at most capacity samples; capacity
@@ -137,13 +145,21 @@ func NewCache(capacity int) *Cache {
 }
 
 // CacheStats snapshots cache effectiveness counters. A "hit" includes
-// joining an in-flight build: the request did not sample anything.
+// joining an in-flight build: the request did not sample anything. The
+// disk counters stay zero unless the daemon runs with a state dir:
+// DiskHits counts memory misses answered from persisted samples (no
+// rebuild), DiskWrites successful write-throughs, DiskErrors rejected
+// state files (corrupt, truncated, version- or graph-mismatched) plus
+// failed writes — a missing file is a cold start, not an error.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Builds    int64 `json:"builds"`
-	Evictions int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Builds     int64 `json:"builds"`
+	Evictions  int64 `json:"evictions"`
+	DiskHits   int64 `json:"disk_hits"`
+	DiskWrites int64 `json:"disk_writes"`
+	DiskErrors int64 `json:"disk_errors"`
 }
 
 // Stats returns current counters.
@@ -151,17 +167,32 @@ func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:   len(c.entries),
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Builds:    c.builds,
-		Evictions: c.evictions,
+		Entries:    len(c.entries),
+		Hits:       c.hits,
+		Misses:     c.misses,
+		Builds:     c.builds,
+		Evictions:  c.evictions,
+		DiskHits:   c.diskHits,
+		DiskWrites: c.diskWrites,
+		DiskErrors: c.diskErrors,
 	}
 }
 
 // ErrCapacity is returned when a build cannot obtain a worker slot;
 // handlers map it to 503.
 var ErrCapacity = errors.New("server at capacity")
+
+// errBuildAbandoned resolves an entry whose would-be builder never
+// started the build: its request context was cancelled while queued
+// (client disconnect) or its own gate shed it at capacity. It is never
+// returned to callers — the abandoning builder reports its own error
+// (ctx.Err() or ErrCapacity), and singleflight joiners that observe it
+// retry the key under their *own* gate policy. That keeps queueing
+// policies from leaking across request classes: an async job joining a
+// synchronous request's build must not inherit the sync path's
+// queue-timeout 503 (jobs wait as long as they must), and nobody
+// inherits a cancellation they did not issue.
+var errBuildAbandoned = errors.New("server: sample build abandoned before start")
 
 // workerGate bounds CPU-heavy phases (sample builds, solves). A nil gate
 // means unbounded. Only the goroutine that actually builds a sample holds
@@ -177,22 +208,33 @@ type workerGate interface {
 // respect ctx cancellation. Callers layer a per-request estimator on top
 // with sample.newEstimator — inside their own worker slot, since that
 // allocation is not free. hit reports whether the sample was reused
-// (including joining an in-flight build); buildMS is the wall time
-// whichever request built the entry spent sampling, echoed to every
+// (including joining an in-flight build, or loading a persisted sample
+// from the disk tier instead of re-sampling); buildMS is the wall time
+// whichever request built (or loaded) the entry spent, echoed to every
 // request that reuses it.
 func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, parallelism int, gate workerGate) (smp *sample, hit bool, buildMS float64, err error) {
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if ok {
-		c.hits++
-		c.lru.MoveToFront(e.elem)
-		c.mu.Unlock()
-		select {
-		case <-e.ready:
-		case <-ctx.Done():
-			return nil, true, 0, ctx.Err()
+	for {
+		c.mu.Lock()
+		e, ok := c.entries[key]
+		if ok {
+			c.hits++
+			c.lru.MoveToFront(e.elem)
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+			case <-ctx.Done():
+				return nil, true, 0, ctx.Err()
+			}
+			if e.err == errBuildAbandoned {
+				// The would-be builder was cancelled or shed before the
+				// build started and the entry was dropped; take over.
+				continue
+			}
+			if e.err != nil {
+				return nil, true, e.buildMS, e.err
+			}
+			return e.sample, true, e.buildMS, nil
 		}
-	} else {
 		c.misses++
 		e = &cacheEntry{key: key, ready: make(chan struct{})}
 		e.elem = c.lru.PushFront(e)
@@ -203,16 +245,31 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 		// The entry is registered, so the build MUST be resolved on every
 		// path or joiners would block forever.
 		if gate != nil && !gate.acquire(ctx) {
-			e.err = ErrCapacity
+			// The build never started: resolve the entry with the internal
+			// retry sentinel so joiners rebuild under their own gates, and
+			// report this caller's own failure — its cancellation if the
+			// context died, a capacity shed otherwise.
+			e.err = errBuildAbandoned
 			c.dropEntry(e)
 			close(e.ready)
-			return nil, false, 0, e.err
+			if cerr := ctx.Err(); cerr != nil {
+				return nil, false, 0, cerr
+			}
+			return nil, false, 0, ErrCapacity
 		}
-		c.mu.Lock()
-		c.builds++
-		c.mu.Unlock()
 		start := time.Now()
-		e.sample, e.err = buildSample(key, g, parallelism)
+		diskHit := false
+		if smp := c.diskLoad(key, g); smp != nil {
+			e.sample, diskHit = smp, true
+		} else {
+			c.mu.Lock()
+			c.builds++
+			c.mu.Unlock()
+			e.sample, e.err = buildSample(key, g, parallelism)
+			if e.err == nil {
+				c.diskSave(key, e.sample)
+			}
+		}
 		e.buildMS = float64(time.Since(start).Microseconds()) / 1000
 		if gate != nil {
 			gate.release()
@@ -222,11 +279,51 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 			c.dropEntry(e)
 		}
 		close(e.ready)
+		if e.err != nil {
+			return nil, false, e.buildMS, e.err
+		}
+		// A disk-loaded sample counts as a hit: nothing was sampled, the
+		// daemon restarted warm.
+		return e.sample, diskHit, e.buildMS, nil
 	}
-	if e.err != nil {
-		return nil, ok, e.buildMS, e.err
+}
+
+// diskLoad tries the persisted sample for key. Any unusable state file is
+// counted and ignored — persistence can only ever make a request faster,
+// never fail it.
+func (c *Cache) diskLoad(key sampleKey, g *graph.Graph) *sample {
+	if c.disk == nil {
+		return nil
 	}
-	return e.sample, ok, e.buildMS, nil
+	smp, err := c.disk.load(key, g)
+	if err != nil {
+		c.mu.Lock()
+		c.diskErrors++
+		c.mu.Unlock()
+		return nil
+	}
+	if smp == nil {
+		return nil
+	}
+	c.mu.Lock()
+	c.diskHits++
+	c.mu.Unlock()
+	return smp
+}
+
+// diskSave writes a freshly built sample through to disk.
+func (c *Cache) diskSave(key sampleKey, smp *sample) {
+	if c.disk == nil {
+		return
+	}
+	err := c.disk.save(key, smp)
+	c.mu.Lock()
+	if err != nil {
+		c.diskErrors++
+	} else {
+		c.diskWrites++
+	}
+	c.mu.Unlock()
 }
 
 // dropEntry removes e from the index if it is still the current entry for
@@ -287,7 +384,11 @@ func buildSample(key sampleKey, g *graph.Graph, parallelism int) (*sample, error
 		if key.evalOnly {
 			// Fixed-seed-set estimation: no candidate union, the per-set
 			// Hoeffding count suffices.
-			m = fairim.EvalWorlds(fairim.Accuracy{Epsilon: eps, Delta: delta}, g.NumGroups())
+			var err error
+			m, err = fairim.EvalWorlds(fairim.Accuracy{Epsilon: eps, Delta: delta}, g.NumGroups())
+			if err != nil {
+				return nil, err
+			}
 		} else {
 			var err error
 			m, err = fairim.HoeffdingWorlds(eps, delta, key.sizingK, g.N(), g.NumGroups())

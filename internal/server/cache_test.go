@@ -208,3 +208,159 @@ func TestRegistryFileRoundtripAndRetry(t *testing.T) {
 		t.Fatalf("second Get returned a different graph (err=%v)", err)
 	}
 }
+
+// ctxGate blocks in acquire until its context is cancelled — the shape of
+// a client disconnecting while queued for a worker slot.
+type ctxGate struct {
+	entered chan struct{} // closed once acquire is reached
+}
+
+func (g *ctxGate) acquire(ctx context.Context) bool {
+	close(g.entered)
+	<-ctx.Done()
+	return false
+}
+func (g *ctxGate) release() {}
+
+// TestSampleForCancelIsNotCapacity: a request cancelled while waiting for
+// its build slot reports its own context error — not ErrCapacity — and
+// must not poison the entry: the next request for the key builds cleanly.
+func TestSampleForCancelIsNotCapacity(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	key := tinyKey(1)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	gate := &ctxGate{entered: make(chan struct{})}
+	errc := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(ctx, key, g, 1, gate)
+		errc <- err
+	}()
+	<-gate.entered
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled builder got %v, want context.Canceled", err)
+	}
+
+	// The key is not poisoned: a fresh request builds and succeeds.
+	smp, hit, _, err := c.SampleFor(context.Background(), key, g, 1, nil)
+	if err != nil || smp == nil {
+		t.Fatalf("retry after cancellation: smp=%v err=%v", smp, err)
+	}
+	if hit {
+		t.Error("retry after cancellation reported a hit")
+	}
+	if st := c.Stats(); st.Builds != 1 {
+		t.Fatalf("stats after cancel + retry: %+v", st)
+	}
+}
+
+// TestSampleForJoinerSurvivesBuilderCancel: a singleflight joiner of an
+// entry whose builder's client disconnected before the build started must
+// not inherit a spurious error — it retries the key and builds itself.
+func TestSampleForJoinerSurvivesBuilderCancel(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	key := tinyKey(2)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	gate := &ctxGate{entered: make(chan struct{})}
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(ctx, key, g, 1, gate)
+		builderErr <- err
+	}()
+	// The entry is registered before the gate is entered, so once the
+	// gate reports in, a second request is guaranteed to join it.
+	<-gate.entered
+	joiner := make(chan error, 1)
+	go func() {
+		smp, _, _, err := c.SampleFor(context.Background(), key, g, 1, nil)
+		if err == nil && smp == nil {
+			err = errors.New("nil sample without error")
+		}
+		joiner <- err
+	}()
+	cancel()
+	if err := <-builderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("builder got %v, want context.Canceled", err)
+	}
+	if err := <-joiner; err != nil {
+		t.Fatalf("joiner inherited the builder's cancellation: %v", err)
+	}
+	if st := c.Stats(); st.Builds != 1 || st.Entries != 1 {
+		t.Fatalf("stats after joiner takeover: %+v", st)
+	}
+}
+
+// TestSampleForCapacityStillSheds: a genuine slot-acquisition failure
+// with a live request context is still ErrCapacity.
+func TestSampleForCapacityStillSheds(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	if _, _, _, err := c.SampleFor(context.Background(), tinyKey(3), g, 1, deniedGate{}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+	// The failed entry is dropped, so a later request can succeed.
+	if _, _, _, err := c.SampleFor(context.Background(), tinyKey(3), g, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// deniedGate refuses every acquire with the context still live — pure
+// saturation.
+type deniedGate struct{}
+
+func (deniedGate) acquire(context.Context) bool { return false }
+func (deniedGate) release()                     {}
+
+// TestSampleForJoinerSurvivesBuilderShed: a joiner whose builder was shed
+// at capacity retries under its own gate policy instead of inheriting the
+// builder's 503 — an async job joining a synchronous request's build must
+// not fail with the sync path's queue-timeout error.
+func TestSampleForJoinerSurvivesBuilderShed(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	key := tinyKey(4)
+
+	gate := &shedGate{entered: make(chan struct{}), shed: make(chan struct{})}
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(context.Background(), key, g, 1, gate)
+		builderErr <- err
+	}()
+	<-gate.entered
+	joiner := make(chan error, 1)
+	go func() {
+		smp, _, _, err := c.SampleFor(context.Background(), key, g, 1, nil)
+		if err == nil && smp == nil {
+			err = errors.New("nil sample without error")
+		}
+		joiner <- err
+	}()
+	close(gate.shed) // the builder's gate times out: capacity refusal
+	if err := <-builderErr; !errors.Is(err, ErrCapacity) {
+		t.Fatalf("shed builder got %v, want ErrCapacity", err)
+	}
+	if err := <-joiner; err != nil {
+		t.Fatalf("joiner inherited the builder's capacity shed: %v", err)
+	}
+	if st := c.Stats(); st.Builds != 1 || st.Entries != 1 {
+		t.Fatalf("stats after joiner takeover: %+v", st)
+	}
+}
+
+// shedGate blocks in acquire until told to shed, then refuses with the
+// context still live — a queue-timeout capacity refusal.
+type shedGate struct {
+	entered chan struct{}
+	shed    chan struct{}
+}
+
+func (g *shedGate) acquire(context.Context) bool {
+	close(g.entered)
+	<-g.shed
+	return false
+}
+func (g *shedGate) release() {}

@@ -33,14 +33,27 @@
 // Long solves go through the async job API instead of holding an HTTP
 // worker: POST /v1/jobs returns a job id immediately, the solve gates on
 // the same worker pool (without the synchronous queue timeout), GET
-// /v1/jobs/{id} polls status and result, and GET /v1/jobs/{id}/trace
-// streams one server-sent "pick" event per greedy iteration — the
-// fairim.Config.OnIteration seam — followed by a terminal "done" event.
+// /v1/jobs/{id} polls status and result, GET /v1/jobs/{id}/trace streams
+// one server-sent "pick" event per greedy iteration — the
+// fairim.Config.OnIteration seam — followed by a terminal "done" event,
+// and DELETE /v1/jobs/{id} cancels: a queued job aborts before taking a
+// worker slot, a running one cooperatively at the next pick boundary via
+// fairim.Config.Cancel (the cancellation face of the same seam).
+//
+// With Config.StateDir set, the most expensive artifacts outlive the
+// process: every built sample is written through to disk in a versioned,
+// checksummed, graph-fingerprinted format (internal/persist frames around
+// the ris/cascade codecs) and reloaded on a memory miss — inside the
+// singleflight, so disk too is touched once per key — and finished jobs
+// are journaled so /v1/jobs history survives restarts. State files are
+// validated before use; stale, truncated or mismatched ones degrade to a
+// cold build, never to a wrong answer.
 //
 // Endpoints: POST /v1/select (synchronous seed selection), POST
 // /v1/estimate (spread evaluation of a caller-supplied seed set), POST
-// /v1/jobs + GET /v1/jobs[/{id}[/trace]] (async jobs), GET /v1/stats
-// (cache, worker-pool and job counters), GET /v1/graphs (introspection),
-// GET /healthz (liveness + cache stats). cmd/fairtcimd is the daemon
-// wrapping this package; cmd/fairtcim -server is a thin client for it.
+// /v1/jobs + GET /v1/jobs[/{id}[/trace]] + DELETE /v1/jobs/{id} (async
+// jobs), GET /v1/stats (cache, worker-pool, job and persistence
+// counters), GET /v1/graphs (introspection), GET /healthz (liveness +
+// cache stats). cmd/fairtcimd is the daemon wrapping this package;
+// cmd/fairtcim -server is a thin client for it.
 package server

@@ -5,9 +5,11 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairtcim/internal/fairim"
@@ -17,21 +19,31 @@ import (
 // The async job API: POST /v1/jobs submits a solve and returns
 // immediately with a job id; GET /v1/jobs/{id} reports status and, once
 // finished, the result; GET /v1/jobs/{id}/trace streams one server-sent
-// "pick" event per greedy iteration while the solve runs. Long solves on
-// large graphs therefore hold a worker slot only while actually solving —
-// never an HTTP connection of the submitter.
+// "pick" event per greedy iteration while the solve runs; DELETE
+// /v1/jobs/{id} cancels a queued or running job (a running solve aborts
+// cooperatively at the next greedy pick boundary). Long solves on large
+// graphs therefore hold a worker slot only while actually solving — never
+// an HTTP connection of the submitter. With a state dir, finished jobs
+// are journaled so history survives restarts.
 
 // Job states.
 const (
-	JobQueued  = "queued"  // accepted, waiting for a worker slot
-	JobRunning = "running" // solving
-	JobDone    = "done"    // finished successfully; result available
-	JobFailed  = "failed"  // finished with an error
+	JobQueued   = "queued"   // accepted, waiting for a worker slot
+	JobRunning  = "running"  // solving
+	JobDone     = "done"     // finished successfully; result available
+	JobFailed   = "failed"   // finished with an error
+	JobCanceled = "canceled" // canceled via DELETE before finishing
 )
 
-// jobRetention bounds how many finished jobs are kept for status polling;
-// the oldest finished jobs are evicted first (counters survive eviction).
-const jobRetention = 256
+// terminal reports whether a job state is final.
+func terminal(state string) bool {
+	return state == JobDone || state == JobFailed || state == JobCanceled
+}
+
+// defaultJobRetention bounds how many finished jobs are kept for status
+// polling when Config.JobRetention is unset; the oldest finished jobs are
+// evicted first (counters survive eviction).
+const defaultJobRetention = 256
 
 // job is one submitted solve. All mutable state is guarded by mu; notify
 // is closed and replaced on every change so any number of trace streams
@@ -50,6 +62,14 @@ type job struct {
 	errMsg   string
 	trace    []TraceEvent
 	notify   chan struct{}
+	// cancel aborts the solve context; set by arm before the job
+	// goroutine starts. cancelReq records that DELETE asked for the
+	// cancellation, distinguishing it from other context failures.
+	cancel    context.CancelFunc
+	cancelReq bool
+	// restoredPicks carries the pick count of a journal-restored job,
+	// whose trace buffer is gone.
+	restoredPicks int
 }
 
 // signalLocked wakes every waiter; callers hold mu.
@@ -82,18 +102,76 @@ func (j *job) setRunning() {
 	j.mu.Unlock()
 }
 
+// finish moves the job to its terminal state. A cancellation-shaped
+// error after a DELETE request lands in JobCanceled; any other error is a
+// genuine failure even if a cancel raced in behind it.
 func (j *job) finish(resp *SolveResponse, err error) {
 	j.mu.Lock()
 	j.finished = time.Now()
-	if err != nil {
-		j.state = JobFailed
-		j.errMsg = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		j.state = JobDone
 		j.result = resp
+	case j.cancelReq && (errors.Is(err, fairim.ErrCanceled) || errors.Is(err, context.Canceled)):
+		j.state = JobCanceled
+		j.errMsg = "canceled"
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
 	}
 	j.signalLocked()
 	j.mu.Unlock()
+}
+
+// arm installs the solve-context cancel function. If a DELETE raced in
+// before arming, the context is cancelled immediately.
+func (j *job) arm(cancel context.CancelFunc) {
+	j.mu.Lock()
+	j.cancel = cancel
+	canceled := j.cancelReq
+	j.mu.Unlock()
+	if canceled {
+		cancel()
+	}
+}
+
+// requestCancel marks the job canceled-on-request and fires its solve
+// context. It reports false when the job had already finished.
+func (j *job) requestCancel() bool {
+	j.mu.Lock()
+	if terminal(j.state) {
+		j.mu.Unlock()
+		return false
+	}
+	j.cancelReq = true
+	cancel := j.cancel
+	j.signalLocked()
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return true
+}
+
+// record snapshots the job for the journal.
+func (j *job) record() jobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	picks := len(j.trace)
+	if picks == 0 {
+		picks = j.restoredPicks
+	}
+	return jobRecord{
+		ID:       j.id,
+		Graph:    j.graphN,
+		Problem:  j.problem,
+		Status:   j.state,
+		Error:    j.errMsg,
+		Picks:    picks,
+		Result:   j.result,
+		Created:  j.created,
+		Finished: j.finished,
+	}
 }
 
 // JobStatus is the wire form of a job, returned by POST /v1/jobs (202)
@@ -115,12 +193,16 @@ type JobStatus struct {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	picks := len(j.trace)
+	if picks == 0 {
+		picks = j.restoredPicks
+	}
 	return JobStatus{
 		ID:        j.id,
 		Status:    j.state,
 		Graph:     j.graphN,
 		Problem:   j.problem,
-		Picks:     len(j.trace),
+		Picks:     picks,
 		Error:     j.errMsg,
 		Result:    j.result,
 		StatusURL: "/v1/jobs/" + j.id,
@@ -128,31 +210,81 @@ func (j *job) status() JobStatus {
 	}
 }
 
-// JobStats counts jobs by lifecycle state; done/failed are cumulative
-// (they survive retention eviction).
+// JobStats counts jobs by lifecycle state; done/failed/canceled are
+// cumulative (they survive retention eviction, and with a state dir the
+// journal re-seeds them across restarts with the retained history).
 type JobStats struct {
-	Queued  int64 `json:"queued"`
-	Running int64 `json:"running"`
-	Done    int64 `json:"done"`
-	Failed  int64 `json:"failed"`
+	Queued   int64 `json:"queued"`
+	Running  int64 `json:"running"`
+	Done     int64 `json:"done"`
+	Failed   int64 `json:"failed"`
+	Canceled int64 `json:"canceled"`
 }
 
 // jobStore indexes jobs by id, bounds how many are active at once, and
-// retains a bounded history of finished jobs.
+// retains a bounded history of finished jobs — journaled to disk when a
+// journal is attached.
 type jobStore struct {
 	mu        sync.Mutex
 	jobs      map[string]*job
 	order     []*job // insertion order, for retention eviction
 	maxActive int
+	retention int
+	active    int   // queued + running, maintained incrementally
 	done      int64 // cumulative, incl. evicted
 	failed    int64
+	canceled  int64
+	journal   *jobJournal // nil without a state dir
+
+	journalErrors atomic.Int64 // failed journal appends (history-at-risk signal)
 }
 
-func newJobStore(maxActive int) *jobStore {
+func newJobStore(maxActive, retention int, journal *jobJournal) *jobStore {
 	if maxActive <= 0 {
 		maxActive = 64
 	}
-	return &jobStore{jobs: map[string]*job{}, maxActive: maxActive}
+	if retention <= 0 {
+		retention = defaultJobRetention
+	}
+	return &jobStore{jobs: map[string]*job{}, maxActive: maxActive, retention: retention, journal: journal}
+}
+
+// restore seeds the store with journaled finished jobs, oldest first.
+// Non-terminal records (which a clean journal never contains) and
+// duplicate ids are skipped.
+func (st *jobStore) restore(records []jobRecord) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, rec := range records {
+		if !terminal(rec.Status) {
+			continue
+		}
+		if _, dup := st.jobs[rec.ID]; dup {
+			continue
+		}
+		j := &job{
+			id:            rec.ID,
+			graphN:        rec.Graph,
+			problem:       rec.Problem,
+			created:       rec.Created,
+			state:         rec.Status,
+			finished:      rec.Finished,
+			result:        rec.Result,
+			errMsg:        rec.Error,
+			restoredPicks: rec.Picks,
+			notify:        make(chan struct{}),
+		}
+		st.jobs[j.id] = j
+		st.order = append(st.order, j)
+		switch rec.Status {
+		case JobDone:
+			st.done++
+		case JobFailed:
+			st.failed++
+		case JobCanceled:
+			st.canceled++
+		}
+	}
 }
 
 func newJobID() string {
@@ -163,20 +295,13 @@ func newJobID() string {
 	return hex.EncodeToString(b[:])
 }
 
-// add registers a new queued job, enforcing the active cap and evicting
-// the oldest finished jobs beyond retention.
+// add registers a new queued job. The active cap is checked against the
+// incrementally maintained count — O(1), where it used to rescan every
+// retained job under both locks.
 func (st *jobStore) add(graphName, problem string) (*job, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	active := 0
-	for _, j := range st.order {
-		j.mu.Lock()
-		if j.state == JobQueued || j.state == JobRunning {
-			active++
-		}
-		j.mu.Unlock()
-	}
-	if active >= st.maxActive {
+	if st.active >= st.maxActive {
 		return nil, ErrCapacity
 	}
 	j := &job{
@@ -189,20 +314,23 @@ func (st *jobStore) add(graphName, problem string) (*job, error) {
 	}
 	st.jobs[j.id] = j
 	st.order = append(st.order, j)
+	st.active++
 	st.evictLocked()
 	return j, nil
 }
 
 // evictLocked drops the oldest finished jobs beyond the retention bound.
+// It runs on both add and noteFinished, so history shrinks as soon as a
+// job finishes over the bound instead of lingering until the next submit.
 func (st *jobStore) evictLocked() {
-	if len(st.order) <= jobRetention {
+	if len(st.order) <= st.retention {
 		return
 	}
 	kept := st.order[:0]
-	excess := len(st.order) - jobRetention
+	excess := len(st.order) - st.retention
 	for _, j := range st.order {
 		j.mu.Lock()
-		finished := j.state == JobDone || j.state == JobFailed
+		finished := terminal(j.state)
 		j.mu.Unlock()
 		if excess > 0 && finished {
 			delete(st.jobs, j.id)
@@ -221,20 +349,35 @@ func (st *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
-func (st *jobStore) noteFinished(failed bool) {
+// noteFinished records a job's terminal state: the active count drops,
+// the cumulative counter for its outcome bumps, the record is journaled,
+// and over-retention history is evicted immediately.
+func (st *jobStore) noteFinished(j *job) {
+	rec := j.record()
 	st.mu.Lock()
-	if failed {
+	st.active--
+	switch rec.Status {
+	case JobFailed:
 		st.failed++
-	} else {
+	case JobCanceled:
+		st.canceled++
+	default:
 		st.done++
 	}
+	st.evictLocked()
+	journal := st.journal
 	st.mu.Unlock()
+	if journal != nil {
+		if err := journal.append(rec); err != nil {
+			st.journalErrors.Add(1)
+		}
+	}
 }
 
 func (st *jobStore) stats() JobStats {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := JobStats{Done: st.done, Failed: st.failed}
+	out := JobStats{Done: st.done, Failed: st.failed, Canceled: st.canceled}
 	for _, j := range st.order {
 		j.mu.Lock()
 		switch j.state {
@@ -285,7 +428,9 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "job queue full; retry later")
 		return
 	}
-	go s.runJob(j, g, req.Graph, spec)
+	ctx, cancel := context.WithCancel(context.Background())
+	j.arm(cancel)
+	go s.runJob(ctx, j, g, req.Graph, spec)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -311,10 +456,15 @@ func (g startGate) acquire(ctx context.Context) bool {
 // submitting request: the sample build and solve gate on the shared
 // worker pool without a queue timeout (blockingGate), and every greedy
 // pick is forwarded to the job's trace buffer for streaming. The job
-// stays "queued" until the solve first holds a worker slot.
-func (s *Server) runJob(j *job, g *graph.Graph, graphName string, spec fairim.ProblemSpec) {
+// stays "queued" until the solve first holds a worker slot. ctx is the
+// job's cancellation context (fired by DELETE /v1/jobs/{id}): a queued
+// job aborts while waiting for its slot, a running solve at the next
+// greedy pick via the fairim.Config.Cancel seam.
+func (s *Server) runJob(ctx context.Context, j *job, g *graph.Graph, graphName string, spec fairim.ProblemSpec) {
+	defer j.cancel() // release the context once the job is decided
 	gate := startGate{workerGate: blockingGate{s}, once: &sync.Once{}, started: j.setRunning}
-	resp, err := s.solve(context.Background(), gate, graphName, g, spec, j.appendPick)
+	spec.Cancel = ctx.Done()
+	resp, err := s.solve(ctx, gate, graphName, g, spec, j.appendPick)
 	if resp != nil {
 		// The job trace is streamed separately; keep the stored result to
 		// the synchronous shape (trace only when the request asked).
@@ -323,7 +473,24 @@ func (s *Server) runJob(j *job, g *graph.Graph, graphName string, spec fairim.Pr
 		}
 	}
 	j.finish(resp, err)
-	s.jobs.noteFinished(err != nil)
+	s.jobs.noteFinished(j)
+}
+
+// handleJobCancel is DELETE /v1/jobs/{id}: ask a queued or running job to
+// stop. Cancellation is cooperative — the response reports the state at
+// request time; poll GET /v1/jobs/{id} (or the trace stream) for the
+// terminal "canceled". A job that already finished is a 409.
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	if !j.requestCancel() {
+		writeError(w, http.StatusConflict, "job %q already finished", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
 }
 
 func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
@@ -369,6 +536,12 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		state := j.state
 		errMsg := j.errMsg
 		notify := j.notify
+		// Journal-restored jobs have no trace buffer to replay; their
+		// terminal event still reports the pick count on record.
+		donePicks := len(j.trace)
+		if donePicks == 0 {
+			donePicks = j.restoredPicks
+		}
 		j.mu.Unlock()
 
 		for _, ev := range pending {
@@ -380,12 +553,12 @@ func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 		if len(pending) > 0 {
 			fl.Flush()
 		}
-		if state == JobDone || state == JobFailed {
+		if terminal(state) {
 			_ = writeSSE(w, "done", struct {
 				Status string `json:"status"`
 				Picks  int    `json:"picks"`
 				Error  string `json:"error,omitempty"`
-			}{Status: state, Picks: sent, Error: errMsg})
+			}{Status: state, Picks: donePicks, Error: errMsg})
 			fl.Flush()
 			return
 		}

@@ -2,7 +2,9 @@ package server
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -28,7 +30,7 @@ func pollJob(t *testing.T, base, id string, deadline time.Duration) JobStatus {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Status == JobDone || st.Status == JobFailed {
+		if terminal(st.Status) {
 			return st
 		}
 		if time.Now().After(stop) {
@@ -324,5 +326,158 @@ func TestSyncTraceField(t *testing.T) {
 	}
 	if out.Trace[0].Iteration != 1 || out.Trace[0].Seed != out.Seeds[0] {
 		t.Errorf("first trace event %+v does not match first seed %d", out.Trace[0], out.Seeds[0])
+	}
+}
+
+// TestJobCancelQueued: DELETE on a job still waiting for a worker slot
+// aborts it before it ever acquires one — deterministically, by holding
+// the single slot while the job is queued.
+func TestJobCancelQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1})
+	s.sem <- struct{}{} // occupy the only worker slot
+	released := false
+	defer func() {
+		if !released {
+			<-s.sem
+		}
+	}()
+
+	st := submitJob(t, ts.URL, `{"graph":"twostars","problem":"p1","budget":2,"tau":3,"samples":30}`)
+	if st.Status != JobQueued {
+		t.Fatalf("job with a saturated pool reported %q, want queued", st.Status)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d, want 202", resp.StatusCode)
+	}
+
+	final := pollJob(t, ts.URL, st.ID, 10*time.Second)
+	if final.Status != JobCanceled {
+		t.Fatalf("job ended %q, want canceled", final.Status)
+	}
+	if final.Picks != 0 {
+		t.Errorf("canceled-while-queued job made %d picks", final.Picks)
+	}
+	// The slot was never consumed by the canceled job.
+	<-s.sem
+	released = true
+
+	stats := s.Stats()
+	if stats.Jobs.Canceled != 1 || stats.Jobs.Queued != 0 || stats.Jobs.Running != 0 {
+		t.Errorf("job stats after cancel: %+v", stats.Jobs)
+	}
+
+	// Cancelling a finished job conflicts.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("second cancel status %d, want 409", resp.StatusCode)
+	}
+
+	// Unknown ids are 404.
+	req2, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/deadbeef", nil)
+	resp, err = http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown-id cancel status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestSolveCancelMidRun drives the server solve pipeline with a context
+// cancelled from the OnIteration callback — exactly between greedy picks,
+// the seam DELETE /v1/jobs/{id} relies on — and checks the cancellation
+// comes back as such, not as a capacity 503 or a finished solve.
+func TestSolveCancelMidRun(t *testing.T) {
+	s, _ := newTestServer(t, Config{})
+	g, err := s.reg.Get("twostars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := SolveRequest{Graph: "twostars", Problem: "p1", Budget: 5, Engine: "ris", Samples: 50}
+	spec, err := req.toSpec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	spec.Cancel = ctx.Done()
+	picks := 0
+	_, err = s.solve(ctx, blockingGate{s}, "twostars", g, spec, func(fairim.IterationStat) {
+		picks++
+		if picks == 1 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, fairim.ErrCanceled) {
+		t.Fatalf("err = %v, want fairim.ErrCanceled", err)
+	}
+	if picks != 1 {
+		t.Fatalf("solve made %d picks after the cancel, want exactly 1", picks)
+	}
+	// The worker slot was released on the error path.
+	if len(s.sem) != 0 {
+		t.Fatalf("%d worker slots leaked", len(s.sem))
+	}
+}
+
+// TestJobEvictionOnFinish: finished history above the retention bound is
+// trimmed when jobs finish, not only on the next submit, and the active
+// cap is tracked incrementally across finishes.
+func TestJobEvictionOnFinish(t *testing.T) {
+	st := newJobStore(2, 3, nil)
+	finish := func(j *job) {
+		j.finish(&SolveResponse{}, nil)
+		st.noteFinished(j)
+	}
+	// The active cap binds...
+	j1, err := st.add("g", "P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := st.add("g", "P1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.add("g", "P1"); err == nil {
+		t.Fatal("third active job accepted over maxActive=2")
+	}
+	// ...and frees up as jobs finish, without any submit in between.
+	finish(j1)
+	finish(j2)
+	for i := 0; i < 3; i++ {
+		j, err := st.add("g", "P1")
+		if err != nil {
+			t.Fatalf("add %d after finishes: %v", i, err)
+		}
+		finish(j)
+	}
+	// 5 finished jobs, retention 3: eviction happened on noteFinished.
+	st.mu.Lock()
+	kept := len(st.order)
+	st.mu.Unlock()
+	if kept != 3 {
+		t.Fatalf("%d finished jobs retained, want 3", kept)
+	}
+	if s := st.stats(); s.Done != 5 {
+		t.Errorf("cumulative done = %d, want 5 (eviction must not erase counters)", s.Done)
+	}
+	// The oldest jobs are the evicted ones.
+	if _, ok := st.get(j1.id); ok {
+		t.Error("oldest finished job still resident")
 	}
 }

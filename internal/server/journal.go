@@ -1,0 +1,123 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// jobRecord is the journaled wire form of one finished job — everything
+// GET /v1/jobs and GET /v1/jobs/{id} need to answer for it after a
+// restart. Traces are not journaled: they exist for live streaming, and
+// replaying a finished job's stream is served from Result instead.
+type jobRecord struct {
+	ID       string         `json:"id"`
+	Graph    string         `json:"graph"`
+	Problem  string         `json:"problem"`
+	Status   string         `json:"status"`
+	Error    string         `json:"error,omitempty"`
+	Picks    int            `json:"picks"`
+	Result   *SolveResponse `json:"result,omitempty"`
+	Created  time.Time      `json:"created"`
+	Finished time.Time      `json:"finished"`
+}
+
+// jobJournal is the append-only finished-job log at
+// <state-dir>/jobs.jsonl: one JSON record per line, appended when a job
+// reaches a terminal state. On open, the existing log is replayed (bad
+// lines are skipped, never fatal — a torn final line after a crash must
+// not take the daemon down), trimmed to the retention bound, and
+// compacted back to disk, so the file's growth is bounded by the number
+// of jobs finished per process lifetime.
+type jobJournal struct {
+	path string
+	mu   sync.Mutex
+}
+
+// openJobJournal opens (creating if needed) the journal at path and
+// returns the retained records, oldest first.
+func openJobJournal(path string, retention int) (*jobJournal, []jobRecord, error) {
+	j := &jobJournal{path: path}
+	records, err := j.replay()
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(records) > retention {
+		records = records[len(records)-retention:]
+	}
+	if err := j.compact(records); err != nil {
+		return nil, nil, err
+	}
+	return j, records, nil
+}
+
+// replay reads every parseable record in file order.
+func (j *jobJournal) replay() ([]jobRecord, error) {
+	f, err := os.Open(j.path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("server: job journal: %w", err)
+	}
+	defer f.Close()
+	var records []jobRecord
+	sc := bufio.NewScanner(f)
+	sc.Buffer(nil, 16<<20) // result payloads can carry large seed sets
+	for sc.Scan() {
+		var rec jobRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.ID == "" {
+			continue // torn or foreign line; drop it, keep the rest
+		}
+		records = append(records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("server: job journal: %w", err)
+	}
+	return records, nil
+}
+
+// compact rewrites the journal to exactly records (atomically, via temp
+// file + rename).
+func (j *jobJournal) compact(records []jobRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// Write next to the journal so the rename stays on one filesystem.
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), "jobs.jsonl.tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	enc := json.NewEncoder(tmp)
+	for _, rec := range records {
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), j.path)
+}
+
+// append writes one finished job to the log. Failures are returned for
+// the caller to count; the in-memory store is already authoritative.
+func (j *jobJournal) append(rec jobRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	f, err := os.OpenFile(j.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return json.NewEncoder(f).Encode(rec)
+}

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestJobJournalReplayTrimsAndSkipsGarbage: replay keeps the last
+// retention parseable records, drops torn/foreign lines (a crash mid-
+// append must not take the daemon down), and compacts the file.
+func TestJobJournalReplayTrimsAndSkipsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	var lines []string
+	for i := 0; i < 5; i++ {
+		lines = append(lines, fmt.Sprintf(`{"id":"job%d","graph":"g","problem":"P1","status":"done","picks":2}`, i))
+	}
+	lines = append(lines,
+		`{"id":"jobC","graph":"g","problem":"P4","status":"canceled","error":"canceled"}`,
+		`{"id":"jobQ","graph":"g","problem":"P4","status":"queued"}`, // non-terminal: never restored
+		`not json at all`,
+		`{"truncated":`, // torn final append
+	)
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	journal, records, err := openJobJournal(path, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 parseable records, trimmed to the last 4: job3, job4, jobC, jobQ.
+	if len(records) != 4 || records[0].ID != "job3" || records[3].ID != "jobQ" {
+		t.Fatalf("retained records: %+v", records)
+	}
+
+	st := newJobStore(4, 4, journal)
+	st.restore(records)
+	if _, ok := st.get("job0"); ok {
+		t.Error("trimmed record restored")
+	}
+	if _, ok := st.get("jobQ"); ok {
+		t.Error("non-terminal record restored")
+	}
+	j, ok := st.get("jobC")
+	if !ok {
+		t.Fatal("canceled record not restored")
+	}
+	if s := j.status(); s.Status != JobCanceled || s.Error != "canceled" {
+		t.Errorf("restored canceled job: %+v", s)
+	}
+	if s := st.stats(); s.Done != 2 || s.Canceled != 1 {
+		t.Errorf("restored counters: %+v", s)
+	}
+
+	// The file was compacted: garbage is gone, appends still work.
+	if err := journal.append(jobRecord{ID: "new", Status: JobDone, Created: time.Now(), Finished: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := journal.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 5 || again[4].ID != "new" {
+		t.Fatalf("post-compact replay: %+v", again)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), "not json") {
+		t.Error("compaction kept garbage lines")
+	}
+}
+
+// TestJobJournalEmptyDir: a fresh state dir means no history and an
+// immediately usable journal.
+func TestJobJournalEmptyDir(t *testing.T) {
+	journal, records, err := openJobJournal(filepath.Join(t.TempDir(), "jobs.jsonl"), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 0 {
+		t.Fatalf("records from nowhere: %+v", records)
+	}
+	if err := journal.append(jobRecord{ID: "a", Status: JobFailed}); err != nil {
+		t.Fatal(err)
+	}
+	again, err := journal.replay()
+	if err != nil || len(again) != 1 {
+		t.Fatalf("replay after first append: %v, %+v", err, again)
+	}
+}

@@ -1,0 +1,143 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/persist"
+	"fairtcim/internal/ris"
+)
+
+// diskStore is the cache's write-through backing: one persist-framed file
+// per sampleKey under <state-dir>/sketches. Loads and saves happen inside
+// the cache's singleflight, so each key touches disk at most once per
+// process no matter the request fan-in. A file that is missing, corrupt,
+// version-skewed, or bound to a different graph is never used — the
+// caller falls back to a cold build (and, for save, simply keeps serving
+// from memory).
+type diskStore struct {
+	dir string
+
+	mu  sync.Mutex
+	fps map[*graph.Graph]uint64 // memoized GraphFingerprint per loaded graph
+}
+
+// newDiskStore roots a sample store at dir, creating it if needed.
+func newDiskStore(dir string) (*diskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	return &diskStore{dir: dir, fps: map[*graph.Graph]uint64{}}, nil
+}
+
+// fingerprint memoizes persist.GraphFingerprint — the hash walks the full
+// adjacency, and one graph backs many keys.
+func (d *diskStore) fingerprint(g *graph.Graph) uint64 {
+	d.mu.Lock()
+	fp, ok := d.fps[g]
+	d.mu.Unlock()
+	if ok {
+		return fp
+	}
+	fp = persist.GraphFingerprint(g)
+	d.mu.Lock()
+	d.fps[g] = fp
+	d.mu.Unlock()
+	return fp
+}
+
+// fileName derives the stable on-disk name for a key: a sanitized graph
+// name for debuggability plus a hash of every key field, so any parameter
+// change lands on a different file.
+func (d *diskStore) fileName(key sampleKey) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|%016x|%016x|%d|%t",
+		key.graph, key.engine, key.model, key.tau, key.budget, key.seed,
+		key.epsBits, key.deltaBits, key.sizingK, key.evalOnly)
+	safe := make([]byte, 0, len(key.graph))
+	for i := 0; i < len(key.graph) && i < 40; i++ {
+		c := key.graph[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			safe = append(safe, c)
+		default:
+			safe = append(safe, '_')
+		}
+	}
+	return filepath.Join(d.dir, fmt.Sprintf("%s-%016x.sample", safe, h.Sum64()))
+}
+
+// meta frames a key's payload: the codec kind/version follow the engine,
+// the fingerprint binds the file to the graph's exact structure.
+func (d *diskStore) meta(key sampleKey, g *graph.Graph) persist.Meta {
+	m := persist.Meta{Fingerprint: d.fingerprint(g)}
+	if key.engine == fairim.EngineRIS {
+		m.Kind, m.Version = ris.CodecKind, ris.CodecVersion
+	} else {
+		m.Kind, m.Version = cascade.WorldCodecKind, cascade.WorldCodecVersion
+	}
+	return m
+}
+
+// load reads the persisted sample for key, if any. It returns (nil, nil)
+// when no file exists (a cold start, not an error) and an error when a
+// file exists but is unusable — the caller counts it and builds cold.
+// Beyond the frame checks, the decoded sample is validated against the
+// key's own parameters (τ, explicit budgets), so even a valid file that
+// somehow landed under the wrong name cannot serve wrong answers.
+func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
+	payload, err := persist.Load(d.fileName(key), d.meta(key, g))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if key.engine == fairim.EngineRIS {
+		col, err := ris.DecodePayload(payload, g)
+		if err != nil {
+			return nil, err
+		}
+		if col.Tau() != key.tau {
+			return nil, fmt.Errorf("server: persisted sketch bounded by τ=%d, key wants %d", col.Tau(), key.tau)
+		}
+		if key.budget > 0 {
+			for i, s := range col.PoolSizes() {
+				if s != key.budget {
+					return nil, fmt.Errorf("server: persisted pool for group %d has %d RR sets, key wants %d", i, s, key.budget)
+				}
+			}
+		}
+		return &sample{g: g, col: col}, nil
+	}
+	worlds, err := cascade.DecodeWorlds(payload, g.N())
+	if err != nil {
+		return nil, err
+	}
+	if len(worlds) == 0 {
+		return nil, fmt.Errorf("server: persisted world set is empty")
+	}
+	if key.budget > 0 && len(worlds) != key.budget {
+		return nil, fmt.Errorf("server: persisted world set has %d worlds, key wants %d", len(worlds), key.budget)
+	}
+	return &sample{g: g, worlds: worlds}, nil
+}
+
+// save writes a freshly built sample under the key's file name.
+func (d *diskStore) save(key sampleKey, smp *sample) error {
+	var payload []byte
+	if smp.col != nil {
+		payload = smp.col.EncodePayload()
+	} else {
+		payload = cascade.EncodeWorlds(smp.worlds)
+	}
+	return persist.Save(d.fileName(key), d.meta(key, smp.g), payload)
+}

@@ -1,0 +1,349 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/persist"
+)
+
+func mustDisk(t *testing.T, dir string) *diskStore {
+	t.Helper()
+	d, err := newDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// sampleUtilities projects a sample onto comparable numbers: the group
+// utilities of a fixed two-seed set under its estimator.
+func sampleUtilities(t *testing.T, smp *sample, tau int32) []float64 {
+	t.Helper()
+	est, err := smp.newEstimator(tau)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est.Add(0)
+	est.Add(11)
+	return est.GroupUtilities()
+}
+
+// TestCacheDiskRoundTrip: a second cache over the same state dir serves
+// the key from disk — no rebuild — and the loaded sample estimates
+// identically, for both engines.
+func TestCacheDiskRoundTrip(t *testing.T) {
+	g := generate.TwoStars()
+	dir := t.TempDir()
+	keys := []sampleKey{
+		{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 500, seed: 1},
+		{graph: "twostars", engine: fairim.EngineForwardMC, model: cascade.IC, budget: 60, seed: 1},
+		{graph: "twostars", engine: fairim.EngineForwardMC, model: cascade.LT, budget: 40, seed: 2},
+	}
+
+	cold := NewCache(8)
+	cold.disk = mustDisk(t, dir)
+	want := make([][]float64, len(keys))
+	for i, key := range keys {
+		smp, hit, _, err := cold.SampleFor(context.Background(), key, g, 1, nil)
+		if err != nil || hit {
+			t.Fatalf("cold build %d: hit=%v err=%v", i, hit, err)
+		}
+		want[i] = sampleUtilities(t, smp, 3)
+	}
+	if st := cold.Stats(); st.DiskWrites != int64(len(keys)) || st.DiskHits != 0 || st.DiskErrors != 0 {
+		t.Fatalf("cold cache disk counters: %+v", st)
+	}
+
+	warm := NewCache(8)
+	warm.disk = mustDisk(t, dir)
+	for i, key := range keys {
+		smp, hit, _, err := warm.SampleFor(context.Background(), key, g, 1, nil)
+		if err != nil {
+			t.Fatalf("warm load %d: %v", i, err)
+		}
+		if !hit {
+			t.Fatalf("warm load %d not reported as a hit", i)
+		}
+		got := sampleUtilities(t, smp, 3)
+		for j := range got {
+			if got[j] != want[i][j] {
+				t.Fatalf("key %d: disk-loaded utilities %v, want byte-identical %v", i, got, want[i])
+			}
+		}
+	}
+	st := warm.Stats()
+	if st.Builds != 0 || st.DiskHits != int64(len(keys)) || st.DiskErrors != 0 {
+		t.Fatalf("warm cache rebuilt: %+v", st)
+	}
+}
+
+// TestServerWarmRestart is the acceptance criterion end to end: a daemon
+// restarted on the same state dir answers its first repeat query from
+// disk — cache_hit=true, zero builds — with byte-identical results, and
+// its job history survives.
+func TestServerWarmRestart(t *testing.T) {
+	stateDir := t.TempDir()
+	body := `{"graph":"twostars","problem":"p4","budget":2,"tau":3,"engine":"ris","samples":50,"eval":"sample"}`
+
+	_, ts1 := newTestServer(t, Config{StateDir: stateDir})
+	resp, raw := postJSON(t, ts1.URL+"/v1/select", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first select: %s", raw)
+	}
+	var first SolveResponse
+	if err := json.Unmarshal(raw, &first); err != nil {
+		t.Fatal(err)
+	}
+	// A finished job for the history check.
+	job := submitJob(t, ts1.URL, body)
+	if final := pollJob(t, ts1.URL, job.ID, 30*time.Second); final.Status != JobDone {
+		t.Fatalf("job ended %q", final.Status)
+	}
+	ts1.Close()
+
+	// "Restart": a fresh server over the same state dir.
+	s2, ts2 := newTestServer(t, Config{StateDir: stateDir})
+	resp, raw = postJSON(t, ts2.URL+"/v1/select", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart select: %s", raw)
+	}
+	var second SolveResponse
+	if err := json.Unmarshal(raw, &second); err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Error("first post-restart select did not report cache_hit")
+	}
+	if fmt.Sprint(second.Seeds) != fmt.Sprint(first.Seeds) ||
+		second.Total != first.Total || second.Disparity != first.Disparity {
+		t.Errorf("post-restart result differs: %+v vs %+v", second.UtilityReport, first.UtilityReport)
+	}
+	stats := s2.Stats()
+	if stats.Cache.Builds != 0 || stats.Cache.DiskHits < 1 {
+		t.Errorf("restart re-sampled: %+v", stats.Cache)
+	}
+	if stats.StateDir != stateDir {
+		t.Errorf("stats state_dir = %q", stats.StateDir)
+	}
+	if stats.Jobs.Done < 1 {
+		t.Errorf("job history lost: %+v", stats.Jobs)
+	}
+
+	// The journaled job is listed and still carries its result.
+	restored, ok := s2.jobs.get(job.ID)
+	if !ok {
+		t.Fatal("finished job missing after restart")
+	}
+	st := restored.status()
+	if st.Status != JobDone || st.Result == nil || len(st.Result.Seeds) != 2 || st.Picks != 2 {
+		t.Errorf("restored job: %+v", st)
+	}
+}
+
+// TestCacheDiskRejectsCorrupt: a bit-rotted state file degrades to a cold
+// build (counted in disk_errors), never an error or a wrong answer.
+func TestCacheDiskRejectsCorrupt(t *testing.T) {
+	g := generate.TwoStars()
+	dir := t.TempDir()
+	key := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 200, seed: 1}
+
+	c1 := NewCache(8)
+	c1.disk = mustDisk(t, dir)
+	smp, _, _, err := c1.SampleFor(context.Background(), key, g, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sampleUtilities(t, smp, 3)
+
+	path := c1.disk.fileName(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache(8)
+	c2.disk = mustDisk(t, dir)
+	smp, hit, _, err := c2.SampleFor(context.Background(), key, g, 1, nil)
+	if err != nil {
+		t.Fatalf("corrupt file surfaced as an error: %v", err)
+	}
+	if hit {
+		t.Error("corrupt file served as a hit")
+	}
+	got := sampleUtilities(t, smp, 3)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cold rebuild differs: %v vs %v", got, want)
+		}
+	}
+	st := c2.Stats()
+	if st.Builds != 1 || st.DiskErrors < 1 || st.DiskHits != 0 {
+		t.Fatalf("corrupt-file counters: %+v", st)
+	}
+	// The rebuild rewrote the file; a third cache loads it cleanly.
+	c3 := NewCache(8)
+	c3.disk = mustDisk(t, dir)
+	if _, hit, _, err := c3.SampleFor(context.Background(), key, g, 1, nil); err != nil || !hit {
+		t.Fatalf("rewritten file not loadable: hit=%v err=%v", hit, err)
+	}
+}
+
+// TestCacheDiskRejectsWrongGraph: a state file written for one graph is
+// rejected by fingerprint when the same registry name now resolves to a
+// different graph (regenerated data, changed labels, ...).
+func TestCacheDiskRejectsWrongGraph(t *testing.T) {
+	dir := t.TempDir()
+	key := sampleKey{graph: "g", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 100, seed: 1}
+
+	c1 := NewCache(8)
+	c1.disk = mustDisk(t, dir)
+	if _, _, _, err := c1.SampleFor(context.Background(), key, generate.TwoStars(), 1, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	other, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCache(8)
+	c2.disk = mustDisk(t, dir)
+	smp, hit, _, err := c2.SampleFor(context.Background(), key, other, 1, nil)
+	if err != nil || smp == nil {
+		t.Fatalf("mismatched file broke the request: %v", err)
+	}
+	if hit {
+		t.Error("sketch for a different graph served as a hit")
+	}
+	if st := c2.Stats(); st.Builds != 1 || st.DiskErrors < 1 {
+		t.Fatalf("wrong-graph counters: %+v", st)
+	}
+}
+
+// TestCacheDiskRejectsWrongVersion: a frame from a different codec
+// version is rejected and rebuilt cold.
+func TestCacheDiskRejectsWrongVersion(t *testing.T) {
+	g := generate.TwoStars()
+	dir := t.TempDir()
+	key := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 100, seed: 1}
+
+	c1 := NewCache(8)
+	c1.disk = mustDisk(t, dir)
+	if _, _, _, err := c1.SampleFor(context.Background(), key, g, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Re-frame the valid payload under a future codec version.
+	path := c1.disk.fileName(key)
+	meta := c1.disk.meta(key, g)
+	payload, err := persist.Load(path, meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta.Version++
+	if err := persist.Save(path, meta, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := NewCache(8)
+	c2.disk = mustDisk(t, dir)
+	if _, hit, _, err := c2.SampleFor(context.Background(), key, g, 1, nil); err != nil || hit {
+		t.Fatalf("version-skewed file: hit=%v err=%v", hit, err)
+	}
+	if st := c2.Stats(); st.Builds != 1 || st.DiskErrors < 1 {
+		t.Fatalf("version-skew counters: %+v", st)
+	}
+}
+
+// TestCacheDiskConcurrent exercises concurrent save/load through two
+// caches sharing one state dir under -race: per-key singleflight within a
+// cache, atomic file replacement across caches.
+func TestCacheDiskConcurrent(t *testing.T) {
+	g := generate.TwoStars()
+	dir := t.TempDir()
+	a := NewCache(16)
+	a.disk = mustDisk(t, dir)
+	b := NewCache(16)
+	b.disk = mustDisk(t, dir)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		for _, c := range []*Cache{a, b} {
+			wg.Add(1)
+			go func(c *Cache, w int) {
+				defer wg.Done()
+				for i := 0; i < 4; i++ {
+					key := sampleKey{
+						graph:  "twostars",
+						engine: fairim.EngineRIS,
+						model:  cascade.IC,
+						tau:    3,
+						budget: 100 + 50*(i%2),
+						seed:   int64(1 + w%2),
+					}
+					smp, _, _, err := c.SampleFor(context.Background(), key, g, 1, nil)
+					if err != nil || smp == nil {
+						t.Errorf("concurrent SampleFor: %v", err)
+						return
+					}
+					if est, err := smp.newEstimator(3); err != nil || est == nil {
+						t.Errorf("concurrent newEstimator: %v", err)
+						return
+					}
+				}
+			}(c, w)
+		}
+	}
+	wg.Wait()
+	for _, c := range []*Cache{a, b} {
+		if st := c.Stats(); st.DiskErrors != 0 {
+			t.Errorf("disk errors under concurrency: %+v", st)
+		}
+	}
+}
+
+// TestDiskFileNames: distinct keys land on distinct files, equal keys on
+// the same one, and hostile graph names cannot escape the state dir.
+func TestDiskFileNames(t *testing.T) {
+	d := mustDisk(t, t.TempDir())
+	k1 := sampleKey{graph: "g", engine: fairim.EngineRIS, tau: 3, budget: 10, seed: 1}
+	k2 := k1
+	k2.seed = 2
+	if d.fileName(k1) != d.fileName(k1) {
+		t.Error("file name not deterministic")
+	}
+	if d.fileName(k1) == d.fileName(k2) {
+		t.Error("distinct keys share a file")
+	}
+	evil := sampleKey{graph: "../../etc/passwd", engine: fairim.EngineRIS}
+	name := d.fileName(evil)
+	if filepath.Dir(name) != d.dir {
+		t.Errorf("hostile graph name escaped the state dir: %q", name)
+	}
+}
+
+// graphFingerprintStability: the memoized fingerprint matches the
+// package-level one.
+func TestDiskFingerprintMemo(t *testing.T) {
+	d := mustDisk(t, t.TempDir())
+	g := generate.TwoStars()
+	if d.fingerprint(g) != persist.GraphFingerprint(g) {
+		t.Error("memoized fingerprint differs")
+	}
+	if d.fingerprint(g) != d.fingerprint(g) {
+		t.Error("fingerprint unstable")
+	}
+}

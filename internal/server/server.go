@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -39,6 +40,15 @@ type Config struct {
 	// MaxJobs bounds jobs queued or running at once; submissions beyond
 	// it are shed with 503. <= 0 means 64.
 	MaxJobs int
+	// JobRetention bounds how many finished jobs are kept (and, with a
+	// state dir, journaled) for GET /v1/jobs history; <= 0 means 256.
+	JobRetention int
+	// StateDir, when non-empty, enables warm-restart persistence rooted
+	// at this directory: built samples are written through to
+	// StateDir/sketches and reloaded on memory misses, and finished jobs
+	// are journaled to StateDir/jobs.jsonl and restored at startup. Empty
+	// keeps everything in-memory (the previous behavior).
+	StateDir string
 }
 
 // Server is the HTTP serving layer; see the package comment for the
@@ -51,6 +61,7 @@ type Server struct {
 	parallelism  int
 	mux          *http.ServeMux
 	jobs         *jobStore
+	stateDir     string // empty = in-memory only
 
 	queued atomic.Int64 // requests currently waiting for a worker slot
 	shed   atomic.Int64 // requests turned away at capacity
@@ -69,6 +80,26 @@ func New(cfg Config) (*Server, error) {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
+	retention := cfg.JobRetention
+	if retention <= 0 {
+		retention = defaultJobRetention
+	}
+	// Warm-restart persistence: attach the sketch disk tier and replay
+	// the finished-job journal. A missing state dir is created; anything
+	// unusable inside it degrades per artifact (rejected files are
+	// counted, not fatal), but an unusable dir itself is a config error.
+	var disk *diskStore
+	var journal *jobJournal
+	var restored []jobRecord
+	if cfg.StateDir != "" {
+		var err error
+		if disk, err = newDiskStore(filepath.Join(cfg.StateDir, "sketches")); err != nil {
+			return nil, err
+		}
+		if journal, restored, err = openJobJournal(filepath.Join(cfg.StateDir, "jobs.jsonl"), retention); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		reg:          cfg.Registry,
 		cache:        NewCache(cfg.CacheSize),
@@ -76,13 +107,17 @@ func New(cfg Config) (*Server, error) {
 		queueTimeout: timeout,
 		parallelism:  cfg.SolverParallelism,
 		mux:          http.NewServeMux(),
-		jobs:         newJobStore(cfg.MaxJobs),
+		jobs:         newJobStore(cfg.MaxJobs, retention, journal),
+		stateDir:     cfg.StateDir,
 	}
+	s.cache.disk = disk
+	s.jobs.restore(restored)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
@@ -279,13 +314,16 @@ func (s *Server) release() { <-s.sem }
 
 // blockingGate is the worker gate async jobs use: unlike the synchronous
 // path it has no queue timeout — a job occupies no HTTP worker while it
-// waits, so it simply queues until a slot frees. Jobs currently run under
-// context.Background() (cancellation is a ROADMAP follow-up), so the ctx
-// branch exists for future callers, and a cancelled wait is not a
-// capacity shed.
+// waits, so it simply queues until a slot frees. ctx is the job's
+// cancellation context (DELETE /v1/jobs/{id}): it is checked before
+// taking a free slot so a cancelled job never starts a solve phase, and a
+// cancelled wait is not a capacity shed.
 type blockingGate struct{ s *Server }
 
 func (b blockingGate) acquire(ctx context.Context) bool {
+	if ctx.Err() != nil {
+		return false
+	}
 	select {
 	case b.s.sem <- struct{}{}:
 		return true
@@ -462,8 +500,13 @@ func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g
 	// The solve occupies a worker slot of its own; the build above held
 	// one only while sampling, and joiners waited slot-free. Estimator
 	// construction allocates proportional to the sample, so it happens
-	// inside the slot too.
+	// inside the slot too. A failed acquire is only a capacity refusal
+	// when the request is still alive — a cancelled request reports its
+	// own cancellation, never a spurious 503.
 	if !gate.acquire(ctx) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, ErrCapacity
 	}
 	defer gate.release()
@@ -649,10 +692,16 @@ type WorkerStats struct {
 
 // StatsResponse is the body of GET /v1/stats — the observability roll-up
 // of cache effectiveness, worker-pool pressure and job lifecycle counts.
+// StateDir names the warm-restart persistence root (absent when the
+// daemon runs purely in-memory); JournalErrors counts finished jobs whose
+// journal append failed — non-zero means history would not survive a
+// restart.
 type StatsResponse struct {
-	Cache   CacheStats  `json:"cache"`
-	Workers WorkerStats `json:"workers"`
-	Jobs    JobStats    `json:"jobs"`
+	Cache         CacheStats  `json:"cache"`
+	Workers       WorkerStats `json:"workers"`
+	Jobs          JobStats    `json:"jobs"`
+	StateDir      string      `json:"state_dir,omitempty"`
+	JournalErrors int64       `json:"journal_errors,omitempty"`
 }
 
 // Stats snapshots all server counters (also served at GET /v1/stats).
@@ -665,7 +714,9 @@ func (s *Server) Stats() StatsResponse {
 			Queued:   s.queued.Load(),
 			Shed:     s.shed.Load(),
 		},
-		Jobs: s.jobs.stats(),
+		Jobs:          s.jobs.stats(),
+		StateDir:      s.stateDir,
+		JournalErrors: s.jobs.journalErrors.Load(),
 	}
 }
 

@@ -28,6 +28,24 @@ type Objective interface {
 	Value() float64
 }
 
+// Stopper is an optional Objective extension: after every Add, the
+// optimizers poll Stopped and abort with its error when non-nil,
+// returning the partial Result alongside it. This is the cooperative
+// cancellation seam — an objective that observes an external cancel
+// signal (e.g. fairim.Config.Cancel) latches it here, and the greedy
+// loop stops between picks instead of running to completion.
+type Stopper interface {
+	Stopped() error
+}
+
+// stopped polls the optional Stopper extension.
+func stopped(obj Objective) error {
+	if s, ok := obj.(Stopper); ok {
+		return s.Stopped()
+	}
+	return nil
+}
+
 // Result reports the outcome of an optimizer run.
 type Result struct {
 	Seeds       []graph.NodeID
@@ -43,6 +61,9 @@ func GreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result, er
 		return Result{}, fmt.Errorf("submodular: negative budget %d", budget)
 	}
 	var res Result
+	if err := stopped(obj); err != nil {
+		return res, err
+	}
 	remaining := append([]graph.NodeID(nil), candidates...)
 	for len(res.Seeds) < budget && len(remaining) > 0 {
 		bestIdx, bestGain := -1, 0.0
@@ -60,6 +81,9 @@ func GreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result, er
 		obj.Add(v)
 		res.Seeds = append(res.Seeds, v)
 		res.Values = append(res.Values, obj.Value())
+		if err := stopped(obj); err != nil {
+			return res, err
+		}
 		remaining[bestIdx] = remaining[len(remaining)-1]
 		remaining = remaining[:len(remaining)-1]
 	}
@@ -108,6 +132,9 @@ func LazyGreedyMaxInit(obj Objective, candidates []graph.NodeID, budget int, ini
 		return Result{}, fmt.Errorf("submodular: %d initial gains for %d candidates", len(initial), len(candidates))
 	}
 	var res Result
+	if err := stopped(obj); err != nil {
+		return res, err
+	}
 	h := make(celfHeap, 0, len(candidates))
 	for i, v := range candidates {
 		var g float64
@@ -139,6 +166,9 @@ func LazyGreedyMaxInit(obj Objective, candidates []graph.NodeID, budget int, ini
 		obj.Add(top.node)
 		res.Seeds = append(res.Seeds, top.node)
 		res.Values = append(res.Values, obj.Value())
+		if err := stopped(obj); err != nil {
+			return res, err
+		}
 		round++
 	}
 	return res, nil
@@ -163,6 +193,9 @@ func GreedyCoverInit(obj Objective, candidates []graph.NodeID, target float64, m
 		return Result{}, fmt.Errorf("submodular: %d initial gains for %d candidates", len(initial), len(candidates))
 	}
 	var res Result
+	if err := stopped(obj); err != nil {
+		return res, err
+	}
 	if obj.Value() >= target {
 		return res, nil
 	}
@@ -201,6 +234,9 @@ func GreedyCoverInit(obj Objective, candidates []graph.NodeID, target float64, m
 		obj.Add(top.node)
 		res.Seeds = append(res.Seeds, top.node)
 		res.Values = append(res.Values, obj.Value())
+		if err := stopped(obj); err != nil {
+			return res, err
+		}
 		round++
 		if obj.Value() >= target {
 			return res, nil
