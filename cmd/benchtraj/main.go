@@ -1,0 +1,453 @@
+// Command benchtraj records the serving hot-path benchmark trajectory:
+// it drives the same micro-benchmarks CI gates on — RR-set sampling,
+// world sampling, sketch encode/decode, cold and prefix-extended solves,
+// and the warm HTTP serve path — through testing.Benchmark and writes the
+// numbers (ns/op, allocs/op, bytes/op, frame sizes, derived ratios) as a
+// BENCH_<n>.json checkpoint.
+//
+//	go run ./cmd/benchtraj -out BENCH_6.json          # refresh the checkpoint
+//	go run ./cmd/benchtraj -check BENCH_6.json        # CI: fail on regression
+//
+// Check mode re-measures and compares against the committed checkpoint:
+// deterministic metrics (allocs/op, frame bytes) fail the run when they
+// regress more than 10%; ns/op is recorded for the trajectory but never
+// gated, since CI hardware varies. Both modes also enforce the absolute
+// floors the optimization work claims: pooled RR sampling allocates ≥25%
+// less than the per-set baseline, version-2 frames are ≥2× smaller than
+// the version-1 layout, and a prefix-extended solve beats a cold solve at
+// identical output seeds.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/ris"
+	"fairtcim/internal/server"
+	"fairtcim/internal/xrand"
+)
+
+// The fixed workload every checkpoint measures, chosen to match the
+// root bench_test.go micro-benchmarks: the §6.1 two-block SBM with the
+// RR-pool and world counts the serving defaults derive.
+const (
+	benchTau      = 5
+	benchPool     = 2000 // RR sets per group
+	benchWorlds   = 200
+	benchPrefixK  = 25
+	benchExtendK  = 50
+	workloadLabel = "twoblock n=500 tau=5 ris=2000/group worlds=200 solve k=25->50"
+)
+
+// Metric is one benchmark's measurement. AllocsOp and BytesOp are
+// deterministic properties of the code path and are gated in check mode;
+// NsOp is hardware-bound and only recorded.
+type Metric struct {
+	NsOp     int64 `json:"ns_op"`
+	AllocsOp int64 `json:"allocs_op"`
+	BytesOp  int64 `json:"bytes_op"`
+}
+
+// Trajectory is the BENCH_<n>.json schema.
+type Trajectory struct {
+	Workload string             `json:"workload"`
+	Metrics  map[string]Metric  `json:"metrics"`
+	Sizes    map[string]int64   `json:"sizes"`
+	Derived  map[string]float64 `json:"derived"`
+}
+
+func main() {
+	testing.Init()
+	out := flag.String("out", "", "write the measured trajectory to this file")
+	check := flag.String("check", "", "compare the measured trajectory against this checkpoint; exit 1 on >10% regression")
+	benchtime := flag.String("benchtime", "", "per-benchmark measuring time (testing -benchtime syntax, e.g. 0.2s or 50x)")
+	flag.Parse()
+	if *out == "" && *check == "" {
+		fmt.Fprintln(os.Stderr, "benchtraj: need -out or -check")
+		os.Exit(2)
+	}
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtraj:", err)
+			os.Exit(2)
+		}
+	}
+
+	traj, err := measure()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchtraj:", err)
+		os.Exit(1)
+	}
+	if errs := absoluteGates(traj); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintln(os.Stderr, "benchtraj: FAIL", e)
+		}
+		os.Exit(1)
+	}
+	if *check != "" {
+		prev, err := readTrajectory(*check)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtraj:", err)
+			os.Exit(1)
+		}
+		if errs := compare(prev, traj); len(errs) > 0 {
+			for _, e := range errs {
+				fmt.Fprintln(os.Stderr, "benchtraj: REGRESSION", e)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("benchtraj: no regression against %s (%d metrics, %d sizes)\n", *check, len(traj.Metrics), len(traj.Sizes))
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(traj, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchtraj:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchtraj:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchtraj: wrote %s\n", *out)
+	}
+}
+
+func bench(f func(b *testing.B)) Metric {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		f(b)
+	})
+	return Metric{NsOp: r.NsPerOp(), AllocsOp: r.AllocsPerOp(), BytesOp: r.AllocedBytesPerOp()}
+}
+
+// measure runs the full suite on the fixed workload.
+func measure() (*Trajectory, error) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
+	if err != nil {
+		return nil, err
+	}
+	perGroup := make([]int, g.NumGroups())
+	for i := range perGroup {
+		perGroup[i] = benchPool
+	}
+	traj := &Trajectory{
+		Workload: workloadLabel,
+		Metrics:  map[string]Metric{},
+		Sizes:    map[string]int64{},
+		Derived:  map[string]float64{},
+	}
+
+	// --- sampling ---
+	traj.Metrics["ris_sample"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ris.Sample(g, benchTau, perGroup, int64(i), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	traj.Metrics["ris_sample_unpooled_baseline"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			baselineRRSample(g, benchTau, perGroup, int64(i))
+		}
+	})
+	traj.Metrics["world_sample"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cascade.SampleWorldsCancel(g, cascade.IC, benchWorlds, int64(i), 0, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// --- codec ---
+	col, err := ris.Sample(g, benchTau, perGroup, 1, 0)
+	if err != nil {
+		return nil, err
+	}
+	risPayload := col.EncodePayload()
+	traj.Metrics["ris_encode"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			col.EncodePayload()
+		}
+	})
+	traj.Metrics["ris_decode"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ris.DecodePayload(risPayload, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	worlds := cascade.SampleWorlds(g, cascade.IC, benchWorlds, 1, 0)
+	worldsPayload := cascade.EncodeWorlds(worlds)
+	traj.Metrics["worlds_encode"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			cascade.EncodeWorlds(worlds)
+		}
+	})
+	traj.Metrics["worlds_decode"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cascade.DecodeWorlds(worldsPayload, g.N()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	traj.Sizes["ris_frame_v2_bytes"] = int64(len(risPayload))
+	traj.Sizes["ris_frame_v1_bytes"] = risV1Bytes(col, g)
+	traj.Sizes["worlds_frame_v2_bytes"] = int64(len(worldsPayload))
+	traj.Sizes["worlds_frame_v1_bytes"] = worldsV1Bytes(worlds, g.N())
+
+	// --- solve: cold vs prefix-extended ---
+	spec := func() fairim.ProblemSpec {
+		return fairim.ProblemSpec{
+			Problem:  fairim.P4,
+			Budget:   benchExtendK,
+			Sampling: fairim.Sampling{RISPerGroup: benchPool},
+			Config: fairim.Config{
+				Tau:            benchTau,
+				Engine:         fairim.EngineRIS,
+				Seed:           1,
+				Parallelism:    1,
+				ReportOnSample: true,
+				Estimator:      ris.NewEstimator(col),
+			},
+		}
+	}
+	capSpec := spec()
+	capSpec.Budget = benchPrefixK
+	capSpec.CaptureWarm = true
+	capRes, err := fairim.Solve(g, capSpec)
+	if err != nil {
+		return nil, err
+	}
+	if capRes.Warm == nil {
+		return nil, fmt.Errorf("k=%d solve captured no warm state", benchPrefixK)
+	}
+	coldRes, err := fairim.Solve(g, spec())
+	if err != nil {
+		return nil, err
+	}
+	warmSpec := spec()
+	warmSpec.Warm = capRes.Warm
+	warmRes, err := fairim.Solve(g, warmSpec)
+	if err != nil {
+		return nil, err
+	}
+	if fmt.Sprint(warmRes.Seeds) != fmt.Sprint(coldRes.Seeds) {
+		return nil, fmt.Errorf("prefix-extended seeds %v diverge from cold %v", warmRes.Seeds, coldRes.Seeds)
+	}
+	traj.Metrics["solve_cold_k50"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fairim.Solve(g, spec()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	traj.Metrics["solve_prefix_extend_k25_k50"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := spec()
+			s.Warm = capRes.Warm
+			if _, err := fairim.Solve(g, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// --- warm serve: repeat select over the daemon's HTTP path ---
+	warmServe, err := benchWarmServe(g)
+	if err != nil {
+		return nil, err
+	}
+	traj.Metrics["warm_serve_select"] = warmServe
+
+	traj.Derived["ris_sample_alloc_reduction"] = 1 - float64(traj.Metrics["ris_sample"].AllocsOp)/float64(traj.Metrics["ris_sample_unpooled_baseline"].AllocsOp)
+	traj.Derived["ris_frame_compression"] = float64(traj.Sizes["ris_frame_v1_bytes"]) / float64(traj.Sizes["ris_frame_v2_bytes"])
+	traj.Derived["worlds_frame_compression"] = float64(traj.Sizes["worlds_frame_v1_bytes"]) / float64(traj.Sizes["worlds_frame_v2_bytes"])
+	traj.Derived["prefix_extend_speedup"] = float64(traj.Metrics["solve_cold_k50"].NsOp) / float64(traj.Metrics["solve_prefix_extend_k25_k50"].NsOp)
+	return traj, nil
+}
+
+// benchWarmServe measures a repeat /v1/select on a warmed daemon: sample
+// cached, prefix memoized, report from the sample — the steady-state
+// serve path.
+func benchWarmServe(g *graph.Graph) (Metric, error) {
+	reg := server.NewRegistry()
+	if err := reg.RegisterGraph("twoblock", "synthetic:twoblock", g); err != nil {
+		return Metric{}, err
+	}
+	srv, err := server.New(server.Config{Registry: reg})
+	if err != nil {
+		return Metric{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	body := fmt.Sprintf(`{"graph":"twoblock","problem":"p4","budget":%d,"tau":%d,"engine":"ris","ris_per_group":%d,"eval":"sample"}`,
+		benchPrefixK, benchTau, benchPool)
+	post := func() error {
+		resp, err := http.Post(ts.URL+"/v1/select", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("select returned %s", resp.Status)
+		}
+		var sink json.RawMessage
+		return json.NewDecoder(resp.Body).Decode(&sink)
+	}
+	if err := post(); err != nil { // warm the sample cache and prefix memo
+		return Metric{}, err
+	}
+	var benchErr error
+	m := bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := post(); err != nil {
+				benchErr = err
+				b.Fatal(err)
+			}
+		}
+	})
+	return m, benchErr
+}
+
+// baselineRRSample mirrors the pre-pooling RR sampler byte for byte where
+// it matters for allocation: every RR set allocates its own visited
+// array, BFS queue, depth track and result slice. It exists so the
+// pooled sampler's allocation win stays measurable after the code it
+// replaced is gone (the same pattern bench_test.go uses for the CSR win).
+func baselineRRSample(g *graph.Graph, tau int32, perGroup []int, seed int64) [][]graph.NodeID {
+	inOffsets, inTargets, _ := g.InCSR()
+	thresh := g.InThresholds()
+	root := xrand.New(seed)
+	var sets [][]graph.NodeID
+	flat := int64(0)
+	for grp := 0; grp < g.NumGroups(); grp++ {
+		pool := g.GroupMembers(grp)
+		for i := 0; i < perGroup[grp]; i++ {
+			rng := root.SplitN(flat)
+			flat++
+			rootNode := pool[rng.Intn(len(pool))]
+			visited := make([]bool, g.N())
+			queue := make([]graph.NodeID, 0, 16)
+			depth := make([]int32, 0, 16)
+			set := make([]graph.NodeID, 0, 16)
+			visited[rootNode] = true
+			queue = append(queue, rootNode)
+			depth = append(depth, 0)
+			set = append(set, rootNode)
+			for head := 0; head < len(queue); head++ {
+				v := queue[head]
+				d := depth[head]
+				if d >= tau {
+					continue
+				}
+				for j := inOffsets[v]; j < inOffsets[v+1]; j++ {
+					src := inTargets[j]
+					if visited[src] {
+						continue
+					}
+					if !rng.BernoulliT(thresh[j]) {
+						continue
+					}
+					visited[src] = true
+					queue = append(queue, src)
+					depth = append(depth, d+1)
+					set = append(set, src)
+				}
+			}
+			sets = append(sets, set)
+		}
+	}
+	return sets
+}
+
+// risV1Bytes is the exact size of the version-1 (group,index) pair layout
+// for col: τ (4) + length-prefixed pool sizes (8 + 8·G) + node count (8)
+// + per node a length prefix (8) and two int32s per reference.
+func risV1Bytes(col *ris.Collection, g *graph.Graph) int64 {
+	return int64(4 + 8 + 8*g.NumGroups() + 8 + 8*g.N() + 8*col.NumRefs())
+}
+
+// worldsV1Bytes is the exact size of the version-1 offsets+targets world
+// layout: world count (8) + per world two length-prefixed int32 slices.
+func worldsV1Bytes(worlds []*cascade.World, n int) int64 {
+	total := int64(8)
+	for _, w := range worlds {
+		edges := 0
+		for v := 0; v < n; v++ {
+			edges += len(w.Out(graph.NodeID(v)))
+		}
+		total += 8 + 4*int64(n+1) + 8 + 4*int64(edges)
+	}
+	return total
+}
+
+func readTrajectory(path string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &t, nil
+}
+
+// absoluteGates are the floors the optimization work claims, enforced on
+// every run — writing a checkpoint that violates them is as much a
+// failure as regressing against one.
+func absoluteGates(t *Trajectory) []string {
+	var errs []string
+	if r := t.Derived["ris_sample_alloc_reduction"]; r < 0.25 {
+		errs = append(errs, fmt.Sprintf("RR sampling allocs only %.1f%% below the unpooled baseline, want >=25%%", 100*r))
+	}
+	if c := t.Derived["ris_frame_compression"]; c < 2 {
+		errs = append(errs, fmt.Sprintf("ris v2 frame only %.2fx smaller than v1, want >=2x", c))
+	}
+	if c := t.Derived["worlds_frame_compression"]; c < 2 {
+		errs = append(errs, fmt.Sprintf("worlds v2 frame only %.2fx smaller than v1, want >=2x", c))
+	}
+	if s := t.Derived["prefix_extend_speedup"]; s <= 1 {
+		errs = append(errs, fmt.Sprintf("prefix-extended solve %.2fx vs cold, want >1x", s))
+	}
+	return errs
+}
+
+// compare gates the deterministic metrics against a committed checkpoint:
+// allocs/op and frame sizes may grow at most 10% (plus a small absolute
+// slack so single-digit counts aren't flaky). ns/op is never compared.
+func compare(prev, cur *Trajectory) []string {
+	const headroom = 1.10
+	const slack = 16 // absolute allocs; keeps tiny counts from gating on noise
+	var errs []string
+	for name, p := range prev.Metrics {
+		c, ok := cur.Metrics[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("metric %q disappeared from the suite", name))
+			continue
+		}
+		if float64(c.AllocsOp) > float64(p.AllocsOp)*headroom+slack {
+			errs = append(errs, fmt.Sprintf("%s: %d allocs/op, checkpoint %d", name, c.AllocsOp, p.AllocsOp))
+		}
+	}
+	for name, p := range prev.Sizes {
+		c, ok := cur.Sizes[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("size %q disappeared from the suite", name))
+			continue
+		}
+		if float64(c) > float64(p)*headroom {
+			errs = append(errs, fmt.Sprintf("%s: %d bytes, checkpoint %d", name, c, p))
+		}
+	}
+	return errs
+}

@@ -172,6 +172,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 			return err
 		}
+		// Sketch persistence is write-behind; drain it so a restart on
+		// the same state dir finds everything this process built.
+		srv.WaitFlushes()
 		return nil
 	}
 }

@@ -1,6 +1,8 @@
 package cascade
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -318,5 +320,17 @@ func TestWorldBFSMatchesDirectIC(t *testing.T) {
 func TestModelString(t *testing.T) {
 	if IC.String() != "IC" || LT.String() != "LT" || Model(9).String() != "unknown" {
 		t.Fatal("Model.String broken")
+	}
+}
+
+func TestSampleWorldsCancel(t *testing.T) {
+	g := pathGraph(20, 0.5)
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := SampleWorldsCancel(g, IC, 50, 3, 2, cancel); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled world sampling: got %v, want context.Canceled", err)
+	}
+	if worlds, err := SampleWorldsCancel(g, IC, 5, 3, 2, nil); err != nil || len(worlds) != 5 {
+		t.Fatalf("nil cancel: %v (%d worlds)", err, len(worlds))
 	}
 }

@@ -3,39 +3,135 @@ package cascade
 import (
 	"fmt"
 
+	"fairtcim/internal/graph"
 	"fairtcim/internal/persist"
 )
 
 // WorldCodecKind and WorldCodecVersion identify a live-edge world-set
-// payload inside a persist frame. Bump WorldCodecVersion whenever the
-// payload layout below changes; old files are then rejected with
-// persist.ErrMismatch and the caller re-samples.
+// payload inside a persist frame. WorldCodecVersion is what EncodeWorlds
+// writes; decode accepts everything down to WorldCodecMinVersion, so
+// bumping the version does not strand state files from earlier releases.
 const (
-	WorldCodecKind    = "wrld"
-	WorldCodecVersion = 1
+	WorldCodecKind       = "wrld"
+	WorldCodecVersion    = 2
+	WorldCodecMinVersion = 1
 )
 
-// EncodeWorlds flattens a world set into the version-1 payload: the world
-// count, then each world's CSR offsets and surviving-edge targets. Worlds
-// are graph-shaped but self-contained, so the payload carries everything
-// needed to reconstruct them; persistence binds it to the source graph
+// EncodeWorlds flattens a world set into the version-2 payload: the world
+// count, then per world each node's surviving out-degree as a varint
+// followed by its targets as a zigzag delta stream. Out-lists inherit the
+// source ordering (CSR order for IC, ascending fill order for LT), so
+// deltas are small and mostly positive — the zigzag encoding keeps the
+// occasional backward gap cheap instead of fatal. Worlds are graph-shaped
+// but self-contained; persistence binds the payload to the source graph
 // through the frame's fingerprint.
 func EncodeWorlds(worlds []*World) []byte {
 	var e persist.Enc
-	e.U64(uint64(len(worlds)))
+	e.Uvarint(uint64(len(worlds)))
 	for _, w := range worlds {
-		e.I32s(w.offsets)
-		e.I32s(w.targets)
+		n := w.N()
+		e.Uvarint(uint64(n))
+		for v := 0; v < n; v++ {
+			e.Uvarint(uint64(w.offsets[v+1] - w.offsets[v]))
+		}
+		for v := 0; v < n; v++ {
+			prev := int64(0)
+			for _, t := range w.Out(graph.NodeID(v)) {
+				e.Svarint(int64(t) - prev)
+				prev = int64(t)
+			}
+		}
 	}
 	return e.Bytes()
 }
 
 // DecodeWorlds reconstructs a world set over an n-node graph from a
-// version-1 payload, re-validating every CSR invariant (offset
-// monotonicity, edge-count consistency, target range) so a forged or
-// stale payload cannot produce out-of-range traversals or silently wrong
-// estimates.
+// payload written by the current codec version. For frames that may carry
+// an older version, use DecodeWorldsVersion with the version reported by
+// persist.DecodeRange.
 func DecodeWorlds(payload []byte, n int) ([]*World, error) {
+	return DecodeWorldsVersion(WorldCodecVersion, payload, n)
+}
+
+// DecodeWorldsVersion reconstructs a world set from a payload of the given
+// codec version (WorldCodecMinVersion..WorldCodecVersion), re-validating
+// every CSR invariant (offset monotonicity, edge-count consistency, target
+// range) so a forged or stale payload cannot produce out-of-range
+// traversals or silently wrong estimates.
+func DecodeWorldsVersion(version uint32, payload []byte, n int) ([]*World, error) {
+	switch version {
+	case 1:
+		return decodeWorldsV1(payload, n)
+	case 2:
+		return decodeWorldsV2(payload, n)
+	default:
+		return nil, fmt.Errorf("%w: world codec version %d, support %d..%d",
+			persist.ErrMismatch, version, WorldCodecMinVersion, WorldCodecVersion)
+	}
+}
+
+// decodeWorldsV2 reads the degree+delta layout. Offsets are rebuilt from
+// the degree stream, so monotonicity holds by construction; only the
+// target range needs checking.
+func decodeWorldsV2(payload []byte, n int) ([]*World, error) {
+	d := persist.NewDec(payload)
+	r := d.UvarintLen()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	worlds := make([]*World, r)
+	for i := range worlds {
+		wn := int(d.Uvarint())
+		if err := d.Err(); err != nil {
+			return nil, err
+		}
+		if wn != n {
+			return nil, fmt.Errorf("cascade: decoded world %d over %d nodes, graph has %d", i, wn, n)
+		}
+		offsets := make([]int32, n+1)
+		for v := 0; v < n; v++ {
+			deg := d.Uvarint()
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			// Each surviving edge takes at least one payload byte, so a
+			// forged degree larger than the remaining payload fails here
+			// instead of driving a huge allocation below.
+			if deg > uint64(len(payload)) {
+				return nil, fmt.Errorf("%w: world %d node %d degree %d exceeds payload", persist.ErrCorrupt, i, v, deg)
+			}
+			offsets[v+1] = offsets[v] + int32(deg)
+			if offsets[v+1] < offsets[v] {
+				return nil, fmt.Errorf("%w: world %d edge count overflow at node %d", persist.ErrCorrupt, i, v)
+			}
+		}
+		targets := make([]graph.NodeID, offsets[n])
+		at := 0
+		for v := 0; v < n; v++ {
+			prev := int64(0)
+			for k := offsets[v]; k < offsets[v+1]; k++ {
+				t := prev + d.Svarint()
+				if d.Err() != nil {
+					return nil, d.Err()
+				}
+				if t < 0 || t >= int64(n) {
+					return nil, fmt.Errorf("%w: world %d target %d out of range [0,%d)", persist.ErrCorrupt, i, t, n)
+				}
+				targets[at] = graph.NodeID(t)
+				at++
+				prev = t
+			}
+		}
+		worlds[i] = &World{offsets: offsets, targets: targets}
+	}
+	if err := d.Close(); err != nil {
+		return nil, err
+	}
+	return worlds, nil
+}
+
+// decodeWorldsV1 reads the original verbatim-CSR layout.
+func decodeWorldsV1(payload []byte, n int) ([]*World, error) {
 	d := persist.NewDec(payload)
 	r := d.Len(1)
 	if err := d.Err(); err != nil {
@@ -44,25 +140,27 @@ func DecodeWorlds(payload []byte, n int) ([]*World, error) {
 	worlds := make([]*World, r)
 	for i := range worlds {
 		offsets := d.I32s()
-		targets := d.I32s()
+		rawTargets := d.I32s()
 		if err := d.Err(); err != nil {
 			return nil, err
 		}
 		if len(offsets) != n+1 {
 			return nil, fmt.Errorf("cascade: decoded world %d has %d offsets for %d nodes", i, len(offsets), n)
 		}
-		if offsets[0] != 0 || int(offsets[n]) != len(targets) {
-			return nil, fmt.Errorf("cascade: decoded world %d offsets cover %d..%d, targets %d", i, offsets[0], offsets[n], len(targets))
+		if offsets[0] != 0 || int(offsets[n]) != len(rawTargets) {
+			return nil, fmt.Errorf("cascade: decoded world %d offsets cover %d..%d, targets %d", i, offsets[0], offsets[n], len(rawTargets))
 		}
 		for v := 0; v < n; v++ {
 			if offsets[v+1] < offsets[v] {
 				return nil, fmt.Errorf("cascade: decoded world %d offsets not monotone at node %d", i, v)
 			}
 		}
-		for _, t := range targets {
+		targets := make([]graph.NodeID, len(rawTargets))
+		for j, t := range rawTargets {
 			if t < 0 || int(t) >= n {
 				return nil, fmt.Errorf("cascade: decoded world %d target %d out of range [0,%d)", i, t, n)
 			}
+			targets[j] = graph.NodeID(t)
 		}
 		worlds[i] = &World{offsets: offsets, targets: targets}
 	}

@@ -1,15 +1,52 @@
 package cascade
 
 import (
+	"errors"
 	"testing"
 
 	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
 	"fairtcim/internal/persist"
 )
 
-// TestWorldCodecRoundTrip: decoded worlds are structurally identical to
-// the saved ones — every node's surviving out-neighborhood matches in
-// every world — so forward-MC estimates over them are byte-identical.
+// encodeWorldsV1 re-emits the original version-1 payload layout (verbatim
+// CSR arrays) so tests can verify pre-bump frames still decode.
+func encodeWorldsV1(worlds []*World) []byte {
+	var e persist.Enc
+	e.U64(uint64(len(worlds)))
+	for _, w := range worlds {
+		e.I32s(w.offsets)
+		e.I32s(w.targets)
+	}
+	return e.Bytes()
+}
+
+// worldsEqual fails the test unless both world sets are structurally
+// identical — every node's surviving out-neighborhood matches in every
+// world — which makes forward-MC estimates over them byte-identical.
+func worldsEqual(t *testing.T, tag string, worlds, back []*World, n int) {
+	t.Helper()
+	if len(back) != len(worlds) {
+		t.Fatalf("%s: %d worlds, want %d", tag, len(back), len(worlds))
+	}
+	for i, w := range worlds {
+		if back[i].N() != w.N() || back[i].M() != w.M() {
+			t.Fatalf("%s world %d: shape %d/%d, want %d/%d", tag, i, back[i].N(), back[i].M(), w.N(), w.M())
+		}
+		for v := 0; v < n; v++ {
+			a, b := w.Out(int32(v)), back[i].Out(int32(v))
+			if len(a) != len(b) {
+				t.Fatalf("%s world %d node %d: %v vs %v", tag, i, v, a, b)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("%s world %d node %d: %v vs %v", tag, i, v, a, b)
+				}
+			}
+		}
+	}
+}
+
 func TestWorldCodecRoundTrip(t *testing.T) {
 	g, err := generate.TwoBlock(generate.DefaultTwoBlock(5))
 	if err != nil {
@@ -21,25 +58,50 @@ func TestWorldCodecRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", model, err)
 		}
-		if len(back) != len(worlds) {
-			t.Fatalf("%v: %d worlds, want %d", model, len(back), len(worlds))
-		}
-		for i, w := range worlds {
-			if back[i].N() != w.N() || back[i].M() != w.M() {
-				t.Fatalf("%v world %d: shape %d/%d, want %d/%d", model, i, back[i].N(), back[i].M(), w.N(), w.M())
-			}
-			for v := 0; v < g.N(); v++ {
-				a, b := w.Out(int32(v)), back[i].Out(int32(v))
-				if len(a) != len(b) {
-					t.Fatalf("%v world %d node %d: %v vs %v", model, i, v, a, b)
-				}
-				for j := range a {
-					if a[j] != b[j] {
-						t.Fatalf("%v world %d node %d: %v vs %v", model, i, v, a, b)
-					}
-				}
-			}
-		}
+		worldsEqual(t, model.String(), worlds, back, g.N())
+	}
+}
+
+// TestWorldCodecCrossVersion: version-1 world payloads (verbatim CSR) must
+// keep decoding under the current codec, payload- and frame-level, and the
+// version-2 stream must actually be at least twice as small.
+func TestWorldCodecCrossVersion(t *testing.T) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	worlds := SampleWorlds(g, IC, 30, 13, 2)
+	v1 := encodeWorldsV1(worlds)
+	v2 := EncodeWorlds(worlds)
+
+	back, err := DecodeWorldsVersion(1, v1, g.N())
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	worldsEqual(t, "v1", worlds, back, g.N())
+
+	if len(v2)*2 > len(v1) {
+		t.Fatalf("v2 payload %d bytes, not ≥2x smaller than v1's %d", len(v2), len(v1))
+	}
+
+	fp := persist.GraphFingerprint(g)
+	framed, err := persist.Encode(persist.Meta{Kind: WorldCodecKind, Version: 1, Fingerprint: fp}, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := persist.Meta{Kind: WorldCodecKind, Version: WorldCodecVersion, Fingerprint: fp}
+	payload, version, err := persist.DecodeRange(framed, want, WorldCodecMinVersion)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	back, err = DecodeWorldsVersion(version, payload, g.N())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worldsEqual(t, "v1-frame", worlds, back, g.N())
+
+	if _, err := DecodeWorldsVersion(WorldCodecVersion+1, v2, g.N()); err == nil {
+		t.Error("future codec version accepted")
 	}
 }
 
@@ -48,40 +110,91 @@ func TestWorldCodecRejectsMalformedPayloads(t *testing.T) {
 	worlds := SampleWorlds(g, IC, 5, 1, 1)
 	good := EncodeWorlds(worlds)
 
-	if _, err := DecodeWorlds(good[:len(good)-3], g.N()); err == nil {
-		t.Error("truncated payload accepted")
+	if _, err := DecodeWorlds(good[:len(good)-3], g.N()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("truncated payload: got %v, want ErrCorrupt", err)
 	}
-	if _, err := DecodeWorlds(append(append([]byte(nil), good...), 0), g.N()); err == nil {
-		t.Error("trailing bytes accepted")
+	if _, err := DecodeWorlds(append(append([]byte(nil), good...), 0), g.N()); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("trailing bytes: got %v, want ErrCorrupt", err)
 	}
 	if _, err := DecodeWorlds(good, g.N()+1); err == nil {
 		t.Error("wrong node count accepted")
 	}
 
-	// Target out of range.
+	// v2: a delta stream decoding to a target outside [0,n).
+	var oob persist.Enc
+	oob.Uvarint(1)  // one world
+	oob.Uvarint(3)  // 3 nodes
+	oob.Uvarint(1)  // node 0: one edge...
+	oob.Uvarint(0)  // node 1: none
+	oob.Uvarint(0)  // node 2: none
+	oob.Svarint(99) // ...to a node that does not exist
+	if _, err := DecodeWorlds(oob.Bytes(), 3); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("out-of-range v2 target: got %v, want ErrCorrupt", err)
+	}
+
+	// v2: a degree claiming more edges than the payload can hold.
+	var huge persist.Enc
+	huge.Uvarint(1)
+	huge.Uvarint(3)
+	huge.Uvarint(1 << 40)
+	if _, err := DecodeWorlds(huge.Bytes(), 3); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("oversized v2 degree: got %v, want ErrCorrupt", err)
+	}
+
+	// v1 layout violations still caught by the v1 decoder.
 	var e persist.Enc
 	e.U64(1)
 	e.I32s([]int32{0, 1, 1, 1}) // 3 nodes, one edge from node 0
 	e.I32s([]int32{99})         // ...to a node that does not exist
-	if _, err := DecodeWorlds(e.Bytes(), 3); err == nil {
-		t.Error("out-of-range target accepted")
+	if _, err := DecodeWorldsVersion(1, e.Bytes(), 3); err == nil {
+		t.Error("out-of-range v1 target accepted")
 	}
 
-	// Non-monotone offsets.
 	var m persist.Enc
 	m.U64(1)
 	m.I32s([]int32{0, 2, 1, 2})
 	m.I32s([]int32{0, 1})
-	if _, err := DecodeWorlds(m.Bytes(), 3); err == nil {
-		t.Error("non-monotone offsets accepted")
+	if _, err := DecodeWorldsVersion(1, m.Bytes(), 3); err == nil {
+		t.Error("non-monotone v1 offsets accepted")
 	}
 
-	// Offsets/targets length disagreement.
 	var d persist.Enc
 	d.U64(1)
 	d.I32s([]int32{0, 1, 1, 2})
 	d.I32s([]int32{0})
-	if _, err := DecodeWorlds(d.Bytes(), 3); err == nil {
-		t.Error("offset/target length mismatch accepted")
+	if _, err := DecodeWorldsVersion(1, d.Bytes(), 3); err == nil {
+		t.Error("v1 offset/target length mismatch accepted")
 	}
+}
+
+// FuzzDecodeWorlds throws arbitrary bytes at both decoder generations:
+// either a clean error comes back or a world set whose every edge is in
+// range — never a panic, never a traversal hazard.
+func FuzzDecodeWorlds(f *testing.F) {
+	g := generate.TwoStars()
+	worlds := SampleWorlds(g, IC, 3, 2, 1)
+	v2 := EncodeWorlds(worlds)
+	v1 := encodeWorldsV1(worlds)
+	f.Add(uint32(2), v2)
+	f.Add(uint32(1), v1)
+	f.Add(uint32(2), v2[:len(v2)/2])
+	flipped := append([]byte(nil), v2...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(uint32(2), flipped)
+	f.Add(uint32(1), []byte{})
+	f.Fuzz(func(t *testing.T, version uint32, payload []byte) {
+		back, err := DecodeWorldsVersion(version%3, payload, g.N())
+		if err != nil {
+			return
+		}
+		for i, w := range back {
+			for v := 0; v < w.N(); v++ {
+				for _, to := range w.Out(graph.NodeID(v)) {
+					if to < 0 || int(to) >= w.N() {
+						t.Fatalf("world %d: accepted edge %d->%d out of range", i, v, to)
+					}
+				}
+			}
+		}
+	})
 }

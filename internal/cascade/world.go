@@ -1,9 +1,11 @@
 package cascade
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fairtcim/internal/graph"
 	"fairtcim/internal/xrand"
@@ -61,6 +63,37 @@ func SampleICWorld(g *graph.Graph, rng *xrand.RNG) *World {
 	return w
 }
 
+// ltScratch is the pooled per-call working state of SampleLTWorld: the
+// chosen-in-neighbor and degree/fill arrays are only needed while one
+// world is being assembled, so repeated sampling (forward-MC accuracy
+// sizing draws thousands of worlds) reuses them instead of allocating
+// three n-sized slices per world.
+type ltScratch struct {
+	chosen []graph.NodeID
+	outDeg []int32
+	fill   []int32
+}
+
+var ltPool = sync.Pool{New: func() any { return &ltScratch{} }}
+
+// grabLT readies a pooled LT scratch for n nodes; outDeg is returned
+// zeroed, chosen and fill are fully overwritten by the sampler.
+func grabLT(n int) *ltScratch {
+	sc := ltPool.Get().(*ltScratch)
+	if cap(sc.chosen) < n {
+		sc.chosen = make([]graph.NodeID, n)
+		sc.outDeg = make([]int32, n)
+		sc.fill = make([]int32, n)
+	}
+	sc.chosen = sc.chosen[:n]
+	sc.outDeg = sc.outDeg[:n]
+	sc.fill = sc.fill[:n]
+	for i := range sc.outDeg {
+		sc.outDeg[i] = 0
+	}
+	return sc
+}
+
 // SampleLTWorld draws one LT live-edge world: each node keeps at most one
 // incoming edge, chosen with probability proportional to its (normalized)
 // weight; the kept reverse edge is stored in forward orientation. This is
@@ -68,9 +101,11 @@ func SampleICWorld(g *graph.Graph, rng *xrand.RNG) *World {
 func SampleLTWorld(g *graph.Graph, rng *xrand.RNG) *World {
 	n := g.N()
 	scale := ltScales(g)
+	sc := grabLT(n)
+	defer ltPool.Put(sc)
 	// chosen[v] = the single in-neighbor v keeps, or -1.
-	chosen := make([]graph.NodeID, n)
-	outDeg := make([]int32, n)
+	chosen := sc.chosen
+	outDeg := sc.outDeg
 	for v := 0; v < n; v++ {
 		chosen[v] = -1
 		sources, probs := g.InEdges(graph.NodeID(v))
@@ -96,7 +131,7 @@ func SampleLTWorld(g *graph.Graph, rng *xrand.RNG) *World {
 	}
 	w.offsets[n] = total
 	w.targets = make([]graph.NodeID, total)
-	fill := make([]int32, n)
+	fill := sc.fill
 	copy(fill, w.offsets[:n])
 	for v := 0; v < n; v++ {
 		if u := chosen[v]; u >= 0 {
@@ -133,6 +168,15 @@ func (m Model) String() string {
 // from the i'th split of the seed stream, independent of scheduling.
 // parallelism <= 0 means GOMAXPROCS.
 func SampleWorlds(g *graph.Graph, model Model, r int, seed int64, parallelism int) []*World {
+	worlds, _ := SampleWorldsCancel(g, model, r, seed, parallelism, nil)
+	return worlds
+}
+
+// SampleWorldsCancel is SampleWorlds with cooperative cancellation: once
+// cancel is closed, workers stop between worlds and the call returns
+// context.Canceled. A nil cancel never fires, making this the common
+// implementation for both entry points.
+func SampleWorldsCancel(g *graph.Graph, model Model, r int, seed int64, parallelism int, cancel <-chan struct{}) ([]*World, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -144,6 +188,7 @@ func SampleWorlds(g *graph.Graph, model Model, r int, seed int64, parallelism in
 	}
 	root := xrand.New(seed)
 	worlds := make([]*World, r)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	next := make(chan int, r)
 	for i := 0; i < r; i++ {
@@ -155,6 +200,14 @@ func SampleWorlds(g *graph.Graph, model Model, r int, seed int64, parallelism in
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if cancel != nil {
+					select {
+					case <-cancel:
+						canceled.Store(true)
+						return
+					default:
+					}
+				}
 				rng := root.SplitN(int64(i))
 				switch model {
 				case LT:
@@ -166,7 +219,10 @@ func SampleWorlds(g *graph.Graph, model Model, r int, seed int64, parallelism in
 		}()
 	}
 	wg.Wait()
-	return worlds
+	if canceled.Load() {
+		return nil, context.Canceled
+	}
+	return worlds, nil
 }
 
 // Reachable runs a τ-bounded BFS in w from seeds and returns each node's

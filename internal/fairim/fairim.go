@@ -18,6 +18,7 @@
 package fairim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -109,12 +110,26 @@ type Config struct {
 	// callback may retain them.
 	OnIteration func(IterationStat)
 	// Cancel, if non-nil, is polled at the same between-picks seam as
-	// OnIteration: once the channel is closed, the solve aborts after the
-	// current pick and returns ErrCanceled. Sampling and the parallel
-	// first gain pass are not interrupted — cancellation takes effect at
-	// the next pick boundary, keeping partial state consistent. The
-	// serving layer wires a job's cancellation context here.
+	// OnIteration — once the channel is closed, the solve aborts after the
+	// current pick and returns ErrCanceled — and inside the sampling loops:
+	// IC/LT world sampling, RR-pool sampling, and the accuracy sizer's
+	// doubling rounds all stop between samples, so a multi-second sampling
+	// phase is interruptible too. Only delayed-world sampling and the
+	// parallel first gain pass run to completion. The serving layer wires a
+	// job's cancellation context here.
 	Cancel <-chan struct{}
+	// Warm, if non-nil, primes a budget solve (P1/P4 under CELF) with a
+	// memoized greedy prefix: the prefix seeds are replayed (zero gain
+	// evaluations, full trace/OnIteration parity) and the CELF heap resumes
+	// from the snapshot for the remaining picks. The caller must guarantee
+	// the warm state was captured on an equivalent instance — same graph,
+	// estimator sample, objective, and candidate set — or the extension is
+	// garbage; the serving layer keys its prefix cache on exactly that.
+	// Ignored for cover problems and under PlainGreedy.
+	Warm *WarmStart
+	// CaptureWarm asks a budget solve to return its final CELF state in
+	// Result.Warm so a later solve with a larger budget can extend it.
+	CaptureWarm bool
 	// Estimator, if non-nil, is used as the optimization estimator instead
 	// of sampling a fresh one — the serving fast path: a warm estimator
 	// built from a cached sample (e.g. a shared ris.Collection or world
@@ -133,10 +148,32 @@ type Config struct {
 	ReportOnSample bool
 }
 
-// ErrCanceled reports a solve aborted between greedy picks because
-// Config.Cancel fired. The Result is discarded; callers that want the
-// partial seed set should consume OnIteration snapshots instead.
+// ErrCanceled reports a solve aborted because Config.Cancel fired —
+// between greedy picks or inside a sampling loop. The Result is discarded;
+// callers that want the partial seed set should consume OnIteration
+// snapshots instead.
 var ErrCanceled = errors.New("fairim: solve canceled")
+
+// mapCanceled translates the context.Canceled that cancellable sampling
+// loops return into the package's ErrCanceled, so callers see one
+// cancellation error regardless of which phase the cancel landed in.
+func mapCanceled(err error) error {
+	if errors.Is(err, context.Canceled) {
+		return ErrCanceled
+	}
+	return err
+}
+
+// WarmStart is a memoized greedy prefix: the seeds a budget solve picked,
+// plus the CELF heap snapshot left after picking them. Because the heap
+// after k picks does not depend on the eventual budget, replay + resume
+// reproduces a larger cold solve bit-for-bit (see
+// submodular.LazySnapshot). Treat as immutable once captured — one
+// WarmStart may serve any number of extensions concurrently.
+type WarmStart struct {
+	Seeds    []graph.NodeID
+	Snapshot *submodular.LazySnapshot
+}
 
 // DefaultConfig returns the paper's synthetic-experiment defaults (§6.1):
 // τ = 20 and 200 Monte-Carlo samples.
@@ -169,6 +206,12 @@ type Result struct {
 	// configured explicitly.
 	Samples     int // forward-MC worlds
 	RISPerGroup int // RR sets per group (0 unless the RIS engine ran)
+	// Warm is the solve's final CELF state, captured only when
+	// Config.CaptureWarm was set on a budget problem solved via CELF; nil
+	// otherwise (including runs that exhausted their candidates). It is not
+	// part of the wire format — the serving layer keeps it in its prefix
+	// cache.
+	Warm *WarmStart `json:"-"`
 }
 
 func (c *Config) validate(g *graph.Graph) error {
@@ -217,6 +260,16 @@ func (c *Config) validate(g *graph.Graph) error {
 	}
 	if c.Estimator != nil && c.Estimator.Graph() != g {
 		return fmt.Errorf("fairim: injected estimator built for a different graph")
+	}
+	if c.Warm != nil {
+		if c.Warm.Snapshot == nil {
+			return fmt.Errorf("fairim: warm start without a heap snapshot")
+		}
+		for _, v := range c.Warm.Seeds {
+			if v < 0 || int(v) >= g.N() {
+				return fmt.Errorf("fairim: warm-start seed %d out of range", v)
+			}
+		}
 	}
 	if c.Engine == EngineRIS {
 		if c.Model != cascade.IC {
@@ -292,9 +345,9 @@ func (c *Config) newEstimator(g *graph.Graph) (estimator.Estimator, error) {
 		for i := range perGroup {
 			perGroup[i] = c.risPerGroup()
 		}
-		col, err := ris.Sample(g, c.Tau, perGroup, c.Seed, c.Parallelism)
+		col, err := ris.SampleCancel(g, c.Tau, perGroup, c.Seed, c.Parallelism, c.Cancel)
 		if err != nil {
-			return nil, err
+			return nil, mapCanceled(err)
 		}
 		return ris.NewEstimator(col), nil
 	}
@@ -302,7 +355,10 @@ func (c *Config) newEstimator(g *graph.Graph) (estimator.Estimator, error) {
 		worlds := cascade.SampleDelayedWorlds(g, c.Delay, c.Samples, c.Seed, c.Parallelism)
 		return influence.NewDelayedEvaluator(g, worlds, c.Tau)
 	}
-	worlds := cascade.SampleWorlds(g, c.Model, c.Samples, c.Seed, c.Parallelism)
+	worlds, err := cascade.SampleWorldsCancel(g, c.Model, c.Samples, c.Seed, c.Parallelism, c.Cancel)
+	if err != nil {
+		return nil, mapCanceled(err)
+	}
 	if c.Discount > 0 {
 		return influence.NewDiscountedEvaluator(g, worlds, c.Tau, c.Discount)
 	}
@@ -360,15 +416,61 @@ func SolveFairTCIMCover(g *graph.Graph, quota float64, cfg Config) (*Result, err
 const coverSlack = 1e-9
 
 // maximize dispatches to plain or lazy greedy with a parallel first pass.
-func maximize(obj *objective, cfg Config, g *graph.Graph, budget int) (submodular.Result, error) {
+// Under CELF it honors Config.Warm (replay the memoized prefix, resume the
+// heap) and Config.CaptureWarm (return the final CELF state); both
+// produce/extend exactly what a cold run at the same budget would pick.
+func maximize(obj *objective, cfg Config, g *graph.Graph, budget int) (submodular.Result, *WarmStart, error) {
 	cands := cfg.candidates(g)
 	if cfg.PlainGreedy {
-		return submodular.GreedyMax(obj, cands, budget)
+		res, err := submodular.GreedyMax(obj, cands, budget)
+		return res, nil, err
+	}
+	if w := cfg.Warm; w != nil && w.Snapshot != nil && len(w.Seeds) > 0 {
+		// Replay through obj.Add rather than splicing results: the trace,
+		// OnIteration stream, Values, and cancellation seam all behave as
+		// in a cold run — only the Gain evaluations are saved.
+		var res submodular.Result
+		replay := w.Seeds
+		if len(replay) > budget {
+			replay = replay[:budget]
+		}
+		for _, v := range replay {
+			obj.Add(v)
+			res.Seeds = append(res.Seeds, v)
+			res.Values = append(res.Values, obj.Value())
+			if err := obj.Stopped(); err != nil {
+				return res, nil, err
+			}
+		}
+		if len(res.Seeds) >= budget {
+			// The memoized prefix already covers this budget; nothing to
+			// extend, and the shorter run leaves no capturable heap state.
+			return res, nil, nil
+		}
+		ext, snap, err := submodular.LazyGreedyMaxResume(obj, w.Snapshot, budget-len(res.Seeds))
+		res.Seeds = append(res.Seeds, ext.Seeds...)
+		res.Values = append(res.Values, ext.Values...)
+		res.Evaluations += ext.Evaluations
+		if err != nil {
+			return res, nil, err
+		}
+		return res, captureWarm(cfg, res, snap), nil
 	}
 	initial := obj.initialGains(cands, cfg.Parallelism)
-	res, err := submodular.LazyGreedyMaxInit(obj, cands, budget, initial)
+	res, snap, err := submodular.LazyGreedyMaxCapture(obj, cands, budget, initial)
 	res.Evaluations += len(cands) // the parallel first pass
-	return res, err
+	if err != nil {
+		return res, nil, err
+	}
+	return res, captureWarm(cfg, res, snap), nil
+}
+
+// captureWarm packages the final CELF state when the caller asked for it.
+func captureWarm(cfg Config, res submodular.Result, snap *submodular.LazySnapshot) *WarmStart {
+	if !cfg.CaptureWarm || snap == nil || len(res.Seeds) == 0 {
+		return nil
+	}
+	return &WarmStart{Seeds: append([]graph.NodeID(nil), res.Seeds...), Snapshot: snap}
 }
 
 func cover(obj *objective, cfg Config, g *graph.Graph, target float64) (submodular.Result, error) {

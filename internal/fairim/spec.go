@@ -268,9 +268,9 @@ func (s ProblemSpec) resolve(g *graph.Graph, k int, mode resolveMode) (Config, e
 		return cfg, nil
 	}
 	if cfg.Engine == EngineRIS {
-		col, err := ris.SampleForAccuracy(g, cfg.Tau, k, acc.Epsilon, acc.Delta, cfg.Seed, cfg.Parallelism)
+		col, err := ris.SampleForAccuracyCancel(g, cfg.Tau, k, acc.Epsilon, acc.Delta, cfg.Seed, cfg.Parallelism, cfg.Cancel)
 		if err != nil {
-			return cfg, err
+			return cfg, mapCanceled(err)
 		}
 		cfg.Estimator = ris.NewEstimator(col)
 		cfg.RISPerGroup = cfg.Estimator.SampleSize()
@@ -312,13 +312,14 @@ func Solve(g *graph.Graph, spec ProblemSpec) (*Result, error) {
 
 	var obj *objective
 	var res submodular.Result
+	var warm *WarmStart
 	switch spec.Problem {
 	case P1:
 		obj = newObjective(eval, totalValue{}, cfg)
-		res, err = maximize(obj, cfg, g, spec.Budget)
+		res, warm, err = maximize(obj, cfg, g, spec.Budget)
 	case P4:
 		obj = newObjective(eval, concaveValue{h: cfg.h(), weights: cfg.GroupWeights}, cfg)
-		res, err = maximize(obj, cfg, g, spec.Budget)
+		res, warm, err = maximize(obj, cfg, g, spec.Budget)
 	case P2:
 		obj = newObjective(eval, totalQuotaValue{quota: spec.Quota}, cfg)
 		res, err = cover(obj, cfg, g, spec.Quota-coverSlack)
@@ -329,7 +330,12 @@ func Solve(g *graph.Graph, spec ProblemSpec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return finishResult(spec.Problem.String(), g, res, obj, cfg)
+	out, err := finishResult(spec.Problem.String(), g, res, obj, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out.Warm = warm
+	return out, nil
 }
 
 // Evaluate estimates utilities and disparity of an arbitrary seed set

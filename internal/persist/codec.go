@@ -3,6 +3,7 @@ package persist
 import (
 	"encoding/binary"
 	"fmt"
+	"math/bits"
 )
 
 // Enc appends little-endian primitives to a growing buffer. The zero
@@ -39,6 +40,37 @@ func (e *Enc) Ints(s []int) {
 	e.U64(uint64(len(s)))
 	for _, v := range s {
 		e.I64(int64(v))
+	}
+}
+
+// Uvarint appends one unsigned LEB128 varint (1 byte for values < 128,
+// growing 7 bits per byte). The compact integers of the version-2 payload
+// codecs are built from it.
+func (e *Enc) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Svarint appends one zigzag-encoded signed varint: small magnitudes of
+// either sign stay short, so nearly-sorted streams delta-encode well even
+// when an occasional gap runs backwards.
+func (e *Enc) Svarint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// DeltaU32s appends a strictly-increasing []int32 as a Uvarint count, the
+// first value, then the gaps — the delta+varint stream layout shared by
+// the version-2 sketch codecs. Callers must pass a strictly increasing,
+// non-negative sequence; Dec.DeltaU32s re-validates on the way back in.
+func (e *Enc) DeltaU32s(s []int32) {
+	e.Uvarint(uint64(len(s)))
+	prev := int32(0)
+	for i, v := range s {
+		if i == 0 {
+			e.Uvarint(uint64(v))
+		} else {
+			e.Uvarint(uint64(v - prev))
+		}
+		prev = v
 	}
 }
 
@@ -131,6 +163,92 @@ func (d *Dec) Ints() []int {
 	}
 	return out
 }
+
+// Uvarint reads one unsigned LEB128 varint.
+func (d *Dec) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: malformed uvarint at offset %d", ErrCorrupt, d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Svarint reads one zigzag-encoded signed varint.
+func (d *Dec) Svarint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.err = fmt.Errorf("%w: malformed varint at offset %d", ErrCorrupt, d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// UvarintLen reads a Uvarint length prefix, validated against the bytes
+// remaining (varint elements are at least one byte each) so a corrupt
+// length can never trigger a huge allocation.
+func (d *Dec) UvarintLen() int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.err = fmt.Errorf("%w: varint length prefix %d exceeds remaining payload", ErrCorrupt, n)
+		return 0
+	}
+	return int(n)
+}
+
+// DeltaU32s reads a delta+varint stream written by Enc.DeltaU32s into out
+// (reallocated when too small) and returns it. The decoded sequence is
+// validated to be strictly increasing, non-negative, and bounded by max
+// (exclusive) — a corrupt gap is rejected here, before any caller indexes
+// with it.
+func (d *Dec) DeltaU32s(out []int32, max int32) []int32 {
+	n := d.UvarintLen()
+	if d.err != nil {
+		return nil
+	}
+	if cap(out) < n {
+		out = make([]int32, n)
+	}
+	out = out[:n]
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		var v int64
+		if i == 0 {
+			v = int64(d.Uvarint())
+		} else {
+			gap := d.Uvarint()
+			if gap == 0 && d.err == nil {
+				d.err = fmt.Errorf("%w: zero gap in delta stream at element %d", ErrCorrupt, i)
+			}
+			v = prev + int64(gap)
+		}
+		if d.err != nil {
+			return nil
+		}
+		if v <= prev || v >= int64(max) {
+			d.err = fmt.Errorf("%w: delta stream element %d decodes to %d, outside (%d,%d)", ErrCorrupt, i, v, prev, max)
+			return nil
+		}
+		out[i] = int32(v)
+		prev = v
+	}
+	return out
+}
+
+// UvarintMaxLen bounds the encoded size of one Uvarint — handy for
+// capacity estimates in payload encoders.
+func UvarintMaxLen(v uint64) int { return (bits.Len64(v|1) + 6) / 7 }
 
 // Err returns the first decoding error, if any.
 func (d *Dec) Err() error { return d.err }

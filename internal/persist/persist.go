@@ -78,11 +78,21 @@ func Encode(meta Meta, payload []byte) ([]byte, error) {
 // Decode verifies a frame against the expected Meta and returns the
 // payload. The returned slice aliases data.
 func Decode(data []byte, want Meta) ([]byte, error) {
+	payload, _, err := DecodeRange(data, want, want.Version)
+	return payload, err
+}
+
+// DecodeRange verifies a frame like Decode but accepts any codec version
+// in [minVersion, want.Version], returning the payload together with the
+// version it was actually written under. This is how a codec that bumped
+// its payload layout keeps reading frames from earlier releases: pass the
+// oldest version it still decodes, then dispatch on the returned version.
+func DecodeRange(data []byte, want Meta, minVersion uint32) ([]byte, uint32, error) {
 	if len(data) < headerSize {
-		return nil, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
+		return nil, 0, fmt.Errorf("%w: %d bytes, shorter than the %d-byte header", ErrCorrupt, len(data), headerSize)
 	}
 	if string(data[:len(magic)]) != magic {
-		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	off := len(magic)
 	version := binary.LittleEndian.Uint32(data[off:])
@@ -96,24 +106,24 @@ func Decode(data []byte, want Meta) ([]byte, error) {
 	sum := binary.LittleEndian.Uint64(data[off:])
 	off += 8
 	if payloadLen != uint64(len(data)-off) {
-		return nil, fmt.Errorf("%w: header claims %d payload bytes, file has %d", ErrCorrupt, payloadLen, len(data)-off)
+		return nil, 0, fmt.Errorf("%w: header claims %d payload bytes, file has %d", ErrCorrupt, payloadLen, len(data)-off)
 	}
 	payload := data[off:]
 	if crc64.Checksum(payload, crcTable) != sum {
-		return nil, fmt.Errorf("%w: checksum failure", ErrCorrupt)
+		return nil, 0, fmt.Errorf("%w: checksum failure", ErrCorrupt)
 	}
 	// Identity checks come after integrity checks so a truncated file is
 	// reported as corrupt, not as a version skew.
 	if kind != want.Kind {
-		return nil, fmt.Errorf("%w: kind %q, want %q", ErrMismatch, kind, want.Kind)
+		return nil, 0, fmt.Errorf("%w: kind %q, want %q", ErrMismatch, kind, want.Kind)
 	}
-	if version != want.Version {
-		return nil, fmt.Errorf("%w: codec version %d, want %d", ErrMismatch, version, want.Version)
+	if version < minVersion || version > want.Version {
+		return nil, 0, fmt.Errorf("%w: codec version %d, want %d..%d", ErrMismatch, version, minVersion, want.Version)
 	}
 	if fingerprint != want.Fingerprint {
-		return nil, fmt.Errorf("%w: graph fingerprint %016x, want %016x", ErrMismatch, fingerprint, want.Fingerprint)
+		return nil, 0, fmt.Errorf("%w: graph fingerprint %016x, want %016x", ErrMismatch, fingerprint, want.Fingerprint)
 	}
-	return payload, nil
+	return payload, version, nil
 }
 
 // Save atomically writes a framed payload: the frame goes to a temp file
@@ -153,6 +163,17 @@ func Load(path string, want Meta) ([]byte, error) {
 		return nil, err
 	}
 	return Decode(data, want)
+}
+
+// LoadRange is Load for codecs that still decode earlier payload versions:
+// any version in [minVersion, want.Version] is accepted and returned
+// alongside the payload. See DecodeRange.
+func LoadRange(path string, want Meta, minVersion uint32) ([]byte, uint32, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	return DecodeRange(data, want, minVersion)
 }
 
 // GraphFingerprint hashes everything a sampling distribution depends on —

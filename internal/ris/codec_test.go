@@ -1,6 +1,7 @@
 package ris
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -8,6 +9,55 @@ import (
 	"fairtcim/internal/graph"
 	"fairtcim/internal/persist"
 )
+
+// encodePayloadV1 re-emits the original version-1 payload layout —
+// (group,index) pairs, no compression — so tests can verify that frames
+// written before the codec bump still decode. It is the writer the v1
+// decoder is tested against now that EncodePayload writes version 2.
+func encodePayloadV1(c *Collection) []byte {
+	var e persist.Enc
+	e.I32(c.tau)
+	e.Ints(c.poolSize)
+	n := len(c.off) - 1
+	e.U64(uint64(n))
+	for v := 0; v < n; v++ {
+		refs := c.refs[c.off[v]:c.off[v+1]]
+		e.U64(uint64(len(refs)))
+		for _, id := range refs {
+			grp := groupOfFlat(c.base, id)
+			e.I32(int32(grp))
+			e.I32(id - c.base[grp])
+		}
+	}
+	return e.Bytes()
+}
+
+// estimatesEqual walks a fixed greedy-ish path on both collections and
+// fails the test on the first differing estimate.
+func estimatesEqual(t *testing.T, col, back *Collection, probe []graph.NodeID) {
+	t.Helper()
+	if back.Tau() != col.Tau() || back.NumSets() != col.NumSets() || back.NumRefs() != col.NumRefs() {
+		t.Fatalf("shape changed: tau %d->%d, sets %d->%d, refs %d->%d",
+			col.Tau(), back.Tau(), col.NumSets(), back.NumSets(), col.NumRefs(), back.NumRefs())
+	}
+	a, b := NewEstimator(col), NewEstimator(back)
+	for _, v := range probe {
+		ga, gb := a.GainPerGroup(v), b.GainPerGroup(v)
+		for i := range ga {
+			if ga[i] != gb[i] {
+				t.Fatalf("gain of %d differs in group %d: %v vs %v", v, i, ga[i], gb[i])
+			}
+		}
+		a.Add(v)
+		b.Add(v)
+		ua, ub := a.GroupUtilities(), b.GroupUtilities()
+		for i := range ua {
+			if ua[i] != ub[i] {
+				t.Fatalf("utilities differ after adding %d: %v vs %v", v, ua, ub)
+			}
+		}
+	}
+}
 
 // TestCodecRoundTrip pins the warm-restart guarantee at the sketch level:
 // a decoded Collection is indistinguishable from the one that was saved —
@@ -26,31 +76,72 @@ func TestCodecRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Tau() != col.Tau() || back.NumSets() != col.NumSets() {
-		t.Fatalf("shape changed: tau %d->%d, sets %d->%d", col.Tau(), back.Tau(), col.NumSets(), back.NumSets())
+	estimatesEqual(t, col, back, []graph.NodeID{0, 7, 42, 199})
+}
+
+// TestCodecCrossVersion is the compatibility matrix: a version-1 payload
+// (the pre-bump pair layout) must decode under the current codec — both at
+// the payload level and through a full persist frame stamped Version 1 —
+// and yield bit-identical estimates. A warm-state dir written by an older
+// build keeps working after upgrade.
+func TestCodecCrossVersion(t *testing.T) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(4))
+	if err != nil {
+		t.Fatal(err)
 	}
-	a, b := NewEstimator(col), NewEstimator(back)
-	for _, v := range []graph.NodeID{0, 7, 42, 199} {
-		ga, gb := a.GainPerGroup(v), b.GainPerGroup(v)
-		for i := range ga {
-			if ga[i] != gb[i] {
-				t.Fatalf("gain of %d differs in group %d: %v vs %v", v, i, ga[i], gb[i])
-			}
-		}
-		a.Add(v)
-		b.Add(v)
-		ua, ub := a.GroupUtilities(), b.GroupUtilities()
-		for i := range ua {
-			if ua[i] != ub[i] {
-				t.Fatalf("utilities differ after adding %d: %v vs %v", v, ua, ub)
-			}
-		}
+	col, err := Sample(g, 4, []int{250, 350}, 19, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := encodePayloadV1(col)
+	v2 := col.EncodePayload()
+
+	back1, err := DecodePayloadVersion(1, v1, g)
+	if err != nil {
+		t.Fatalf("v1 payload rejected: %v", err)
+	}
+	estimatesEqual(t, col, back1, []graph.NodeID{3, 17, 101, 222})
+
+	// The compression claim, pinned: the v2 stream must be well under half
+	// the v1 pair layout on a realistic sketch.
+	if len(v2)*2 > len(v1) {
+		t.Fatalf("v2 payload %d bytes, not ≥2x smaller than v1's %d", len(v2), len(v1))
+	}
+
+	// Frame level: a file stamped Version 1 passes DecodeRange with the
+	// codec's floor and dispatches to the v1 layout.
+	meta := persist.Meta{Kind: CodecKind, Version: 1, Fingerprint: persist.GraphFingerprint(g)}
+	framed, err := persist.Encode(meta, v1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := persist.Meta{Kind: CodecKind, Version: CodecVersion, Fingerprint: persist.GraphFingerprint(g)}
+	payload, version, err := persist.DecodeRange(framed, want, CodecMinVersion)
+	if err != nil {
+		t.Fatalf("v1 frame rejected: %v", err)
+	}
+	if version != 1 {
+		t.Fatalf("frame version = %d, want 1", version)
+	}
+	back, err := DecodePayloadVersion(version, payload, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	estimatesEqual(t, col, back, []graph.NodeID{3, 17, 101, 222})
+
+	// Versions outside the supported window stay rejected.
+	if _, err := DecodePayloadVersion(CodecVersion+1, v2, g); err == nil {
+		t.Error("future codec version accepted")
+	}
+	if _, _, err := persist.DecodeRange(framed, want, 2); !errors.Is(err, persist.ErrMismatch) {
+		t.Errorf("v1 frame below the floor: got %v, want ErrMismatch", err)
 	}
 }
 
 // TestCodecRejectsMalformedPayloads: a payload that passed the frame
 // checks but violates the Collection's structural invariants must be
-// rejected, never loaded into an index that could answer wrongly.
+// rejected, never loaded into an index that could answer wrongly. Both
+// decoder generations are exercised against their own layouts.
 func TestCodecRejectsMalformedPayloads(t *testing.T) {
 	g := generate.TwoStars()
 	col, err := Sample(g, 3, []int{50, 50}, 1, 1)
@@ -59,11 +150,11 @@ func TestCodecRejectsMalformedPayloads(t *testing.T) {
 	}
 	good := col.EncodePayload()
 
-	if _, err := DecodePayload(good[:len(good)-2], g); err == nil {
-		t.Error("truncated payload accepted")
+	if _, err := DecodePayload(good[:len(good)-2], g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("truncated payload: got %v, want ErrCorrupt", err)
 	}
-	if _, err := DecodePayload(append(append([]byte(nil), good...), 0), g); err == nil {
-		t.Error("payload with trailing bytes accepted")
+	if _, err := DecodePayload(append(append([]byte(nil), good...), 0), g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("payload with trailing bytes: got %v, want ErrCorrupt", err)
 	}
 
 	// Wrong graph shape: decode against a graph with a different node
@@ -76,29 +167,53 @@ func TestCodecRejectsMalformedPayloads(t *testing.T) {
 		t.Error("payload decoded against a different graph")
 	}
 
-	// Out-of-range set refs: hand-craft a payload whose single ref points
-	// beyond its group's pool.
-	var e persist.Enc
-	e.I32(3)             // tau
-	e.Ints([]int{2, 2})  // pool sizes
-	e.U64(uint64(g.N())) // node count
-	e.U64(1)             // node 0 appears in one set...
-	e.I32(0)
-	e.I32(5) // ...whose index 5 is outside pool size 2
-	for v := 1; v < g.N(); v++ {
-		e.U64(0)
-	}
-	if _, err := DecodePayload(e.Bytes(), g); err == nil {
-		t.Error("out-of-range set ref accepted")
+	// v2 header with hand-corrupted delta streams.
+	header := func() *persist.Enc {
+		var e persist.Enc
+		e.I32(3)
+		e.Ints([]int{2, 2})
+		e.Uvarint(uint64(g.N()))
+		return &e
 	}
 
-	// Negative deadline and non-positive pool sizes.
+	// A zero gap (duplicate flat id) in a delta stream is corruption.
+	dup := header()
+	dup.Uvarint(2) // node 0: two refs...
+	dup.Uvarint(1) // ...first id 1
+	dup.Uvarint(0) // ...then gap 0: id 1 again
+	for v := 1; v < g.N(); v++ {
+		dup.Uvarint(0)
+	}
+	if _, err := DecodePayload(dup.Bytes(), g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("zero-gap delta stream: got %v, want ErrCorrupt", err)
+	}
+
+	// A ref at/past the total set count (4 here) is corruption.
+	oob := header()
+	oob.Uvarint(1)
+	oob.Uvarint(4)
+	for v := 1; v < g.N(); v++ {
+		oob.Uvarint(0)
+	}
+	if _, err := DecodePayload(oob.Bytes(), g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("out-of-range flat ref: got %v, want ErrCorrupt", err)
+	}
+
+	// A huge per-node ref count must fail on bounds, not allocate.
+	hugeV2 := header()
+	hugeV2.Uvarint(math.MaxUint32)
+	if _, err := DecodePayload(hugeV2.Bytes(), g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("oversized v2 ref count: got %v, want ErrCorrupt", err)
+	}
+
+	// Negative deadline and non-positive pool sizes (header validation,
+	// shared by both versions).
 	var neg persist.Enc
 	neg.I32(-1)
 	neg.Ints([]int{2, 2})
-	neg.U64(uint64(g.N()))
+	neg.Uvarint(uint64(g.N()))
 	for v := 0; v < g.N(); v++ {
-		neg.U64(0)
+		neg.Uvarint(0)
 	}
 	if _, err := DecodePayload(neg.Bytes(), g); err == nil {
 		t.Error("negative deadline accepted")
@@ -106,21 +221,90 @@ func TestCodecRejectsMalformedPayloads(t *testing.T) {
 	var zero persist.Enc
 	zero.I32(3)
 	zero.Ints([]int{0, 2})
-	zero.U64(uint64(g.N()))
+	zero.Uvarint(uint64(g.N()))
 	for v := 0; v < g.N(); v++ {
-		zero.U64(0)
+		zero.Uvarint(0)
 	}
 	if _, err := DecodePayload(zero.Bytes(), g); err == nil {
 		t.Error("zero pool size accepted")
 	}
 
-	// A huge per-node ref count must fail on bounds, not allocate.
-	var huge persist.Enc
-	huge.I32(3)
-	huge.Ints([]int{2, 2})
-	huge.U64(uint64(g.N()))
-	huge.U64(math.MaxUint32)
-	if _, err := DecodePayload(huge.Bytes(), g); err == nil {
-		t.Error("oversized ref count accepted")
+	// v1 layout violations still caught by the v1 decoder.
+	var v1oob persist.Enc
+	v1oob.I32(3)
+	v1oob.Ints([]int{2, 2})
+	v1oob.U64(uint64(g.N()))
+	v1oob.U64(1) // node 0 appears in one set...
+	v1oob.I32(0)
+	v1oob.I32(5) // ...whose index 5 is outside pool size 2
+	for v := 1; v < g.N(); v++ {
+		v1oob.U64(0)
 	}
+	if _, err := DecodePayloadVersion(1, v1oob.Bytes(), g); err == nil {
+		t.Error("out-of-range v1 set ref accepted")
+	}
+
+	var v1huge persist.Enc
+	v1huge.I32(3)
+	v1huge.Ints([]int{2, 2})
+	v1huge.U64(uint64(g.N()))
+	v1huge.U64(math.MaxUint32)
+	if _, err := DecodePayloadVersion(1, v1huge.Bytes(), g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("oversized v1 ref count: got %v, want ErrCorrupt", err)
+	}
+
+	var v1dup persist.Enc
+	v1dup.I32(3)
+	v1dup.Ints([]int{2, 2})
+	v1dup.U64(uint64(g.N()))
+	v1dup.U64(2) // node 0 lists the same set twice
+	v1dup.I32(0)
+	v1dup.I32(1)
+	v1dup.I32(0)
+	v1dup.I32(1)
+	for v := 1; v < g.N(); v++ {
+		v1dup.U64(0)
+	}
+	if _, err := DecodePayloadVersion(1, v1dup.Bytes(), g); !errors.Is(err, persist.ErrCorrupt) {
+		t.Errorf("duplicate v1 set ref: got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzDecodePayload throws arbitrary bytes at both decoder generations:
+// whatever comes back must be a clean error or a structurally valid
+// Collection — never a panic, never out-of-range state. The corpus seeds
+// it with genuine payloads of both versions plus their corrupted variants.
+func FuzzDecodePayload(f *testing.F) {
+	g := generate.TwoStars()
+	col, err := Sample(g, 3, []int{20, 20}, 7, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	v2 := col.EncodePayload()
+	v1 := encodePayloadV1(col)
+	f.Add(uint32(2), v2)
+	f.Add(uint32(1), v1)
+	f.Add(uint32(2), v2[:len(v2)/2])
+	f.Add(uint32(1), v1[:len(v1)/2])
+	flipped := append([]byte(nil), v2...)
+	flipped[len(flipped)/2] ^= 0xff
+	f.Add(uint32(2), flipped)
+	f.Add(uint32(2), []byte{})
+	f.Fuzz(func(t *testing.T, version uint32, payload []byte) {
+		back, err := DecodePayloadVersion(version%3, payload, g)
+		if err != nil {
+			return
+		}
+		// Accepted payloads must decode to an index a solve can trust.
+		total := int32(back.NumSets())
+		for v := 0; v <= g.N()-1; v++ {
+			prev := int32(-1)
+			for _, id := range back.refs[back.off[v]:back.off[v+1]] {
+				if id <= prev || id >= total {
+					t.Fatalf("node %d: accepted ref %d after %d (total %d)", v, id, prev, total)
+				}
+				prev = id
+			}
+		}
+	})
 }

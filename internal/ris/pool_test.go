@@ -1,0 +1,92 @@
+package ris
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"fairtcim/internal/generate"
+)
+
+// TestPooledScratchReuseAcrossConcurrentSamples hammers Sample from many
+// goroutines so pooled sampler scratches are handed between concurrent
+// runs (and across distinct graphs mid-flight). Determinism must survive:
+// a pooled visited array carries stale epochs from an unrelated run, and
+// the global epoch counter is what keeps them from ever matching. Run
+// under -race this also proves the pool hand-off itself is clean.
+func TestPooledScratchReuseAcrossConcurrentSamples(t *testing.T) {
+	g1, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2 := generate.TwoStars()
+
+	ref1, err := Sample(g1, 4, []int{60, 60}, 9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := Sample(g2, 3, []int{40, 40}, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for rep := 0; rep < 4; rep++ {
+				var got, want *Collection
+				var err error
+				if (i+rep)%2 == 0 {
+					got, err = Sample(g1, 4, []int{60, 60}, 9, 3)
+					want = ref1
+				} else {
+					got, err = Sample(g2, 3, []int{40, 40}, 5, 3)
+					want = ref2
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				if got.NumRefs() != want.NumRefs() {
+					errs <- errors.New("pooled sampling lost determinism: ref count drifted")
+					return
+				}
+				for j := range got.refs {
+					if got.refs[j] != want.refs[j] {
+						errs <- errors.New("pooled sampling lost determinism: inverted index drifted")
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSampleCancel: a closed cancel channel stops sampling between RR sets
+// with context.Canceled, and a nil channel never interferes.
+func TestSampleCancel(t *testing.T) {
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel := make(chan struct{})
+	close(cancel)
+	if _, err := SampleCancel(g, 4, []int{500, 500}, 3, 2, cancel); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled sample: got %v, want context.Canceled", err)
+	}
+	if _, err := SampleForAccuracyCancel(g, 4, 5, 0.3, 0.1, 3, 2, cancel); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled accuracy sample: got %v, want context.Canceled", err)
+	}
+	if _, err := SampleCancel(g, 4, []int{50, 50}, 3, 2, nil); err != nil {
+		t.Fatalf("nil cancel: %v", err)
+	}
+}

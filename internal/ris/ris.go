@@ -17,22 +17,24 @@
 package ris
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"fairtcim/internal/graph"
 	"fairtcim/internal/xrand"
 )
 
-// setRef locates one RR set: the group pool it belongs to and its index.
-type setRef struct {
-	group int32
-	index int32
-}
-
 // Collection is a sampled family of τ-bounded RR sets, pooled per group,
-// with an inverted node→sets index.
+// with an inverted node→sets index stored as one flat CSR-style arena:
+// refs[off[v]:off[v+1]] are the flat ids of the RR sets containing node v,
+// strictly increasing. Flat ids enumerate sets group-major — group i owns
+// ids [base[i], base[i+1]) — so the group of a ref is recovered by walking
+// base alongside the sorted refs, and the whole index is two cache-friendly
+// slices instead of one small heap block per node.
 //
 // A built Collection is immutable: Sample is the only writer, and every
 // method only reads. It is therefore safe to share one Collection across
@@ -42,13 +44,77 @@ type setRef struct {
 type Collection struct {
 	g        *graph.Graph
 	tau      int32
-	poolSize []int      // RR sets sampled per group
-	contains [][]setRef // contains[v] = RR sets that include node v
+	poolSize []int   // RR sets sampled per group
+	base     []int32 // base[i] = first flat id of group i; base[len] = total
+	off      []int32 // off[v]..off[v+1] bounds node v's refs
+	refs     []int32 // flat RR-set ids, strictly increasing per node
+}
+
+// groupBases converts per-group pool sizes to flat-id group boundaries.
+func groupBases(poolSize []int) []int32 {
+	base := make([]int32, len(poolSize)+1)
+	for i, s := range poolSize {
+		base[i+1] = base[i] + int32(s)
+	}
+	return base
+}
+
+// groupOfFlat returns the group owning flat set id.
+func groupOfFlat(base []int32, flat int32) int {
+	return sort.Search(len(base)-1, func(i int) bool { return base[i+1] > flat })
+}
+
+// samplerScratch is the pooled per-worker state of a sampling run: the
+// epoch-marked visited array, BFS queue/depth buffers, and the arena the
+// worker's RR sets are appended into. Pooling it removes the dominant
+// allocation churn from repeated sampling — in particular the geometric
+// doubling rounds of SampleForAccuracy, which resample the whole pool
+// several times per call.
+type samplerScratch struct {
+	visited []int64        // visited[v] == epoch marks v reached in the current BFS
+	queue   []graph.NodeID // BFS frontier
+	depth   []int32        // parallel hop depths
+	arena   []graph.NodeID // concatenated RR sets of this worker
+	spans   []setSpan      // where each sampled set lives in arena
+}
+
+// setSpan locates one RR set inside a worker arena.
+type setSpan struct {
+	flat       int32
+	start, end int32
+}
+
+var samplerPool = sync.Pool{New: func() any { return &samplerScratch{} }}
+
+// sampleEpoch issues globally unique BFS epochs, so pooled visited arrays
+// never need clearing between jobs, rounds, or graphs: a stale epoch from
+// any previous use can never collide with a fresh one.
+var sampleEpoch atomic.Int64
+
+// grab readies a pooled scratch for an n-node graph. Grown (or fresh)
+// visited memory is zero — epochs start at 1, so zero never matches.
+func grabScratch(n int) *samplerScratch {
+	sc := samplerPool.Get().(*samplerScratch)
+	if cap(sc.visited) < n {
+		sc.visited = make([]int64, n)
+	}
+	sc.visited = sc.visited[:n]
+	sc.arena = sc.arena[:0]
+	sc.spans = sc.spans[:0]
+	return sc
 }
 
 // Sample draws perGroup[i] RR sets rooted uniformly in group i. The result
 // is deterministic for fixed arguments; parallelism <= 0 means GOMAXPROCS.
 func Sample(g *graph.Graph, tau int32, perGroup []int, seed int64, parallelism int) (*Collection, error) {
+	return SampleCancel(g, tau, perGroup, seed, parallelism, nil)
+}
+
+// SampleCancel is Sample with cooperative cancellation: once cancel is
+// closed, workers stop between RR sets and the call returns
+// context.Canceled. A nil cancel never fires. Sampling a multi-second pool
+// is therefore interruptible, not just the greedy loop that follows it.
+func SampleCancel(g *graph.Graph, tau int32, perGroup []int, seed int64, parallelism int, cancel <-chan struct{}) (*Collection, error) {
 	if g.N() == 0 {
 		return nil, fmt.Errorf("ris: empty graph")
 	}
@@ -65,21 +131,7 @@ func Sample(g *graph.Graph, tau int32, perGroup []int, seed int64, parallelism i
 		}
 		total += c
 	}
-
-	// Flatten (group, index) jobs so workers can pull from one queue while
-	// keeping per-set RNG streams deterministic.
-	type job struct {
-		ref  setRef
-		flat int64
-	}
-	jobs := make([]job, 0, total)
-	flat := int64(0)
-	for grp, c := range perGroup {
-		for i := 0; i < c; i++ {
-			jobs = append(jobs, job{ref: setRef{group: int32(grp), index: int32(i)}, flat: flat})
-			flat++
-		}
-	}
+	base := groupBases(perGroup)
 
 	members := make([][]graph.NodeID, g.NumGroups())
 	for i := range members {
@@ -89,62 +141,113 @@ func Sample(g *graph.Graph, tau int32, perGroup []int, seed int64, parallelism i
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	if parallelism > len(jobs) {
-		parallelism = len(jobs)
+	if parallelism > total {
+		parallelism = total
 	}
 	root := xrand.New(seed)
-	sets := make([][]graph.NodeID, total)
+	// Each worker samples into its own pooled arena and records spans; the
+	// per-set RNG is derived from the flat id, so the result is independent
+	// of which worker draws which set.
+	scratches := make([]*samplerScratch, parallelism)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
-	work := make(chan int, len(jobs))
-	for i := range jobs {
+	work := make(chan int32, total)
+	for i := int32(0); i < int32(total); i++ {
 		work <- i
 	}
 	close(work)
 	for p := 0; p < parallelism; p++ {
+		sc := grabScratch(g.N())
+		scratches[p] = sc
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			visited := make([]int64, g.N())
-			for i := range visited {
-				visited[i] = -1
-			}
-			var queue []graph.NodeID
-			for j := range work {
-				rng := root.SplitN(jobs[j].flat)
-				pool := members[jobs[j].ref.group]
+			grp := 0
+			for flat := range work {
+				if cancel != nil {
+					select {
+					case <-cancel:
+						canceled.Store(true)
+						return
+					default:
+					}
+				}
+				// work drains in ascending flat order per receiver only
+				// loosely; recompute the owning group each time.
+				grp = groupOfFlat(base, flat)
+				rng := root.SplitN(int64(flat))
+				pool := members[grp]
 				rootNode := pool[rng.Intn(len(pool))]
-				sets[jobs[j].flat] = reverseBFS(g, rootNode, tau, rng, visited, int64(jobs[j].flat), &queue)
+				start := int32(len(sc.arena))
+				reverseBFS(g, rootNode, tau, rng, sc)
+				sc.spans = append(sc.spans, setSpan{flat: flat, start: start, end: int32(len(sc.arena))})
 			}
 		}()
 	}
 	wg.Wait()
+	if canceled.Load() {
+		for _, sc := range scratches {
+			samplerPool.Put(sc)
+		}
+		return nil, context.Canceled
+	}
 
-	c := &Collection{
+	// Assemble the inverted index in two passes over the worker arenas:
+	// count refs per node, prefix-sum into off, then scatter flat ids in
+	// ascending flat order so each node's ref list comes out sorted.
+	n := g.N()
+	sets := make([][]graph.NodeID, total)
+	for _, sc := range scratches {
+		for _, sp := range sc.spans {
+			sets[sp.flat] = sc.arena[sp.start:sp.end]
+		}
+	}
+	off := make([]int32, n+1)
+	for _, set := range sets {
+		for _, v := range set {
+			off[v+1]++
+		}
+	}
+	for v := 0; v < n; v++ {
+		off[v+1] += off[v]
+	}
+	refs := make([]int32, off[n])
+	next := make([]int32, n)
+	copy(next, off[:n])
+	for flat, set := range sets {
+		for _, v := range set {
+			refs[next[v]] = int32(flat)
+			next[v]++
+		}
+	}
+	for _, sc := range scratches {
+		samplerPool.Put(sc)
+	}
+
+	return &Collection{
 		g:        g,
 		tau:      tau,
 		poolSize: append([]int(nil), perGroup...),
-		contains: make([][]setRef, g.N()),
-	}
-	for j := range jobs {
-		for _, v := range sets[jobs[j].flat] {
-			c.contains[v] = append(c.contains[v], jobs[j].ref)
-		}
-	}
-	return c, nil
+		base:     base,
+		off:      off,
+		refs:     refs,
+	}, nil
 }
 
-// reverseBFS collects the τ-bounded reverse-reachable set of root, flipping
-// each incoming edge alive with its probability. visited holds the job id
-// as an epoch marker to avoid reallocation across jobs.
-func reverseBFS(g *graph.Graph, root graph.NodeID, tau int32, rng *xrand.RNG, visited []int64, epoch int64, queue *[]graph.NodeID) []graph.NodeID {
+// reverseBFS collects the τ-bounded reverse-reachable set of root into the
+// scratch arena, flipping each incoming edge alive with its probability.
+// A fresh global epoch marks visited nodes, so the pooled visited array is
+// never cleared.
+func reverseBFS(g *graph.Graph, root graph.NodeID, tau int32, rng *xrand.RNG, sc *samplerScratch) {
 	inOffsets, inTargets, _ := g.InCSR()
 	thresh := g.InThresholds()
-	q := (*queue)[:0]
-	depth := make([]int32, 0, 16)
-	visited[root] = epoch
+	epoch := sampleEpoch.Add(1)
+	q := sc.queue[:0]
+	depth := sc.depth[:0]
+	sc.visited[root] = epoch
 	q = append(q, root)
 	depth = append(depth, 0)
-	out := []graph.NodeID{root}
+	sc.arena = append(sc.arena, root)
 	for head := 0; head < len(q); head++ {
 		v := q[head]
 		d := depth[head]
@@ -153,20 +256,20 @@ func reverseBFS(g *graph.Graph, root graph.NodeID, tau int32, rng *xrand.RNG, vi
 		}
 		for i := inOffsets[v]; i < inOffsets[v+1]; i++ {
 			src := inTargets[i]
-			if visited[src] == epoch {
+			if sc.visited[src] == epoch {
 				continue
 			}
 			if !rng.BernoulliT(thresh[i]) {
 				continue
 			}
-			visited[src] = epoch
+			sc.visited[src] = epoch
 			q = append(q, src)
 			depth = append(depth, d+1)
-			out = append(out, src)
+			sc.arena = append(sc.arena, src)
 		}
 	}
-	*queue = q
-	return out
+	sc.queue = q
+	sc.depth = depth
 }
 
 // Graph returns the underlying graph.
@@ -179,13 +282,11 @@ func (c *Collection) Tau() int32 { return c.tau }
 func (c *Collection) PoolSizes() []int { return c.poolSize }
 
 // NumSets returns the total number of RR sets.
-func (c *Collection) NumSets() int {
-	t := 0
-	for _, s := range c.poolSize {
-		t += s
-	}
-	return t
-}
+func (c *Collection) NumSets() int { return int(c.base[len(c.base)-1]) }
+
+// NumRefs returns the total size of the inverted index — the sum of all
+// RR-set sizes. It is the byte-budget driver of the persisted frame.
+func (c *Collection) NumRefs() int { return len(c.refs) }
 
 // Estimator evaluates group utilities of a growing seed set against a
 // Collection by incremental RR-set coverage. It satisfies the
@@ -199,7 +300,7 @@ func (c *Collection) NumSets() int {
 // shared, read-only Collection.
 type Estimator struct {
 	c       *Collection
-	covered [][]bool // covered[group][index]
+	covered []uint64 // bitset over flat set ids
 	count   []int    // covered sets per group
 	seeds   []graph.NodeID
 	delta   []float64 // scratch returned by GainPerGroup
@@ -207,16 +308,12 @@ type Estimator struct {
 
 // NewEstimator starts from the empty seed set.
 func NewEstimator(c *Collection) *Estimator {
-	e := &Estimator{
+	return &Estimator{
 		c:       c,
-		covered: make([][]bool, len(c.poolSize)),
+		covered: make([]uint64, (c.NumSets()+63)/64),
 		count:   make([]int, len(c.poolSize)),
 		delta:   make([]float64, len(c.poolSize)),
 	}
-	for i, s := range c.poolSize {
-		e.covered[i] = make([]bool, s)
-	}
-	return e
 }
 
 // Collection returns the RR-set family this estimator evaluates against.
@@ -245,18 +342,24 @@ func (e *Estimator) GainPerGroup(v graph.NodeID) []float64 {
 
 // gainPerGroupInto computes the per-group coverage gain of v into delta.
 // It only reads estimator state, so calls with distinct delta slices may
-// run concurrently.
+// run concurrently. Refs are sorted by flat id, so the owning group is
+// tracked by walking base forward — no per-ref group field or search.
 func (e *Estimator) gainPerGroupInto(delta []float64, v graph.NodeID) []float64 {
 	for i := range delta {
 		delta[i] = 0
 	}
-	for _, ref := range e.c.contains[v] {
-		if !e.covered[ref.group][ref.index] {
-			delta[ref.group]++
+	c := e.c
+	grp := 0
+	for _, id := range c.refs[c.off[v]:c.off[v+1]] {
+		for id >= c.base[grp+1] {
+			grp++
+		}
+		if e.covered[uint32(id)>>6]&(1<<(uint32(id)&63)) == 0 {
+			delta[grp]++
 		}
 	}
 	for i := range delta {
-		delta[i] *= float64(e.c.g.GroupSize(i)) / float64(e.c.poolSize[i])
+		delta[i] *= float64(c.g.GroupSize(i)) / float64(c.poolSize[i])
 	}
 	return delta
 }
@@ -308,10 +411,16 @@ func (e *Estimator) Gain(v graph.NodeID) float64 {
 
 // Add commits v to the seed set.
 func (e *Estimator) Add(v graph.NodeID) {
-	for _, ref := range e.c.contains[v] {
-		if !e.covered[ref.group][ref.index] {
-			e.covered[ref.group][ref.index] = true
-			e.count[ref.group]++
+	c := e.c
+	grp := 0
+	for _, id := range c.refs[c.off[v]:c.off[v+1]] {
+		for id >= c.base[grp+1] {
+			grp++
+		}
+		w, bit := uint32(id)>>6, uint64(1)<<(uint32(id)&63)
+		if e.covered[w]&bit == 0 {
+			e.covered[w] |= bit
+			e.count[grp]++
 		}
 	}
 	e.seeds = append(e.seeds, v)
@@ -351,9 +460,9 @@ func (e *Estimator) TotalUtility() float64 {
 // Reset clears the seed set.
 func (e *Estimator) Reset() {
 	for i := range e.covered {
-		for j := range e.covered[i] {
-			e.covered[i][j] = false
-		}
+		e.covered[i] = 0
+	}
+	for i := range e.count {
 		e.count[i] = 0
 	}
 	e.seeds = e.seeds[:0]

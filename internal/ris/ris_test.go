@@ -52,8 +52,14 @@ func TestSampleDeterministicAcrossParallelism(t *testing.T) {
 		t.Fatal(err)
 	}
 	for v := 0; v < g.N(); v++ {
-		if len(a.contains[v]) != len(b.contains[v]) {
+		av, bv := a.refs[a.off[v]:a.off[v+1]], b.refs[b.off[v]:b.off[v+1]]
+		if len(av) != len(bv) {
 			t.Fatalf("node %d inverted index differs across parallelism", v)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("node %d ref %d differs across parallelism: %d vs %d", v, i, av[i], bv[i])
+			}
 		}
 	}
 }
@@ -66,10 +72,7 @@ func TestRRSetContainsRoot(t *testing.T) {
 	}
 	// tau = 0: every RR set is exactly its root, so total membership count
 	// equals total set count.
-	total := 0
-	for v := 0; v < g.N(); v++ {
-		total += len(c.contains[v])
-	}
+	total := c.NumRefs()
 	if total != c.NumSets() {
 		t.Fatalf("tau=0 membership %d, want %d", total, c.NumSets())
 	}

@@ -67,6 +67,14 @@ func RequiredPoolSize(eps, delta float64, k, n, groups int, lb float64) int {
 // demanded pool exceeds the sizing cap is an error. The result is
 // deterministic for fixed arguments; parallelism <= 0 means GOMAXPROCS.
 func SampleForAccuracy(g *graph.Graph, tau int32, k int, eps, delta float64, seed int64, parallelism int) (*Collection, error) {
+	return SampleForAccuracyCancel(g, tau, k, eps, delta, seed, parallelism, nil)
+}
+
+// SampleForAccuracyCancel is SampleForAccuracy with cooperative
+// cancellation threaded into every doubling round's sampling pass: once
+// cancel is closed the in-flight round stops between RR sets and the call
+// returns context.Canceled. A nil cancel never fires.
+func SampleForAccuracyCancel(g *graph.Graph, tau int32, k int, eps, delta float64, seed int64, parallelism int, cancel <-chan struct{}) (*Collection, error) {
 	if eps <= 0 || eps >= 1 {
 		return nil, fmt.Errorf("ris: epsilon %v outside (0,1)", eps)
 	}
@@ -93,7 +101,7 @@ func SampleForAccuracy(g *graph.Graph, tau int32, k int, eps, delta float64, see
 		}
 		// Each round resamples with a shifted seed so pools across rounds
 		// are independent, as the per-round δ budget assumes.
-		col, err := Sample(g, tau, perGroup, seed+int64(round), parallelism)
+		col, err := SampleCancel(g, tau, perGroup, seed+int64(round), parallelism, cancel)
 		if err != nil {
 			return nil, err
 		}

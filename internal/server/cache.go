@@ -6,6 +6,7 @@ import (
 	"errors"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fairtcim/internal/cascade"
@@ -99,10 +100,14 @@ func (s *sample) newEstimator(tau int32) (estimator.Estimator, error) {
 
 // cacheEntry is one cache slot. ready is closed once sample/err are
 // final, so concurrent requests for an in-flight key block on the same
-// build instead of starting their own (singleflight).
+// build instead of starting their own (singleflight). started is closed
+// the moment the builder actually holds a worker slot and begins the
+// load/build — before that the entry is only a reservation, and joiners
+// whose gate bounds queueing may give up on it (see joinEntry).
 type cacheEntry struct {
 	key     sampleKey
 	ready   chan struct{}
+	started chan struct{}
 	sample  *sample
 	err     error
 	elem    *list.Element
@@ -114,9 +119,15 @@ type cacheEntry struct {
 // exported access goes through SampleFor and Stats.
 type Cache struct {
 	// disk, when non-nil, persists every built sample and answers memory
-	// misses before sampling. Loads and saves run inside the singleflight,
-	// so disk too is touched once per key. Set once before first use.
+	// misses before sampling. Loads run inside the singleflight, so disk
+	// is read once per key; saves are write-behind (diskSaveAsync), off
+	// the request path entirely. Set once before first use.
 	disk *diskStore
+
+	// flushWG tracks write-behind disk saves in flight; flushing mirrors
+	// it as a gauge for CacheStats. WaitFlushes drains it on shutdown.
+	flushWG  sync.WaitGroup
+	flushing atomic.Int64
 
 	mu         sync.Mutex
 	capacity   int
@@ -129,18 +140,34 @@ type Cache struct {
 	diskHits   int64      // memory misses served from a persisted sample
 	diskWrites int64      // built samples persisted successfully
 	diskErrors int64      // unusable state files (corrupt/mismatched) or failed writes
+
+	// The seed-set prefix memo: solved greedy prefixes with their CELF
+	// heap snapshots, so a larger-budget repeat of a solved problem
+	// resumes where the smaller budget stopped instead of re-picking
+	// from scratch. Keyed alongside (not inside) the sample entries —
+	// a prefix stays useful even if its sample was evicted, since the
+	// sample rebuilds bit-identically from its key.
+	prefixCap    int
+	prefix       map[prefixKey]*prefixEntry
+	prefixLRU    *list.List // of *prefixEntry; front = most recently used
+	prefixHits   int64
+	prefixStores int64
 }
 
 // NewCache returns a cache holding at most capacity samples; capacity
-// <= 0 defaults to 32.
+// <= 0 defaults to 32. The prefix memo shares the same bound: snapshots
+// are O(candidates) each, the same order as a sample's estimator.
 func NewCache(capacity int) *Cache {
 	if capacity <= 0 {
 		capacity = 32
 	}
 	return &Cache{
-		capacity: capacity,
-		entries:  map[sampleKey]*cacheEntry{},
-		lru:      list.New(),
+		capacity:  capacity,
+		entries:   map[sampleKey]*cacheEntry{},
+		lru:       list.New(),
+		prefixCap: capacity,
+		prefix:    map[prefixKey]*prefixEntry{},
+		prefixLRU: list.New(),
 	}
 }
 
@@ -148,33 +175,46 @@ func NewCache(capacity int) *Cache {
 // joining an in-flight build: the request did not sample anything. The
 // disk counters stay zero unless the daemon runs with a state dir:
 // DiskHits counts memory misses answered from persisted samples (no
-// rebuild), DiskWrites successful write-throughs, DiskErrors rejected
+// rebuild), DiskWrites completed write-behinds, DiskErrors rejected
 // state files (corrupt, truncated, version- or graph-mismatched) plus
 // failed writes — a missing file is a cold start, not an error.
+// FlushesInFlight gauges write-behinds started but not yet on disk.
+// The Prefix* counters track the seed-set prefix memo: PrefixHits are
+// solves that warm-started from a memoized prefix, PrefixStores are
+// prefixes (re)captured into the memo.
 type CacheStats struct {
-	Entries    int   `json:"entries"`
-	Hits       int64 `json:"hits"`
-	Misses     int64 `json:"misses"`
-	Builds     int64 `json:"builds"`
-	Evictions  int64 `json:"evictions"`
-	DiskHits   int64 `json:"disk_hits"`
-	DiskWrites int64 `json:"disk_writes"`
-	DiskErrors int64 `json:"disk_errors"`
+	Entries         int   `json:"entries"`
+	Hits            int64 `json:"hits"`
+	Misses          int64 `json:"misses"`
+	Builds          int64 `json:"builds"`
+	Evictions       int64 `json:"evictions"`
+	DiskHits        int64 `json:"disk_hits"`
+	DiskWrites      int64 `json:"disk_writes"`
+	DiskErrors      int64 `json:"disk_errors"`
+	FlushesInFlight int64 `json:"disk_flushes_inflight"`
+	PrefixEntries   int   `json:"prefix_entries"`
+	PrefixHits      int64 `json:"prefix_hits"`
+	PrefixStores    int64 `json:"prefix_stores"`
 }
 
 // Stats returns current counters.
 func (c *Cache) Stats() CacheStats {
+	inFlight := c.flushing.Load()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Entries:    len(c.entries),
-		Hits:       c.hits,
-		Misses:     c.misses,
-		Builds:     c.builds,
-		Evictions:  c.evictions,
-		DiskHits:   c.diskHits,
-		DiskWrites: c.diskWrites,
-		DiskErrors: c.diskErrors,
+		Entries:         len(c.entries),
+		Hits:            c.hits,
+		Misses:          c.misses,
+		Builds:          c.builds,
+		Evictions:       c.evictions,
+		DiskHits:        c.diskHits,
+		DiskWrites:      c.diskWrites,
+		DiskErrors:      c.diskErrors,
+		FlushesInFlight: inFlight,
+		PrefixEntries:   len(c.prefix),
+		PrefixHits:      c.prefixHits,
+		PrefixStores:    c.prefixStores,
 	}
 }
 
@@ -202,6 +242,53 @@ type workerGate interface {
 	release()
 }
 
+// joinBounded is the optional workerGate refinement for gates whose
+// queueing policy sheds after a timeout (the synchronous request path):
+// such a gate also bounds how long its requests wait for someone else's
+// not-yet-started build. Without it (async jobs, nil gates, tests) a
+// joiner waits as long as its context allows.
+type joinBounded interface {
+	joinBound() time.Duration
+}
+
+// joinEntry waits for another caller's in-flight entry to resolve. A
+// bounded gate waits at most its bound for the build to *start*: a
+// synchronous request that singleflight-joins a build reserved by a
+// queued async job (which may sit behind a saturated worker pool far
+// longer than any queue timeout) must shed like the rest of its class
+// instead of hanging until the client gives up. Once the build has
+// started, the joiner commits regardless of the bound — the sample is
+// actively being produced and abandoning it would only duplicate work.
+func joinEntry(ctx context.Context, e *cacheEntry, gate workerGate) error {
+	if bg, ok := gate.(joinBounded); ok {
+		if bound := bg.joinBound(); bound > 0 {
+			timer := time.NewTimer(bound)
+			defer timer.Stop()
+			select {
+			case <-e.ready:
+				return nil
+			case <-e.started:
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-timer.C:
+				select {
+				case <-e.started: // started right at the deadline: commit
+				case <-e.ready:
+					return nil
+				default:
+					return ErrCapacity
+				}
+			}
+		}
+	}
+	select {
+	case <-e.ready:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // SampleFor returns the shared, read-only sample for key, building it at
 // most once across concurrent callers. The build runs inside gate;
 // joiners of an in-flight build hold no slot while they wait, but
@@ -220,10 +307,8 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 			c.hits++
 			c.lru.MoveToFront(e.elem)
 			c.mu.Unlock()
-			select {
-			case <-e.ready:
-			case <-ctx.Done():
-				return nil, true, 0, ctx.Err()
+			if err := joinEntry(ctx, e, gate); err != nil {
+				return nil, true, 0, err
 			}
 			if e.err == errBuildAbandoned {
 				// The would-be builder was cancelled or shed before the
@@ -236,7 +321,7 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 			return e.sample, true, e.buildMS, nil
 		}
 		c.misses++
-		e = &cacheEntry{key: key, ready: make(chan struct{})}
+		e = &cacheEntry{key: key, ready: make(chan struct{}), started: make(chan struct{})}
 		e.elem = c.lru.PushFront(e)
 		c.entries[key] = e
 		c.evictLocked()
@@ -257,6 +342,7 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 			}
 			return nil, false, 0, ErrCapacity
 		}
+		close(e.started) // slot held: bounded joiners now commit to the wait
 		start := time.Now()
 		diskHit := false
 		if smp := c.diskLoad(key, g); smp != nil {
@@ -265,14 +351,21 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 			c.mu.Lock()
 			c.builds++
 			c.mu.Unlock()
-			e.sample, e.err = buildSample(key, g, parallelism)
-			if e.err == nil {
-				c.diskSave(key, e.sample)
-			}
+			e.sample, e.err = buildSample(key, g, parallelism, ctx.Done())
 		}
 		e.buildMS = float64(time.Since(start).Microseconds()) / 1000
 		if gate != nil {
 			gate.release()
+		}
+		if e.err != nil && ctx.Err() != nil && errors.Is(e.err, context.Canceled) {
+			// The build died of this caller's own mid-sampling
+			// cancellation (client disconnect, job DELETE). Joiners must
+			// not inherit a cancellation they did not issue: resolve with
+			// the retry sentinel and report the context error here only.
+			e.err = errBuildAbandoned
+			c.dropEntry(e)
+			close(e.ready)
+			return nil, false, e.buildMS, ctx.Err()
 		}
 		if e.err != nil {
 			// Drop failed builds so the next request can retry.
@@ -281,6 +374,10 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 		close(e.ready)
 		if e.err != nil {
 			return nil, false, e.buildMS, e.err
+		}
+		if !diskHit {
+			// Write-behind: the response never waits on the disk tier.
+			c.diskSaveAsync(key, e.sample)
 		}
 		// A disk-loaded sample counts as a hit: nothing was sampled, the
 		// daemon restarted warm.
@@ -311,7 +408,7 @@ func (c *Cache) diskLoad(key sampleKey, g *graph.Graph) *sample {
 	return smp
 }
 
-// diskSave writes a freshly built sample through to disk.
+// diskSave writes a freshly built sample to disk, counting the outcome.
 func (c *Cache) diskSave(key sampleKey, smp *sample) {
 	if c.disk == nil {
 		return
@@ -325,6 +422,28 @@ func (c *Cache) diskSave(key sampleKey, smp *sample) {
 	}
 	c.mu.Unlock()
 }
+
+// diskSaveAsync persists a built sample in the background: the request
+// that built it is served the moment the sample is ready, and the disk
+// tier catches up behind it. Samples are immutable after the build, so
+// the flush goroutine needs no synchronization beyond the counters.
+func (c *Cache) diskSaveAsync(key sampleKey, smp *sample) {
+	if c.disk == nil {
+		return
+	}
+	c.flushWG.Add(1)
+	c.flushing.Add(1)
+	go func() {
+		defer c.flushWG.Done()
+		defer c.flushing.Add(-1)
+		c.diskSave(key, smp)
+	}()
+}
+
+// WaitFlushes blocks until every write-behind started so far has hit
+// disk. The daemon calls it on shutdown so a restart finds every built
+// sketch persisted; tests call it before asserting on-disk state.
+func (c *Cache) WaitFlushes() { c.flushWG.Wait() }
 
 // dropEntry removes e from the index if it is still the current entry for
 // its key.
@@ -368,13 +487,16 @@ func (c *Cache) evictLocked() {
 
 // buildSample draws the optimization sample key describes. Accuracy keys
 // resolve their budget here — inside the singleflight, so the (possibly
-// doubling) sizing run happens once per key no matter the fan-in.
-func buildSample(key sampleKey, g *graph.Graph, parallelism int) (*sample, error) {
+// doubling) sizing run happens once per key no matter the fan-in. cancel
+// aborts the sampling loops cooperatively (context.Canceled): a client
+// that disconnects mid-build stops burning worker time on a sample
+// nobody is waiting for.
+func buildSample(key sampleKey, g *graph.Graph, parallelism int, cancel <-chan struct{}) (*sample, error) {
 	if key.epsBits != 0 {
 		eps := math.Float64frombits(key.epsBits)
 		delta := math.Float64frombits(key.deltaBits)
 		if key.engine == fairim.EngineRIS {
-			col, err := ris.SampleForAccuracy(g, key.tau, key.sizingK, eps, delta, key.seed, parallelism)
+			col, err := ris.SampleForAccuracyCancel(g, key.tau, key.sizingK, eps, delta, key.seed, parallelism, cancel)
 			if err != nil {
 				return nil, err
 			}
@@ -396,7 +518,10 @@ func buildSample(key sampleKey, g *graph.Graph, parallelism int) (*sample, error
 				return nil, err
 			}
 		}
-		worlds := cascade.SampleWorlds(g, key.model, m, key.seed, parallelism)
+		worlds, err := cascade.SampleWorldsCancel(g, key.model, m, key.seed, parallelism, cancel)
+		if err != nil {
+			return nil, err
+		}
 		return &sample{g: g, worlds: worlds}, nil
 	}
 	if key.engine == fairim.EngineRIS {
@@ -404,12 +529,15 @@ func buildSample(key sampleKey, g *graph.Graph, parallelism int) (*sample, error
 		for i := range perGroup {
 			perGroup[i] = key.budget
 		}
-		col, err := ris.Sample(g, key.tau, perGroup, key.seed, parallelism)
+		col, err := ris.SampleCancel(g, key.tau, perGroup, key.seed, parallelism, cancel)
 		if err != nil {
 			return nil, err
 		}
 		return &sample{g: g, col: col}, nil
 	}
-	worlds := cascade.SampleWorlds(g, key.model, key.budget, key.seed, parallelism)
+	worlds, err := cascade.SampleWorldsCancel(g, key.model, key.budget, key.seed, parallelism, cancel)
+	if err != nil {
+		return nil, err
+	}
 	return &sample{g: g, worlds: worlds}, nil
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"fairtcim/internal/cascade"
 	"fairtcim/internal/fairim"
@@ -364,3 +365,118 @@ func (g *shedGate) acquire(context.Context) bool {
 	return false
 }
 func (g *shedGate) release() {}
+
+// boundGate grants every slot immediately but bounds how long its
+// requests wait on a not-yet-started build — the shape of the
+// synchronous request path (serverGate with a queue timeout).
+type boundGate struct{ bound time.Duration }
+
+func (boundGate) acquire(context.Context) bool { return true }
+func (boundGate) release()                     {}
+func (g boundGate) joinBound() time.Duration   { return g.bound }
+
+// trackGate closes entered once it holds its slot and then grants it —
+// used to observe the moment a build actually starts.
+type trackGate struct{ entered chan struct{} }
+
+func (g *trackGate) acquire(context.Context) bool { close(g.entered); return true }
+func (g *trackGate) release()                     {}
+
+// TestBoundedJoinerShedsUnstartedBuild: a bounded joiner must not wait
+// out another caller's build that has not even started (its builder is
+// still queued for a slot, possibly far longer than any queue timeout) —
+// it sheds with ErrCapacity after its bound, like the rest of its class.
+func TestBoundedJoinerShedsUnstartedBuild(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	key := tinyKey(5)
+
+	gate := &shedGate{entered: make(chan struct{}), shed: make(chan struct{})}
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(context.Background(), key, g, 1, gate)
+		builderErr <- err
+	}()
+	<-gate.entered
+
+	// The entry is a reservation without a slot; the bounded joiner sheds.
+	if _, _, _, err := c.SampleFor(context.Background(), key, g, 1, boundGate{bound: 20 * time.Millisecond}); !errors.Is(err, ErrCapacity) {
+		t.Fatalf("bounded joiner got %v, want ErrCapacity", err)
+	}
+
+	close(gate.shed)
+	if err := <-builderErr; !errors.Is(err, ErrCapacity) {
+		t.Fatalf("shed builder got %v, want ErrCapacity", err)
+	}
+	// With the reservation gone the same bounded gate builds cleanly.
+	if smp, _, _, err := c.SampleFor(context.Background(), key, g, 1, boundGate{bound: 20 * time.Millisecond}); err != nil || smp == nil {
+		t.Fatalf("bounded rebuild: smp=%v err=%v", smp, err)
+	}
+}
+
+// TestBoundedJoinerCommitsToStartedBuild: once the build holds a worker
+// slot a bounded joiner commits to the wait however slow the build is —
+// abandoning an in-flight build would only duplicate work.
+func TestBoundedJoinerCommitsToStartedBuild(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	slow := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 60000, seed: 6}
+
+	gate := &trackGate{entered: make(chan struct{})}
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(context.Background(), slow, g, 1, gate)
+		builderErr <- err
+	}()
+	<-gate.entered
+	smp, hit, _, err := c.SampleFor(context.Background(), slow, g, 1, boundGate{bound: 250 * time.Millisecond})
+	if err != nil || smp == nil {
+		t.Fatalf("bounded joiner of a started build: smp=%v err=%v", smp, err)
+	}
+	if !hit {
+		t.Error("joiner did not report a hit")
+	}
+	if err := <-builderErr; err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Builds != 1 {
+		t.Fatalf("joiner duplicated the build: %+v", st)
+	}
+}
+
+// TestSampleForBuilderCancelMidBuild: a builder whose client disconnects
+// while sampling is already running stops early with its own
+// context.Canceled — the cancel channel reaches the sampling loops — and
+// joiners do not inherit it: the key retries and builds cleanly.
+func TestSampleForBuilderCancelMidBuild(t *testing.T) {
+	g := generate.TwoStars()
+	c := NewCache(8)
+	slow := sampleKey{graph: "twostars", engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 200000, seed: 7}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	gate := &trackGate{entered: make(chan struct{})}
+	builderErr := make(chan error, 1)
+	go func() {
+		_, _, _, err := c.SampleFor(ctx, slow, g, 1, gate)
+		builderErr <- err
+	}()
+	<-gate.entered
+	joiner := make(chan error, 1)
+	go func() {
+		smp, _, _, err := c.SampleFor(context.Background(), slow, g, 1, nil)
+		if err == nil && smp == nil {
+			err = errors.New("nil sample without error")
+		}
+		joiner <- err
+	}()
+	cancel()
+	if err := <-builderErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled builder got %v, want context.Canceled", err)
+	}
+	if err := <-joiner; err != nil {
+		t.Fatalf("joiner inherited the mid-build cancellation: %v", err)
+	}
+	if st := c.Stats(); st.Builds != 2 {
+		t.Fatalf("stats after mid-build cancel + retry: %+v", st)
+	}
+}

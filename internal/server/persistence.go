@@ -90,11 +90,18 @@ func (d *diskStore) meta(key sampleKey, g *graph.Graph) persist.Meta {
 // load reads the persisted sample for key, if any. It returns (nil, nil)
 // when no file exists (a cold start, not an error) and an error when a
 // file exists but is unusable — the caller counts it and builds cold.
-// Beyond the frame checks, the decoded sample is validated against the
-// key's own parameters (τ, explicit budgets), so even a valid file that
-// somehow landed under the wrong name cannot serve wrong answers.
+// Frames from any codec version down to the engine's minimum are
+// accepted and decoded with the matching layout, so bumping the codec
+// never strands a state dir written by an earlier release. Beyond the
+// frame checks, the decoded sample is validated against the key's own
+// parameters (τ, explicit budgets), so even a valid file that somehow
+// landed under the wrong name cannot serve wrong answers.
 func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
-	payload, err := persist.Load(d.fileName(key), d.meta(key, g))
+	minVersion := uint32(cascade.WorldCodecMinVersion)
+	if key.engine == fairim.EngineRIS {
+		minVersion = ris.CodecMinVersion
+	}
+	payload, version, err := persist.LoadRange(d.fileName(key), d.meta(key, g), minVersion)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -102,7 +109,7 @@ func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
 		return nil, err
 	}
 	if key.engine == fairim.EngineRIS {
-		col, err := ris.DecodePayload(payload, g)
+		col, err := ris.DecodePayloadVersion(version, payload, g)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +125,7 @@ func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
 		}
 		return &sample{g: g, col: col}, nil
 	}
-	worlds, err := cascade.DecodeWorlds(payload, g.N())
+	worlds, err := cascade.DecodeWorldsVersion(version, payload, g.N())
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 	"fairtcim/internal/cascade"
 	"fairtcim/internal/fairim"
 	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
 	"fairtcim/internal/persist"
 )
 
@@ -61,8 +62,14 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 		}
 		want[i] = sampleUtilities(t, smp, 3)
 	}
-	if st := cold.Stats(); st.DiskWrites != int64(len(keys)) || st.DiskHits != 0 || st.DiskErrors != 0 {
+	// Persistence is write-behind; drain it before reading the disk tier.
+	cold.WaitFlushes()
+	st := cold.Stats()
+	if st.DiskWrites != int64(len(keys)) || st.DiskHits != 0 || st.DiskErrors != 0 {
 		t.Fatalf("cold cache disk counters: %+v", st)
+	}
+	if st.FlushesInFlight != 0 {
+		t.Fatalf("flushes in flight after WaitFlushes: %+v", st)
 	}
 
 	warm := NewCache(8)
@@ -82,7 +89,7 @@ func TestCacheDiskRoundTrip(t *testing.T) {
 			}
 		}
 	}
-	st := warm.Stats()
+	st = warm.Stats()
 	if st.Builds != 0 || st.DiskHits != int64(len(keys)) || st.DiskErrors != 0 {
 		t.Fatalf("warm cache rebuilt: %+v", st)
 	}
@@ -96,7 +103,7 @@ func TestServerWarmRestart(t *testing.T) {
 	stateDir := t.TempDir()
 	body := `{"graph":"twostars","problem":"p4","budget":2,"tau":3,"engine":"ris","samples":50,"eval":"sample"}`
 
-	_, ts1 := newTestServer(t, Config{StateDir: stateDir})
+	s1, ts1 := newTestServer(t, Config{StateDir: stateDir})
 	resp, raw := postJSON(t, ts1.URL+"/v1/select", body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("first select: %s", raw)
@@ -110,6 +117,8 @@ func TestServerWarmRestart(t *testing.T) {
 	if final := pollJob(t, ts1.URL, job.ID, 30*time.Second); final.Status != JobDone {
 		t.Fatalf("job ended %q", final.Status)
 	}
+	// Persistence is write-behind; drain it before "restarting".
+	s1.WaitFlushes()
 	ts1.Close()
 
 	// "Restart": a fresh server over the same state dir.
@@ -165,6 +174,7 @@ func TestCacheDiskRejectsCorrupt(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := sampleUtilities(t, smp, 3)
+	c1.WaitFlushes()
 
 	path := c1.disk.fileName(key)
 	data, err := os.ReadFile(path)
@@ -196,6 +206,7 @@ func TestCacheDiskRejectsCorrupt(t *testing.T) {
 		t.Fatalf("corrupt-file counters: %+v", st)
 	}
 	// The rebuild rewrote the file; a third cache loads it cleanly.
+	c2.WaitFlushes()
 	c3 := NewCache(8)
 	c3.disk = mustDisk(t, dir)
 	if _, hit, _, err := c3.SampleFor(context.Background(), key, g, 1, nil); err != nil || !hit {
@@ -215,6 +226,7 @@ func TestCacheDiskRejectsWrongGraph(t *testing.T) {
 	if _, _, _, err := c1.SampleFor(context.Background(), key, generate.TwoStars(), 1, nil); err != nil {
 		t.Fatal(err)
 	}
+	c1.WaitFlushes()
 
 	other, err := generate.TwoBlock(generate.DefaultTwoBlock(1))
 	if err != nil {
@@ -234,6 +246,54 @@ func TestCacheDiskRejectsWrongGraph(t *testing.T) {
 	}
 }
 
+// TestCacheDiskLoadsV1Frame: a state file written by the previous
+// release — a version-1 frame in the offset+target world layout — still
+// loads through the disk tier with no rebuild and estimates identically.
+// The v1 payload is hand-encoded here exactly as the old codec wrote it.
+func TestCacheDiskLoadsV1Frame(t *testing.T) {
+	g := generate.TwoStars()
+	key := sampleKey{graph: "twostars", engine: fairim.EngineForwardMC, model: cascade.IC, budget: 40, seed: 3}
+
+	worlds := cascade.SampleWorlds(g, cascade.IC, 40, 3, 1)
+	var e persist.Enc
+	e.I64(int64(len(worlds)))
+	for _, w := range worlds {
+		offsets := make([]int32, g.N()+1)
+		var targets []int32
+		for v := 0; v < g.N(); v++ {
+			for _, u := range w.Out(graph.NodeID(v)) {
+				targets = append(targets, int32(u))
+			}
+			offsets[v+1] = int32(len(targets))
+		}
+		e.I32s(offsets)
+		e.I32s(targets)
+	}
+
+	d := mustDisk(t, t.TempDir())
+	meta := persist.Meta{Kind: cascade.WorldCodecKind, Version: 1, Fingerprint: persist.GraphFingerprint(g)}
+	if err := persist.Save(d.fileName(key), meta, e.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewCache(8)
+	c.disk = d
+	smp, hit, _, err := c.SampleFor(context.Background(), key, g, 1, nil)
+	if err != nil || !hit {
+		t.Fatalf("v1 frame load: hit=%v err=%v", hit, err)
+	}
+	want := sampleUtilities(t, &sample{g: g, worlds: worlds}, 3)
+	got := sampleUtilities(t, smp, 3)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("v1-loaded utilities %v, want byte-identical %v", got, want)
+		}
+	}
+	if st := c.Stats(); st.Builds != 0 || st.DiskHits != 1 || st.DiskErrors != 0 {
+		t.Fatalf("v1 frame counters: %+v", st)
+	}
+}
+
 // TestCacheDiskRejectsWrongVersion: a frame from a different codec
 // version is rejected and rebuilt cold.
 func TestCacheDiskRejectsWrongVersion(t *testing.T) {
@@ -246,6 +306,7 @@ func TestCacheDiskRejectsWrongVersion(t *testing.T) {
 	if _, _, _, err := c1.SampleFor(context.Background(), key, g, 1, nil); err != nil {
 		t.Fatal(err)
 	}
+	c1.WaitFlushes()
 	// Re-frame the valid payload under a future codec version.
 	path := c1.disk.fileName(key)
 	meta := c1.disk.meta(key, g)
@@ -309,6 +370,7 @@ func TestCacheDiskConcurrent(t *testing.T) {
 	}
 	wg.Wait()
 	for _, c := range []*Cache{a, b} {
+		c.WaitFlushes()
 		if st := c.Stats(); st.DiskErrors != 0 {
 			t.Errorf("disk errors under concurrency: %+v", st)
 		}

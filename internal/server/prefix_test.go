@@ -1,0 +1,107 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestPrefixMemoExtension is the end-to-end warm-extension parity check:
+// on one server, solving budget 3 then budget 6 must replay the three
+// memoized picks and resume CELF — and land on exactly the seeds, values
+// and disparity a cold budget-6 solve on a fresh server produces. A
+// budget-2 repeat afterwards is pure replay: zero gain evaluations.
+func TestPrefixMemoExtension(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	// twoblock rather than twostars: the two-star fixture saturates after
+	// two picks (every node covered), leaving no budget axis to extend.
+	body := func(budget int) string {
+		return fmt.Sprintf(`{"graph":"twoblock","problem":"p4","budget":%d,"tau":3,"engine":"ris","samples":50,"eval":"sample"}`, budget)
+	}
+	solve := func(ts string, b string) SolveResponse {
+		t.Helper()
+		resp, raw := postJSON(t, ts+"/v1/select", b)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("select: %s", raw)
+		}
+		var r SolveResponse
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+
+	r3 := solve(ts.URL, body(3))
+	if r3.WarmSeeds != 0 {
+		t.Fatalf("cold solve reported warm seeds: %+v", r3)
+	}
+	if len(r3.Seeds) != 3 {
+		t.Fatalf("budget-3 solve picked %v — fixture saturated, test needs a denser graph", r3.Seeds)
+	}
+	r6 := solve(ts.URL, body(6))
+	if len(r6.Seeds) != 6 {
+		t.Fatalf("budget-6 solve picked %v", r6.Seeds)
+	}
+	if r6.WarmSeeds != 3 {
+		t.Errorf("extension replayed %d seeds, want 3", r6.WarmSeeds)
+	}
+	if !r6.CacheHit {
+		t.Error("extension did not reuse the cached sample")
+	}
+	if fmt.Sprint(r6.Seeds[:3]) != fmt.Sprint(r3.Seeds) {
+		t.Errorf("extension seeds %v do not extend the budget-3 prefix %v", r6.Seeds, r3.Seeds)
+	}
+
+	// Parity: a fresh server solving budget 6 cold agrees exactly.
+	_, ts2 := newTestServer(t, Config{})
+	cold6 := solve(ts2.URL, body(6))
+	if fmt.Sprint(cold6.Seeds) != fmt.Sprint(r6.Seeds) ||
+		cold6.Total != r6.Total || cold6.Disparity != r6.Disparity {
+		t.Errorf("warm-extended solve diverged from cold: %+v vs %+v", r6.UtilityReport, cold6.UtilityReport)
+	}
+	// The extension did strictly less work than the cold solve.
+	if r6.Evaluations >= cold6.Evaluations {
+		t.Errorf("extension evaluated %d gains, cold %d — memo saved nothing", r6.Evaluations, cold6.Evaluations)
+	}
+
+	// A smaller repeat of a solved problem is answered by replay alone.
+	r2 := solve(ts.URL, body(2))
+	if r2.WarmSeeds != 2 || r2.Evaluations != 0 {
+		t.Errorf("budget-2 replay: warm_seeds=%d evaluations=%d, want 2 and 0", r2.WarmSeeds, r2.Evaluations)
+	}
+	if fmt.Sprint(r2.Seeds) != fmt.Sprint(r6.Seeds[:2]) {
+		t.Errorf("replay seeds %v are not the first 2 of %v", r2.Seeds, r6.Seeds)
+	}
+
+	st := s.Stats()
+	if st.Cache.PrefixEntries != 1 || st.Cache.PrefixHits < 2 || st.Cache.PrefixStores < 1 {
+		t.Errorf("prefix memo counters: %+v", st.Cache)
+	}
+}
+
+// TestPrefixMemoIneligibleSpecs: specs outside the memo's contract —
+// the cover problems, which have no budget axis to extend along —
+// neither consume nor produce prefix state.
+func TestPrefixMemoIneligibleSpecs(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"graph":"twostars","problem":"p2","quota":0.5,"tau":3,"engine":"ris","samples":50,"eval":"sample"}`,
+		`{"graph":"twostars","problem":"p6","quota":0.5,"tau":3,"engine":"ris","samples":50,"eval":"sample"}`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/select", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("select: %s", raw)
+		}
+		var r SolveResponse
+		if err := json.Unmarshal(raw, &r); err != nil {
+			t.Fatal(err)
+		}
+		if r.WarmSeeds != 0 {
+			t.Errorf("ineligible spec replayed warm seeds: %s", body)
+		}
+	}
+	if st := s.Stats(); st.Cache.PrefixEntries != 0 || st.Cache.PrefixStores != 0 {
+		t.Errorf("ineligible specs touched the prefix memo: %+v", st.Cache)
+	}
+}

@@ -133,6 +133,11 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // CacheStats exposes sketch-cache counters (tests, /healthz, /v1/stats).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
 
+// WaitFlushes blocks until every background sketch write-through has
+// reached disk. The daemon calls it on shutdown so a warm restart finds
+// everything it built; tests call it before asserting disk state.
+func (s *Server) WaitFlushes() { s.cache.WaitFlushes() }
+
 // AccuracyRequest is the wire form of an (ε,δ) estimation target.
 type AccuracyRequest struct {
 	Epsilon float64 `json:"epsilon"`
@@ -221,10 +226,14 @@ type SolveResponse struct {
 	Graph   string `json:"graph"`
 	Engine  string `json:"engine"`
 	UtilityReport
-	Evaluations int     `json:"evaluations"`
-	CacheHit    bool    `json:"cache_hit"`
-	SampleMS    float64 `json:"sample_ms"` // sketch build cost (paid once per key)
-	SolveMS     float64 `json:"solve_ms"`  // greedy/CELF + final report
+	Evaluations int  `json:"evaluations"`
+	CacheHit    bool `json:"cache_hit"`
+	// WarmSeeds counts greedy picks replayed from the memoized seed
+	// prefix of an earlier solve instead of re-evaluated — budget-k
+	// repeats and extensions of a solved problem skip that much work.
+	WarmSeeds int     `json:"warm_seeds,omitempty"`
+	SampleMS  float64 `json:"sample_ms"` // sketch build cost (paid once per key)
+	SolveMS   float64 `json:"solve_ms"`  // greedy/CELF + final report
 	// Resolved sampling budgets the solve actually used — how large the
 	// accuracy-derived pool came out when the request carried an (ε,δ)
 	// target instead of explicit counts.
@@ -488,13 +497,31 @@ func (s *Server) getGraph(w http.ResponseWriter, name string) (*graph.Graph, boo
 
 // solve runs the full pipeline for a decoded spec: warm sample from the
 // cache (built at most once per key), a per-request estimator inside a
-// worker slot, then fairim.Solve. onIter, if non-nil, observes every
-// greedy pick (the job-trace stream). The gate decides the queueing
-// policy — timeout-bounded for synchronous requests, unbounded for jobs.
+// worker slot, then fairim.Solve — warm-started from the memoized seed
+// prefix when an earlier solve of the same problem left one behind.
+// onIter, if non-nil, observes every greedy pick (the job-trace stream;
+// replayed prefix picks fire it too, so traces stay complete). The gate
+// decides the queueing policy — timeout-bounded for synchronous
+// requests, unbounded for jobs.
 func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g *graph.Graph, spec fairim.ProblemSpec, onIter func(fairim.IterationStat)) (*SolveResponse, error) {
-	smp, hit, buildMS, err := s.cache.SampleFor(ctx, sampleKeyFor(graphName, g, spec, false), g, s.parallelism, gate)
+	key := sampleKeyFor(graphName, g, spec, false)
+	smp, hit, buildMS, err := s.cache.SampleFor(ctx, key, g, s.parallelism, gate)
 	if err != nil {
 		return nil, err
+	}
+
+	// The prefix memo is consulted before the estimator exists, so the
+	// eligibility check sees the spec as decoded from the wire.
+	pk, memo := prefixKeyFor(key, spec)
+	warmSeeds := 0
+	if memo {
+		spec.CaptureWarm = true
+		if w := s.cache.warmFor(pk); w != nil {
+			spec.Warm = w
+			if warmSeeds = len(w.Seeds); warmSeeds > spec.Budget {
+				warmSeeds = spec.Budget
+			}
+		}
 	}
 
 	// The solve occupies a worker slot of its own; the build above held
@@ -525,6 +552,9 @@ func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g
 	if err != nil {
 		return nil, err
 	}
+	if memo {
+		s.cache.storeWarm(pk, res.Warm)
+	}
 	resp := &SolveResponse{
 		Problem:             res.Problem,
 		Graph:               graphName,
@@ -532,6 +562,7 @@ func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g
 		UtilityReport:       reportOf(res),
 		Evaluations:         res.Evaluations,
 		CacheHit:            hit,
+		WarmSeeds:           warmSeeds,
 		SampleMS:            buildMS,
 		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
 		ResolvedSamples:     res.Samples,
@@ -584,11 +615,15 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 // serverGate is the synchronous-request worker gate: queue up to the
-// configured timeout, then shed.
+// configured timeout, then shed. The same timeout bounds how long a
+// synchronous request waits for a singleflight build it joined to
+// start (joinBound) — without it, joining a build reserved by a queued
+// async job would pin the request far past its queueing contract.
 type serverGate struct{ s *Server }
 
 func (g serverGate) acquire(ctx context.Context) bool { return g.s.acquire(ctx) }
 func (g serverGate) release()                         { g.s.release() }
+func (g serverGate) joinBound() time.Duration         { return g.s.queueTimeout }
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var req EstimateRequest

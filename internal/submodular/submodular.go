@@ -90,19 +90,34 @@ func GreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result, er
 	return res, nil
 }
 
-// celfItem is a candidate with a possibly stale upper bound on its gain.
-type celfItem struct {
-	node  graph.NodeID
-	gain  float64
-	round int // the pick-round in which gain was computed
+// LazyItem is a candidate with a possibly stale upper bound on its gain —
+// one entry of a CELF heap. Exported so a finished run's heap can be
+// snapshotted and resumed (see LazyGreedyMaxCapture).
+type LazyItem struct {
+	Node  graph.NodeID
+	Gain  float64
+	Round int // the pick-round in which Gain was computed
 }
 
-type celfHeap []celfItem
+// LazySnapshot is the complete CELF state after a run: the heap (in valid
+// heap order) and the number of committed picks. Because the heap after k
+// picks is a function of the objective and those k picks only — not of the
+// eventual budget — a snapshot from a budget-k run is bit-identical to a
+// larger run's state at pick k, so resuming it extends the solution
+// exactly as the larger cold run would have continued. Snapshots are
+// immutable once captured; Resume copies before mutating, so one snapshot
+// can serve any number of extensions.
+type LazySnapshot struct {
+	Items []LazyItem
+	Round int
+}
+
+type celfHeap []LazyItem
 
 func (h celfHeap) Len() int            { return len(h) }
-func (h celfHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h celfHeap) Less(i, j int) bool  { return h[i].Gain > h[j].Gain }
 func (h celfHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(celfItem)) }
+func (h *celfHeap) Push(x interface{}) { *h = append(*h, x.(LazyItem)) }
 func (h *celfHeap) Pop() interface{} {
 	old := *h
 	n := len(old)
@@ -125,15 +140,25 @@ func LazyGreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result
 // callers parallelize the expensive first pass. Pass nil to compute them
 // here.
 func LazyGreedyMaxInit(obj Objective, candidates []graph.NodeID, budget int, initial []float64) (Result, error) {
+	res, _, err := LazyGreedyMaxCapture(obj, candidates, budget, initial)
+	return res, err
+}
+
+// LazyGreedyMaxCapture is LazyGreedyMaxInit that additionally returns the
+// final CELF state, so a later call can extend the run to a larger budget
+// without redoing the committed picks (seed-set prefix memoization). The
+// snapshot is nil when the run ended early — error, exhausted candidates,
+// or zero best gain — because such a run has nothing useful to extend.
+func LazyGreedyMaxCapture(obj Objective, candidates []graph.NodeID, budget int, initial []float64) (Result, *LazySnapshot, error) {
 	if budget < 0 {
-		return Result{}, fmt.Errorf("submodular: negative budget %d", budget)
+		return Result{}, nil, fmt.Errorf("submodular: negative budget %d", budget)
 	}
 	if initial != nil && len(initial) != len(candidates) {
-		return Result{}, fmt.Errorf("submodular: %d initial gains for %d candidates", len(initial), len(candidates))
+		return Result{}, nil, fmt.Errorf("submodular: %d initial gains for %d candidates", len(initial), len(candidates))
 	}
 	var res Result
 	if err := stopped(obj); err != nil {
-		return res, err
+		return res, nil, err
 	}
 	h := make(celfHeap, 0, len(candidates))
 	for i, v := range candidates {
@@ -144,34 +169,63 @@ func LazyGreedyMaxInit(obj Objective, candidates []graph.NodeID, budget int, ini
 			g = obj.Gain(v)
 			res.Evaluations++
 		}
-		h = append(h, celfItem{node: v, gain: g, round: 0})
+		h = append(h, LazyItem{Node: v, Gain: g, Round: 0})
 	}
 	heap.Init(&h)
-	round := 0
+	return lazyRun(obj, h, 0, budget, res)
+}
+
+// LazyGreedyMaxResume continues a CELF run from a snapshot up to budget
+// additional picks. obj must already reflect the snapshot's committed
+// picks (the caller replays them via Add); the returned Result covers only
+// the extension. The snapshot is not modified, and the run it came from
+// plus this extension together equal one cold run at the larger budget.
+func LazyGreedyMaxResume(obj Objective, snap *LazySnapshot, budget int) (Result, *LazySnapshot, error) {
+	if budget < 0 {
+		return Result{}, nil, fmt.Errorf("submodular: negative budget %d", budget)
+	}
+	if snap == nil {
+		return Result{}, nil, fmt.Errorf("submodular: nil snapshot")
+	}
+	var res Result
+	if err := stopped(obj); err != nil {
+		return res, nil, err
+	}
+	h := make(celfHeap, len(snap.Items))
+	copy(h, snap.Items)
+	return lazyRun(obj, h, snap.Round, budget, res)
+}
+
+// lazyRun is the shared CELF pick loop: up to budget picks starting at the
+// given round, over an already-initialized heap. It owns h from here on.
+func lazyRun(obj Objective, h celfHeap, round, budget int, res Result) (Result, *LazySnapshot, error) {
 	for len(res.Seeds) < budget && h.Len() > 0 {
-		top := heap.Pop(&h).(celfItem)
-		if top.round != round {
-			top.gain = obj.Gain(top.node)
+		top := heap.Pop(&h).(LazyItem)
+		if top.Round != round {
+			top.Gain = obj.Gain(top.Node)
 			res.Evaluations++
-			top.round = round
+			top.Round = round
 			// Re-insert unless it is still clearly the best.
-			if h.Len() > 0 && top.gain < h[0].gain {
+			if h.Len() > 0 && top.Gain < h[0].Gain {
 				heap.Push(&h, top)
 				continue
 			}
 		}
-		if top.gain <= 0 {
-			break
+		if top.Gain <= 0 {
+			return res, nil, nil
 		}
-		obj.Add(top.node)
-		res.Seeds = append(res.Seeds, top.node)
+		obj.Add(top.Node)
+		res.Seeds = append(res.Seeds, top.Node)
 		res.Values = append(res.Values, obj.Value())
 		if err := stopped(obj); err != nil {
-			return res, err
+			return res, nil, err
 		}
 		round++
 	}
-	return res, nil
+	if h.Len() == 0 {
+		return res, nil, nil
+	}
+	return res, &LazySnapshot{Items: h, Round: round}, nil
 }
 
 // ErrCoverInfeasible is returned when the target value cannot be reached
@@ -208,7 +262,7 @@ func GreedyCoverInit(obj Objective, candidates []graph.NodeID, target float64, m
 			g = obj.Gain(v)
 			res.Evaluations++
 		}
-		h = append(h, celfItem{node: v, gain: g, round: 0})
+		h = append(h, LazyItem{Node: v, Gain: g, Round: 0})
 	}
 	heap.Init(&h)
 	round := 0
@@ -217,22 +271,22 @@ func GreedyCoverInit(obj Objective, candidates []graph.NodeID, target float64, m
 			return res, fmt.Errorf("%w: %d seeds reached value %v < target %v",
 				ErrCoverInfeasible, len(res.Seeds), obj.Value(), target)
 		}
-		top := heap.Pop(&h).(celfItem)
-		if top.round != round {
-			top.gain = obj.Gain(top.node)
+		top := heap.Pop(&h).(LazyItem)
+		if top.Round != round {
+			top.Gain = obj.Gain(top.Node)
 			res.Evaluations++
-			top.round = round
-			if h.Len() > 0 && top.gain < h[0].gain {
+			top.Round = round
+			if h.Len() > 0 && top.Gain < h[0].Gain {
 				heap.Push(&h, top)
 				continue
 			}
 		}
-		if top.gain <= 0 {
+		if top.Gain <= 0 {
 			return res, fmt.Errorf("%w: best marginal gain is 0 at value %v < target %v",
 				ErrCoverInfeasible, obj.Value(), target)
 		}
-		obj.Add(top.node)
-		res.Seeds = append(res.Seeds, top.node)
+		obj.Add(top.Node)
+		res.Seeds = append(res.Seeds, top.Node)
 		res.Values = append(res.Values, obj.Value())
 		if err := stopped(obj); err != nil {
 			return res, err
