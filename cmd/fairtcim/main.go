@@ -208,12 +208,22 @@ func postJSON(baseURL, path string, req any, wantStatus int, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// remoteError decodes the daemon's unified error envelope
+// {"error":{"code","message"}} into a readable error. The stable code is
+// surfaced alongside the human message so scripts grepping CLI output can
+// branch on it (e.g. version_conflict vs capacity).
 func remoteError(status int, body io.Reader) error {
 	var e struct {
-		Error string `json:"error"`
+		Error struct {
+			Code    string `json:"code"`
+			Message string `json:"message"`
+		} `json:"error"`
 	}
-	if json.NewDecoder(body).Decode(&e) == nil && e.Error != "" {
-		return fmt.Errorf("server: %s (HTTP %d)", e.Error, status)
+	if json.NewDecoder(body).Decode(&e) == nil && e.Error.Message != "" {
+		if e.Error.Code != "" {
+			return fmt.Errorf("server: %s: %s (HTTP %d)", e.Error.Code, e.Error.Message, status)
+		}
+		return fmt.Errorf("server: %s (HTTP %d)", e.Error.Message, status)
 	}
 	return fmt.Errorf("server: HTTP %d", status)
 }

@@ -22,6 +22,13 @@
 //	curl -s localhost:8732/v1/jobs -d '{"graph":"twoblock","problem":"p4","accuracy":{"epsilon":0.2,"delta":0.05}}'
 //	curl -s localhost:8732/v1/graphs
 //	curl -s localhost:8732/v1/stats
+//
+// Graphs are dynamic: POST /v1/graphs/{name}/updates applies an atomic
+// batch of edge/group deltas, bumping the graph's version. Cached RIS
+// sketches carry over to the new version by resampling only the RR sets
+// an update actually touched (tune with -refresh-threshold); persisted
+// sketch files are version-keyed, and -state-max-bytes/-state-max-age
+// bound the state dir as update churn accumulates files.
 package main
 
 import (
@@ -65,6 +72,9 @@ type options struct {
 	maxJobs         int
 	jobRetention    int
 	stateDir        string
+	stateMaxBytes   int64
+	stateMaxAge     time.Duration
+	refreshThresh   float64
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -92,6 +102,9 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.IntVar(&o.maxJobs, "max-jobs", 0, "async jobs queued or running at once; 0 = 64")
 	fs.IntVar(&o.jobRetention, "job-retention", 0, "finished jobs kept for /v1/jobs history; 0 = 256")
 	fs.StringVar(&o.stateDir, "state-dir", "", "warm-restart state directory (persisted sketches + job history); empty = in-memory only")
+	fs.Int64Var(&o.stateMaxBytes, "state-max-bytes", 0, "total size bound for <state-dir>/sketches; least-recently-used files are deleted over it; 0 = unbounded")
+	fs.DurationVar(&o.stateMaxAge, "state-max-age", 0, "drop persisted sketches untouched for this long (e.g. 720h); 0 = unbounded")
+	fs.Float64Var(&o.refreshThresh, "refresh-threshold", 0, "dirty RR-set fraction above which a graph update rebuilds sketches instead of refreshing incrementally; 0 = default 0.75")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -143,6 +156,9 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		MaxJobs:           o.maxJobs,
 		JobRetention:      o.jobRetention,
 		StateDir:          o.stateDir,
+		StateMaxBytes:     o.stateMaxBytes,
+		StateMaxAge:       o.stateMaxAge,
+		RefreshThreshold:  o.refreshThresh,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,48 @@
+package cascade
+
+import (
+	"sort"
+
+	"fairtcim/internal/graph"
+)
+
+// Dynamic-graph invalidation. Unlike RR sets — which stay valid samples
+// whenever their reverse-reachable region avoids every changed edge — a
+// live-edge world realizes a coin for every edge of the graph, so no world
+// survives any delta: a weight change re-biases an already-flipped coin, a
+// removal may leave a live edge that no longer exists, and an addition
+// means a coin was never flipped at all. Forward-MC world sets are
+// therefore always dropped wholesale on update. WorldsTouchedByArcs exists
+// for the update report, not for retention decisions: it counts how many
+// dropped worlds had actually realized one of the changed arcs, which is
+// the honest measure of how much sampled state the delta perturbed.
+
+// WorldsTouchedByArcs returns the number of worlds in which at least one
+// of the given arcs is live. Arcs absent from the underlying graph (e.g.
+// newly added edges) are never live in any world sampled before the
+// change.
+func WorldsTouchedByArcs(worlds []*World, arcs []graph.Arc) int {
+	if len(worlds) == 0 || len(arcs) == 0 {
+		return 0
+	}
+	touched := 0
+	for _, w := range worlds {
+		for _, a := range arcs {
+			if a.From < 0 || int(a.From) >= w.N() {
+				continue
+			}
+			if hasTarget(w.Out(a.From), a.To) {
+				touched++
+				break
+			}
+		}
+	}
+	return touched
+}
+
+// hasTarget reports whether v occurs in a world's out-slice. Out-slices
+// inherit the source CSR's ascending target order, so binary search works.
+func hasTarget(targets []graph.NodeID, v graph.NodeID) bool {
+	i := sort.Search(len(targets), func(i int) bool { return targets[i] >= v })
+	return i < len(targets) && targets[i] == v
+}

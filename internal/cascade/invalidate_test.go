@@ -1,0 +1,43 @@
+package cascade
+
+import (
+	"testing"
+
+	"fairtcim/internal/graph"
+)
+
+func TestWorldsTouchedByArcs(t *testing.T) {
+	b := graph.NewBuilder(4)
+	b.AddEdge(0, 1, 1)    // live in every IC world
+	b.AddEdge(1, 2, 0.5)  // live in some
+	b.AddEdge(2, 3, 0.25) //
+	g := b.MustBuild()
+	worlds := SampleWorlds(g, IC, 64, 9, 2)
+
+	if got := WorldsTouchedByArcs(worlds, []graph.Arc{{From: 0, To: 1}}); got != len(worlds) {
+		t.Fatalf("p=1 arc touched %d of %d worlds", got, len(worlds))
+	}
+	half := WorldsTouchedByArcs(worlds, []graph.Arc{{From: 1, To: 2}})
+	if half == 0 || half == len(worlds) {
+		t.Fatalf("p=0.5 arc touched %d of %d worlds, want a strict subset", half, len(worlds))
+	}
+	// An arc that never existed in the sampled graph is live nowhere.
+	if got := WorldsTouchedByArcs(worlds, []graph.Arc{{From: 3, To: 0}}); got != 0 {
+		t.Fatalf("nonexistent arc touched %d worlds", got)
+	}
+	// Out-of-range sources (node count grew elsewhere) are ignored.
+	if got := WorldsTouchedByArcs(worlds, []graph.Arc{{From: 99, To: 0}}); got != 0 {
+		t.Fatalf("out-of-range arc touched %d worlds", got)
+	}
+	// Multi-arc batches count each world once.
+	both := WorldsTouchedByArcs(worlds, []graph.Arc{{From: 0, To: 1}, {From: 1, To: 2}})
+	if both != len(worlds) {
+		t.Fatalf("batch touched %d, want all %d", both, len(worlds))
+	}
+	if got := WorldsTouchedByArcs(nil, []graph.Arc{{From: 0, To: 1}}); got != 0 {
+		t.Fatalf("nil worlds touched %d", got)
+	}
+	if got := WorldsTouchedByArcs(worlds, nil); got != 0 {
+		t.Fatalf("nil arcs touched %d", got)
+	}
+}

@@ -1,0 +1,206 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dynamic-graph deltas. A Graph is immutable; evolving a network means
+// applying a batch of edge/weight/group changes and getting a *new* Graph
+// back while the old snapshot stays fully readable — in-flight traversals
+// and samplers holding the old pointer are never perturbed. The returned
+// DeltaResult names exactly what changed, in the form downstream sketch
+// maintenance needs: the heads of changed edges drive incremental RR-set
+// refresh (a reverse BFS only examines an edge u→w after visiting w), and
+// the full arcs drive live-edge world invalidation accounting.
+
+// Arc identifies one directed edge by its endpoints.
+type Arc struct {
+	From, To NodeID
+}
+
+// EdgeDelta is one edge change: an upsert of u→v to probability P in
+// (0,1], or a removal when Remove is set (P must then be zero).
+type EdgeDelta struct {
+	From   NodeID  `json:"from"`
+	To     NodeID  `json:"to"`
+	P      float64 `json:"p,omitempty"`
+	Remove bool    `json:"remove,omitempty"`
+}
+
+// GroupDelta moves one node to a new group label.
+type GroupDelta struct {
+	Node  NodeID `json:"node"`
+	Group int    `json:"group"`
+}
+
+// Delta is one batch of graph changes, applied atomically: either the
+// whole batch validates and produces a new snapshot, or the graph is
+// unchanged.
+type Delta struct {
+	Edges  []EdgeDelta  `json:"edges,omitempty"`
+	Groups []GroupDelta `json:"groups,omitempty"`
+}
+
+// Empty reports whether the delta contains no changes at all.
+func (d Delta) Empty() bool { return len(d.Edges) == 0 && len(d.Groups) == 0 }
+
+// DeltaResult reports what ApplyDelta actually changed. An upsert that
+// restates an edge's existing probability is a no-op and is counted
+// nowhere — it neither dirties RR sets nor invalidates worlds.
+type DeltaResult struct {
+	EdgesAdded    int
+	EdgesUpdated  int
+	EdgesRemoved  int
+	GroupsChanged int
+
+	// TouchedArcs are the directed edges whose presence or probability
+	// changed, deduplicated.
+	TouchedArcs []Arc
+	// TouchedHeads are the distinct head nodes (To endpoints) of
+	// TouchedArcs, sorted ascending — the dirty frontier for reverse-
+	// reachable sketch maintenance.
+	TouchedHeads []NodeID
+}
+
+// ApplyDelta validates and applies a batch of changes, returning the new
+// immutable snapshot alongside a DeltaResult. g itself is never modified.
+// Rules: endpoints must be existing nodes (deltas do not add nodes),
+// upsert probabilities must lie in (0,1], removals must name existing
+// edges, group labels must stay dense with every group non-empty, and a
+// batch may not name the same edge twice.
+func (g *Graph) ApplyDelta(d Delta) (*Graph, *DeltaResult, error) {
+	if d.Empty() {
+		return nil, nil, fmt.Errorf("graph: empty delta")
+	}
+	n := g.N()
+	changes := make(map[Arc]EdgeDelta, len(d.Edges))
+	for _, e := range d.Edges {
+		if e.From < 0 || int(e.From) >= n || e.To < 0 || int(e.To) >= n {
+			return nil, nil, fmt.Errorf("graph: delta edge (%d,%d) out of range [0,%d)", e.From, e.To, n)
+		}
+		if e.Remove {
+			if e.P != 0 {
+				return nil, nil, fmt.Errorf("graph: delta removes edge %d->%d but also sets p=%v", e.From, e.To, e.P)
+			}
+		} else if e.P <= 0 || e.P > 1 {
+			return nil, nil, fmt.Errorf("graph: delta edge %d->%d probability %v outside (0,1]", e.From, e.To, e.P)
+		}
+		a := Arc{From: e.From, To: e.To}
+		if _, dup := changes[a]; dup {
+			return nil, nil, fmt.Errorf("graph: delta names edge %d->%d twice", e.From, e.To)
+		}
+		changes[a] = e
+	}
+
+	res := &DeltaResult{}
+
+	// Stream the old forward CSR, dropping removals and rewriting updated
+	// probabilities in place; additions are appended afterwards. Every
+	// consumed change is deleted from the map so leftovers diagnose
+	// removals of edges that never existed.
+	from := make([]NodeID, 0, g.M()+len(changes))
+	to := make([]NodeID, 0, g.M()+len(changes))
+	probs := make([]float64, 0, g.M()+len(changes))
+	offsets, targets, oldProbs := g.OutCSR()
+	for u := 0; u < n; u++ {
+		for i := offsets[u]; i < offsets[u+1]; i++ {
+			a := Arc{From: NodeID(u), To: targets[i]}
+			ch, hit := changes[a]
+			if !hit {
+				from = append(from, a.From)
+				to = append(to, a.To)
+				probs = append(probs, oldProbs[i])
+				continue
+			}
+			delete(changes, a)
+			if ch.Remove {
+				res.EdgesRemoved++
+				res.TouchedArcs = append(res.TouchedArcs, a)
+				continue
+			}
+			from = append(from, a.From)
+			to = append(to, a.To)
+			probs = append(probs, ch.P)
+			if ch.P != oldProbs[i] {
+				res.EdgesUpdated++
+				res.TouchedArcs = append(res.TouchedArcs, a)
+			}
+		}
+	}
+	for a, ch := range changes {
+		if ch.Remove {
+			return nil, nil, fmt.Errorf("graph: delta removes nonexistent edge %d->%d", a.From, a.To)
+		}
+		from = append(from, a.From)
+		to = append(to, a.To)
+		probs = append(probs, ch.P)
+		res.EdgesAdded++
+		res.TouchedArcs = append(res.TouchedArcs, a)
+	}
+
+	labels := make([]int, n)
+	for v := 0; v < n; v++ {
+		labels[v] = g.Group(NodeID(v))
+	}
+	for _, gd := range d.Groups {
+		if gd.Node < 0 || int(gd.Node) >= n {
+			return nil, nil, fmt.Errorf("graph: delta group change for node %d out of range [0,%d)", gd.Node, n)
+		}
+		if gd.Group < 0 {
+			return nil, nil, fmt.Errorf("graph: delta assigns node %d negative group %d", gd.Node, gd.Group)
+		}
+		if labels[gd.Node] != gd.Group {
+			labels[gd.Node] = gd.Group
+			res.GroupsChanged++
+		}
+	}
+
+	b := NewBuilder(n)
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("graph: applying delta: %v", r)
+			}
+		}()
+		b.SetGroups(labels)
+		for i := range from {
+			b.AddEdge(from[i], to[i], probs[i])
+		}
+		return nil
+	}(); err != nil {
+		return nil, nil, err
+	}
+	out, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+
+	sort.Slice(res.TouchedArcs, func(i, j int) bool {
+		if res.TouchedArcs[i].From != res.TouchedArcs[j].From {
+			return res.TouchedArcs[i].From < res.TouchedArcs[j].From
+		}
+		return res.TouchedArcs[i].To < res.TouchedArcs[j].To
+	})
+	res.TouchedHeads = headsOf(res.TouchedArcs)
+	return out, res, nil
+}
+
+// headsOf extracts the distinct To endpoints, sorted ascending.
+func headsOf(arcs []Arc) []NodeID {
+	if len(arcs) == 0 {
+		return nil
+	}
+	heads := make([]NodeID, 0, len(arcs))
+	for _, a := range arcs {
+		heads = append(heads, a.To)
+	}
+	sort.Slice(heads, func(i, j int) bool { return heads[i] < heads[j] })
+	out := heads[:1]
+	for _, h := range heads[1:] {
+		if h != out[len(out)-1] {
+			out = append(out, h)
+		}
+	}
+	return out
+}

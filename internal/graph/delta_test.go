@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// deltaFixture: 6 nodes in two groups, a mix of within- and cross-group
+// edges.
+func deltaFixture(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(6)
+	b.SetGroups([]int{0, 0, 0, 1, 1, 1})
+	b.AddEdge(0, 1, 0.5)
+	b.AddEdge(0, 2, 0.25)
+	b.AddEdge(1, 2, 0.75)
+	b.AddEdge(3, 4, 0.5)
+	b.AddEdge(4, 5, 0.5)
+	b.AddEdge(2, 3, 0.1)
+	return b.MustBuild()
+}
+
+func edgeProb(g *Graph, u, v NodeID) (float64, bool) {
+	ts, ps := g.OutEdges(u)
+	for i, w := range ts {
+		if w == v {
+			return ps[i], true
+		}
+	}
+	return 0, false
+}
+
+func TestApplyDeltaAddUpdateRemove(t *testing.T) {
+	g := deltaFixture(t)
+	g2, res, err := g.ApplyDelta(Delta{Edges: []EdgeDelta{
+		{From: 5, To: 0, P: 0.9},       // add
+		{From: 0, To: 1, P: 0.6},       // update
+		{From: 0, To: 2, P: 0.25},      // no-op restatement
+		{From: 4, To: 5, Remove: true}, // remove
+	}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if res.EdgesAdded != 1 || res.EdgesUpdated != 1 || res.EdgesRemoved != 1 || res.GroupsChanged != 0 {
+		t.Fatalf("result counts = %+v", res)
+	}
+	wantArcs := []Arc{{0, 1}, {4, 5}, {5, 0}}
+	if !reflect.DeepEqual(res.TouchedArcs, wantArcs) {
+		t.Fatalf("TouchedArcs = %v, want %v", res.TouchedArcs, wantArcs)
+	}
+	wantHeads := []NodeID{0, 1, 5}
+	if !reflect.DeepEqual(res.TouchedHeads, wantHeads) {
+		t.Fatalf("TouchedHeads = %v, want %v", res.TouchedHeads, wantHeads)
+	}
+	if g2.M() != g.M() { // +1 add, -1 remove
+		t.Fatalf("new M = %d, want %d", g2.M(), g.M())
+	}
+	if p, ok := edgeProb(g2, 0, 1); !ok || p != 0.6 {
+		t.Fatalf("edge 0->1 = (%v,%v), want 0.6", p, ok)
+	}
+	if p, ok := edgeProb(g2, 5, 0); !ok || p != 0.9 {
+		t.Fatalf("edge 5->0 = (%v,%v), want 0.9", p, ok)
+	}
+	if _, ok := edgeProb(g2, 4, 5); ok {
+		t.Fatal("edge 4->5 survived removal")
+	}
+	// Old snapshot untouched.
+	if p, ok := edgeProb(g, 0, 1); !ok || p != 0.5 {
+		t.Fatalf("old snapshot mutated: edge 0->1 = (%v,%v)", p, ok)
+	}
+	if _, ok := edgeProb(g, 4, 5); !ok {
+		t.Fatal("old snapshot lost edge 4->5")
+	}
+	// Reverse CSR and thresholds consistent on the new snapshot.
+	if got := g2.InDegree(0); got != 1 {
+		t.Fatalf("in-degree(0) = %d, want 1", got)
+	}
+	if len(g2.OutThresholds()) != g2.M() || len(g2.InThresholds()) != g2.M() {
+		t.Fatal("threshold arrays not rebuilt to match M")
+	}
+}
+
+func TestApplyDeltaGroups(t *testing.T) {
+	g := deltaFixture(t)
+	g2, res, err := g.ApplyDelta(Delta{Groups: []GroupDelta{
+		{Node: 2, Group: 1},
+		{Node: 5, Group: 1}, // no-op
+	}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if res.GroupsChanged != 1 {
+		t.Fatalf("GroupsChanged = %d, want 1", res.GroupsChanged)
+	}
+	if len(res.TouchedArcs) != 0 || len(res.TouchedHeads) != 0 {
+		t.Fatalf("group-only delta touched edges: %v", res.TouchedArcs)
+	}
+	if g2.Group(2) != 1 || g.Group(2) != 0 {
+		t.Fatalf("group move wrong: new=%d old=%d", g2.Group(2), g.Group(2))
+	}
+	if got := g2.GroupSizes(); !reflect.DeepEqual(got, []int{2, 4}) {
+		t.Fatalf("GroupSizes = %v", got)
+	}
+}
+
+func TestApplyDeltaGroupCountShrinks(t *testing.T) {
+	g := deltaFixture(t)
+	// Moving every group-1 node into group 0 is legal: the label range
+	// stays dense, so the group count contracts to 1.
+	g2, res, err := g.ApplyDelta(Delta{Groups: []GroupDelta{
+		{Node: 3, Group: 0}, {Node: 4, Group: 0}, {Node: 5, Group: 0},
+	}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	if res.GroupsChanged != 3 {
+		t.Fatalf("GroupsChanged = %d, want 3", res.GroupsChanged)
+	}
+	if g2.NumGroups() != 1 || g.NumGroups() != 2 {
+		t.Fatalf("group counts new=%d old=%d", g2.NumGroups(), g.NumGroups())
+	}
+}
+
+func TestApplyDeltaErrors(t *testing.T) {
+	g := deltaFixture(t)
+	cases := []struct {
+		name string
+		d    Delta
+	}{
+		{"empty", Delta{}},
+		{"node out of range", Delta{Edges: []EdgeDelta{{From: 0, To: 99, P: 0.5}}}},
+		{"zero probability upsert", Delta{Edges: []EdgeDelta{{From: 0, To: 3}}}},
+		{"probability above one", Delta{Edges: []EdgeDelta{{From: 0, To: 3, P: 1.5}}}},
+		{"remove with probability", Delta{Edges: []EdgeDelta{{From: 0, To: 1, P: 0.5, Remove: true}}}},
+		{"remove missing edge", Delta{Edges: []EdgeDelta{{From: 0, To: 5, Remove: true}}}},
+		{"duplicate edge in batch", Delta{Edges: []EdgeDelta{{From: 0, To: 1, P: 0.5}, {From: 0, To: 1, P: 0.6}}}},
+		{"group node out of range", Delta{Groups: []GroupDelta{{Node: 99, Group: 0}}}},
+		{"negative group", Delta{Groups: []GroupDelta{{Node: 0, Group: -1}}}},
+		{"sparse group labels", Delta{Groups: []GroupDelta{{Node: 0, Group: 7}}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, _, err := g.ApplyDelta(tc.d); err == nil {
+				t.Fatalf("ApplyDelta(%+v) succeeded, want error", tc.d)
+			}
+		})
+	}
+	// Failed deltas leave the graph untouched (it is immutable, but check
+	// observable state anyway).
+	if p, ok := edgeProb(g, 0, 1); !ok || p != 0.5 {
+		t.Fatalf("graph mutated after failed deltas: %v %v", p, ok)
+	}
+}

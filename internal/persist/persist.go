@@ -213,3 +213,25 @@ func GraphFingerprint(g *graph.Graph) uint64 {
 	}
 	return h
 }
+
+// VersionedFingerprint binds a graph fingerprint to a registry version, for
+// graphs that mutate in place over their lifetime. Two successive versions
+// of a dynamic graph can collide on GraphFingerprint alone only by applying
+// a delta and its exact inverse, but the version counter still moves — so
+// frames written under the old version must not satisfy readers at the new
+// one, and vice versa. Mixing the version through one more FNV round keeps
+// the static case untouched: version 0 is reserved for immutable graphs and
+// returns fp unchanged.
+func VersionedFingerprint(fp, version uint64) uint64 {
+	if version == 0 {
+		return fp
+	}
+	const prime64 = 1099511628211
+	h := fp
+	for i := 0; i < 8; i++ {
+		h ^= version & 0xff
+		h *= prime64
+		version >>= 8
+	}
+	return h
+}

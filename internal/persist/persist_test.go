@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
 )
 
 func testMeta() Meta { return Meta{Kind: "test", Version: 3, Fingerprint: 0xfeedface} }
@@ -119,6 +120,58 @@ func TestGraphFingerprint(t *testing.T) {
 	}
 	if GraphFingerprint(g1) == GraphFingerprint(relabeled) {
 		t.Fatal("relabeled graph shares a fingerprint")
+	}
+	// A delta produces a graph with a different fingerprint...
+	g3, _, err := g1.ApplyDelta(graph.Delta{Edges: []graph.EdgeDelta{{From: 1, To: 0, P: 0.5}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphFingerprint(g1) == GraphFingerprint(g3) {
+		t.Fatal("delta-updated graph shares a fingerprint")
+	}
+	// ...and reverting the delta restores it — exactly the collision that
+	// version-keying exists to break.
+	g4, _, err := g3.ApplyDelta(graph.Delta{Edges: []graph.EdgeDelta{{From: 1, To: 0, Remove: true}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if GraphFingerprint(g1) != GraphFingerprint(g4) {
+		t.Fatal("inverse delta did not restore the fingerprint")
+	}
+}
+
+func TestVersionedFingerprint(t *testing.T) {
+	fp := GraphFingerprint(generate.TwoStars())
+	if VersionedFingerprint(fp, 0) != fp {
+		t.Fatal("version 0 must leave static fingerprints unchanged")
+	}
+	v1, v2 := VersionedFingerprint(fp, 1), VersionedFingerprint(fp, 2)
+	if v1 == fp || v2 == fp || v1 == v2 {
+		t.Fatalf("versioned fingerprints collide: fp=%x v1=%x v2=%x", fp, v1, v2)
+	}
+	if VersionedFingerprint(fp, 1) != v1 {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestVersionedFingerprintRejectsOldFrame(t *testing.T) {
+	// A frame persisted under version 1 must be rejected as ErrMismatch —
+	// not decoded — when the reader expects version 2 of the same graph,
+	// even though the graph content could be byte-identical.
+	path := filepath.Join(t.TempDir(), "sketch")
+	fp := GraphFingerprint(generate.TwoStars())
+	oldMeta := Meta{Kind: "risc", Version: 1, Fingerprint: VersionedFingerprint(fp, 1)}
+	if err := Save(path, oldMeta, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	newMeta := oldMeta
+	newMeta.Fingerprint = VersionedFingerprint(fp, 2)
+	if _, err := Load(path, newMeta); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("err = %v, want ErrMismatch", err)
+	}
+	// The same frame still loads at its own version.
+	if _, err := Load(path, oldMeta); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,218 @@
+package ris
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"fairtcim/internal/generate"
+	"fairtcim/internal/graph"
+)
+
+// greedyPick runs plain greedy over total coverage gain for k picks.
+func greedyPick(c *Collection, k int) []graph.NodeID {
+	e := NewEstimator(c)
+	for len(e.Seeds()) < k {
+		best, bestGain := graph.NodeID(-1), -1.0
+		for v := 0; v < c.Graph().N(); v++ {
+			if g := e.Gain(graph.NodeID(v)); g > bestGain {
+				best, bestGain = graph.NodeID(v), g
+			}
+		}
+		e.Add(best)
+	}
+	return append([]graph.NodeID(nil), e.Seeds()...)
+}
+
+// setsOf reconstructs per-set sorted contents from the inverted index.
+func setsOf(c *Collection) [][]graph.NodeID {
+	out := make([][]graph.NodeID, c.NumSets())
+	for v := 0; v < c.Graph().N(); v++ {
+		for _, id := range c.refs[c.off[v]:c.off[v+1]] {
+			out[id] = append(out[id], graph.NodeID(v))
+		}
+	}
+	return out
+}
+
+func TestRefreshPartialParity(t *testing.T) {
+	g := generate.TwoStars()
+	col, err := Sample(g, 3, []int{40, 40}, 7, 2)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	// Adding 1->0 makes hub 0 a head: every group-0 RR set contains 0 (the
+	// p=1 edges 0->leaf run in reverse), no group-1 set does — so exactly
+	// half the pool is dirty, deterministically.
+	g2, res, err := g.ApplyDelta(graph.Delta{Edges: []graph.EdgeDelta{{From: 1, To: 0, P: 0.05}}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	ref, stats, err := col.Refresh(g2, res.TouchedHeads, 7^0x9E37, 2, 0, nil)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if stats.FullRebuild {
+		t.Fatal("expected partial refresh, got full rebuild")
+	}
+	if stats.Refreshed != 40 || stats.Retained != 40 {
+		t.Fatalf("stats = %+v, want 40 refreshed / 40 retained", stats)
+	}
+	if stats.DirtyFraction != 0.5 {
+		t.Fatalf("DirtyFraction = %v, want 0.5", stats.DirtyFraction)
+	}
+	if ref.Graph() != g2 {
+		t.Fatal("refreshed collection not bound to new snapshot")
+	}
+
+	// Retained group-1 sets carry over bit-identically.
+	oldSets, newSets := setsOf(col), setsOf(ref)
+	for id := 40; id < 80; id++ {
+		if !reflect.DeepEqual(oldSets[id], newSets[id]) {
+			t.Fatalf("retained set %d changed: %v -> %v", id, oldSets[id], newSets[id])
+		}
+	}
+	// Refs stay strictly increasing per node.
+	for v := 0; v <= g2.N(); v++ {
+		if v < g2.N() && !sort.SliceIsSorted(ref.refs[ref.off[v]:ref.off[v+1]], func(i, j int) bool {
+			return ref.refs[ref.off[v]:ref.off[v+1]][i] < ref.refs[ref.off[v]:ref.off[v+1]][j]
+		}) {
+			t.Fatalf("refs of node %d not sorted", v)
+		}
+	}
+
+	// Parity: greedy picks on the refreshed collection match a from-scratch
+	// rebuild at the new version (hubs 0 and 11 dominate either way).
+	fresh, err := Sample(g2, 3, []int{40, 40}, 7^0x9E37, 2)
+	if err != nil {
+		t.Fatalf("fresh Sample: %v", err)
+	}
+	got, want := greedyPick(ref, 2), greedyPick(fresh, 2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("greedy picks diverge: refreshed %v, fresh %v", got, want)
+	}
+	if !reflect.DeepEqual(got, []graph.NodeID{0, 11}) {
+		t.Fatalf("greedy picks = %v, want [0 11]", got)
+	}
+}
+
+func TestRefreshNoDirtySets(t *testing.T) {
+	g := generate.TwoStars()
+	col, err := Sample(g, 3, []int{20, 20}, 3, 1)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	g2, _, err := g.ApplyDelta(graph.Delta{Edges: []graph.EdgeDelta{{From: 1, To: 2, P: 0.5}}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	// Pass no touched heads: the index is rebound to the new snapshot
+	// without resampling anything.
+	ref, stats, err := col.Refresh(g2, nil, 99, 1, 0, nil)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if stats.Refreshed != 0 || stats.Retained != 40 || stats.FullRebuild {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if ref.Graph() != g2 {
+		t.Fatal("collection not rebound to new graph")
+	}
+	if !reflect.DeepEqual(setsOf(col), setsOf(ref)) {
+		t.Fatal("zero-dirty refresh changed set contents")
+	}
+}
+
+func TestRefreshThresholdFullRebuild(t *testing.T) {
+	g := generate.TwoStars()
+	col, err := Sample(g, 3, []int{40, 40}, 7, 2)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	g2, res, err := g.ApplyDelta(graph.Delta{Edges: []graph.EdgeDelta{{From: 1, To: 0, P: 0.05}}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	// Dirty fraction is 0.5; a 0.25 threshold forces the full rebuild path.
+	ref, stats, err := col.Refresh(g2, res.TouchedHeads, 11, 2, 0.25, nil)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if !stats.FullRebuild || stats.Refreshed != 80 || stats.Retained != 0 {
+		t.Fatalf("stats = %+v, want full rebuild of 80", stats)
+	}
+	fresh, err := Sample(g2, 3, []int{40, 40}, 11, 2)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	if !reflect.DeepEqual(setsOf(ref), setsOf(fresh)) {
+		t.Fatal("threshold full rebuild differs from direct Sample at same seed")
+	}
+}
+
+func TestRefreshGroupChangeFullRebuild(t *testing.T) {
+	g := generate.TwoStars()
+	col, err := Sample(g, 3, []int{40, 40}, 7, 2)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	// Moving a node across groups invalidates the root distributions, so
+	// even an edge-free delta must trigger a full rebuild.
+	g2, res, err := g.ApplyDelta(graph.Delta{Groups: []graph.GroupDelta{{Node: 10, Group: 1}}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	_, stats, err := col.Refresh(g2, res.TouchedHeads, 5, 2, 0, nil)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if !stats.FullRebuild {
+		t.Fatalf("stats = %+v, want full rebuild on group change", stats)
+	}
+}
+
+func TestRefreshEstimateCloseness(t *testing.T) {
+	// On a denser random graph, a small-delta refresh must track a fresh
+	// rebuild's utility estimates closely.
+	g, err := generate.TwoBlock(generate.DefaultTwoBlock(42))
+	if err != nil {
+		t.Fatalf("TwoBlock: %v", err)
+	}
+	col, err := Sample(g, 4, []int{400, 400}, 13, 0)
+	if err != nil {
+		t.Fatalf("Sample: %v", err)
+	}
+	g2, res, err := g.ApplyDelta(graph.Delta{Edges: []graph.EdgeDelta{
+		{From: 0, To: 1, P: 0.9},
+		{From: 2, To: 3, P: 0.9},
+	}})
+	if err != nil {
+		t.Fatalf("ApplyDelta: %v", err)
+	}
+	ref, stats, err := col.Refresh(g2, res.TouchedHeads, 13^1, 0, 0, nil)
+	if err != nil {
+		t.Fatalf("Refresh: %v", err)
+	}
+	if stats.FullRebuild {
+		t.Skipf("delta dirtied %.2f of the pool; closeness check needs a partial refresh", stats.DirtyFraction)
+	}
+	if stats.Refreshed == 0 {
+		t.Fatal("expected some dirty sets on a dense graph")
+	}
+	fresh, err := Sample(g2, 4, []int{400, 400}, 13^1, 0)
+	if err != nil {
+		t.Fatalf("fresh Sample: %v", err)
+	}
+	seeds := greedyPick(fresh, 4)
+	er, ef := NewEstimator(ref), NewEstimator(fresh)
+	for _, s := range seeds {
+		er.Add(s)
+		ef.Add(s)
+	}
+	ur, uf := er.NormGroupUtilities(), ef.NormGroupUtilities()
+	for i := range ur {
+		if d := ur[i] - uf[i]; d > 0.1 || d < -0.1 {
+			t.Fatalf("group %d utilities diverge: refreshed %.3f vs fresh %.3f", i, ur[i], uf[i])
+		}
+	}
+}

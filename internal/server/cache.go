@@ -21,9 +21,14 @@ import (
 // sample's distribution depends on is part of the key, so a cached entry
 // can be reused verbatim by any request with matching parameters.
 type sampleKey struct {
-	graph  string        // registry name
-	engine fairim.Engine //
-	model  cascade.Model // forward-MC world model (IC for RIS)
+	graph string // registry name
+	// version is the registry version of the graph snapshot the sample was
+	// built from. Updates bump it, so post-update requests can never be
+	// served a sketch drawn from the pre-update snapshot: they key to a
+	// different entry (and a different disk file).
+	version uint64
+	engine  fairim.Engine
+	model   cascade.Model // forward-MC world model (IC for RIS)
 	// tau is the deadline RR sets are bounded by; always 0 for forward
 	// MC, whose live-edge worlds are τ-independent — one world set serves
 	// every deadline, so requests differing only in τ share the entry.
@@ -50,12 +55,13 @@ type sampleKey struct {
 // Accuracy-targeted requests key by (ε, δ, sizing k) instead of a count —
 // two requests demanding the same accuracy share one stopping-rule-sized
 // sample.
-func sampleKeyFor(graphName string, g *graph.Graph, spec fairim.ProblemSpec, evalOnly bool) sampleKey {
+func sampleKeyFor(graphName string, version uint64, g *graph.Graph, spec fairim.ProblemSpec, evalOnly bool) sampleKey {
 	k := sampleKey{
-		graph:  graphName,
-		engine: spec.Engine,
-		model:  spec.Model,
-		seed:   spec.Seed,
+		graph:   graphName,
+		version: version,
+		engine:  spec.Engine,
+		model:   spec.Model,
+		seed:    spec.Seed,
 	}
 	if spec.Engine == fairim.EngineRIS {
 		k.model = cascade.IC
@@ -83,6 +89,12 @@ type sample struct {
 	g      *graph.Graph
 	col    *ris.Collection  // EngineRIS
 	worlds []*cascade.World // EngineForwardMC
+	// Refresh provenance, echoed in responses: when the sample was produced
+	// by incrementally refreshing an earlier version's sketch, rrRefreshed
+	// counts the RR sets that were resampled and rrRetained the ones
+	// carried over verbatim. Both are zero for cold builds and disk loads.
+	rrRefreshed int
+	rrRetained  int
 }
 
 // newEstimator builds a fresh single-request estimator over the shared
@@ -124,6 +136,17 @@ type Cache struct {
 	// the request path entirely. Set once before first use.
 	disk *diskStore
 
+	// history, when non-nil, answers "which arc heads changed between
+	// versions a and b of this graph" so a memory+disk miss at version v
+	// can refresh an in-memory sketch from an earlier version instead of
+	// rebuilding cold. Set once before first use (to the Registry).
+	history versionHistory
+
+	// refreshThreshold is the dirty-set fraction above which an
+	// incremental refresh falls back to a full rebuild; <=0 uses
+	// ris.DefaultRefreshThreshold. Set once before first use.
+	refreshThreshold float64
+
 	// flushWG tracks write-behind disk saves in flight; flushing mirrors
 	// it as a gauge for CacheStats. WaitFlushes drains it on shutdown.
 	flushWG  sync.WaitGroup
@@ -141,6 +164,11 @@ type Cache struct {
 	diskWrites int64      // built samples persisted successfully
 	diskErrors int64      // unusable state files (corrupt/mismatched) or failed writes
 
+	refreshes    int64 // misses served by incrementally refreshing an older version's sketch
+	rrRefreshedN int64 // RR sets resampled across all refreshes
+	rrRetainedN  int64 // RR sets carried over verbatim across all refreshes
+	invalidated  int64 // entries dropped by graph updates (forward-MC world sets)
+
 	// The seed-set prefix memo: solved greedy prefixes with their CELF
 	// heap snapshots, so a larger-budget repeat of a solved problem
 	// resumes where the smaller budget stopped instead of re-picking
@@ -152,6 +180,12 @@ type Cache struct {
 	prefixLRU    *list.List // of *prefixEntry; front = most recently used
 	prefixHits   int64
 	prefixStores int64
+}
+
+// versionHistory is what the cache needs from the registry to refresh
+// sketches across graph versions; see Registry.TouchedSince.
+type versionHistory interface {
+	TouchedSince(name string, from, to uint64) (heads []graph.NodeID, groupsChanged bool, ok bool)
 }
 
 // NewCache returns a cache holding at most capacity samples; capacity
@@ -191,7 +225,12 @@ type CacheStats struct {
 	DiskHits        int64 `json:"disk_hits"`
 	DiskWrites      int64 `json:"disk_writes"`
 	DiskErrors      int64 `json:"disk_errors"`
+	DiskGCRemovals  int64 `json:"disk_gc_removals"`
 	FlushesInFlight int64 `json:"disk_flushes_inflight"`
+	Refreshes       int64 `json:"refreshes"`
+	RRRefreshed     int64 `json:"rr_refreshed"`
+	RRRetained      int64 `json:"rr_retained"`
+	Invalidated     int64 `json:"invalidated"`
 	PrefixEntries   int   `json:"prefix_entries"`
 	PrefixHits      int64 `json:"prefix_hits"`
 	PrefixStores    int64 `json:"prefix_stores"`
@@ -200,6 +239,10 @@ type CacheStats struct {
 // Stats returns current counters.
 func (c *Cache) Stats() CacheStats {
 	inFlight := c.flushing.Load()
+	var gcRemovals int64
+	if c.disk != nil {
+		gcRemovals = c.disk.gcRemovals.Load()
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
@@ -211,7 +254,12 @@ func (c *Cache) Stats() CacheStats {
 		DiskHits:        c.diskHits,
 		DiskWrites:      c.diskWrites,
 		DiskErrors:      c.diskErrors,
+		DiskGCRemovals:  gcRemovals,
 		FlushesInFlight: inFlight,
+		Refreshes:       c.refreshes,
+		RRRefreshed:     c.rrRefreshedN,
+		RRRetained:      c.rrRetainedN,
+		Invalidated:     c.invalidated,
 		PrefixEntries:   len(c.prefix),
 		PrefixHits:      c.prefixHits,
 		PrefixStores:    c.prefixStores,
@@ -347,6 +395,10 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 		diskHit := false
 		if smp := c.diskLoad(key, g); smp != nil {
 			e.sample, diskHit = smp, true
+		} else if smp := c.refreshFrom(key, g, parallelism, ctx.Done()); smp != nil {
+			// An older version's in-memory sketch was refreshed in place of
+			// a cold build; it is persisted below like any fresh build.
+			e.sample = smp
 		} else {
 			c.mu.Lock()
 			c.builds++
@@ -444,6 +496,116 @@ func (c *Cache) diskSaveAsync(key sampleKey, smp *sample) {
 // disk. The daemon calls it on shutdown so a restart finds every built
 // sketch persisted; tests call it before asserting on-disk state.
 func (c *Cache) WaitFlushes() { c.flushWG.Wait() }
+
+// refreshFrom tries to satisfy a memory+disk miss at key.version by
+// incrementally refreshing a resident sketch of the same shape built at an
+// earlier version of the same graph: only RR sets containing a touched arc
+// head are resampled, the rest carry over verbatim. Returns nil when the
+// miss must build cold instead — no version history, no eligible source
+// entry, group labels moved, or the engine/sizing rules it out
+// (accuracy-sized keys re-run their stopping rule from scratch so the
+// sizing itself reflects the new graph; forward-MC worlds realize every
+// edge coin and never survive a delta).
+func (c *Cache) refreshFrom(key sampleKey, g *graph.Graph, parallelism int, cancel <-chan struct{}) *sample {
+	if c.history == nil || key.engine != fairim.EngineRIS || key.epsBits != 0 || key.version <= 1 {
+		return nil
+	}
+	// Newest ready, error-free entry whose key differs only by an earlier
+	// version.
+	want := key
+	c.mu.Lock()
+	var src *cacheEntry
+	for k, e := range c.entries {
+		if k.version == 0 || k.version >= key.version {
+			continue
+		}
+		want.version = k.version
+		if k != want {
+			continue
+		}
+		select {
+		case <-e.ready:
+		default:
+			continue
+		}
+		if e.err != nil || e.sample == nil || e.sample.col == nil {
+			continue
+		}
+		if src == nil || k.version > src.key.version {
+			src = e
+		}
+	}
+	c.mu.Unlock()
+	if src == nil {
+		return nil
+	}
+	heads, groupsChanged, ok := c.history.TouchedSince(key.graph, src.key.version, key.version)
+	if !ok || groupsChanged {
+		return nil
+	}
+	// Mix the target version into the refresh seed so resampled sets never
+	// replay the exact coin streams that produced the dirty sets they
+	// replace (key.seed alone would).
+	seed := key.seed ^ int64(key.version*0x9E3779B97F4A7C15)
+	col, stats, err := src.sample.col.Refresh(g, heads, seed, parallelism, c.refreshThreshold, cancel)
+	if err != nil {
+		return nil // cold build will surface its own error/cancellation
+	}
+	c.mu.Lock()
+	if stats.FullRebuild {
+		// Refresh bailed to a full resample (dirty fraction above the
+		// threshold): the work is a cold build and is counted as one.
+		c.builds++
+	} else {
+		c.refreshes++
+		c.rrRefreshedN += int64(stats.Refreshed)
+		c.rrRetainedN += int64(stats.Retained)
+	}
+	c.mu.Unlock()
+	if stats.FullRebuild {
+		return &sample{g: g, col: col}
+	}
+	return &sample{g: g, col: col, rrRefreshed: stats.Refreshed, rrRetained: stats.Retained}
+}
+
+// invalidateGraph drops cached forward-MC world sets for the named graph
+// after an update. Live-edge worlds realize every edge coin, so none
+// survive a delta — unlike RR sketches, which stay resident as refresh
+// sources for the next version and age out through the LRU (their
+// version-keyed entries can never serve a post-update request anyway).
+// Returns how many entries were dropped and how many of their worlds
+// realized at least one touched arc, for the update response.
+func (c *Cache) invalidateGraph(name string, arcs []graph.Arc) (dropped, worldsTouched int) {
+	c.mu.Lock()
+	var victims []*cacheEntry
+	for k, e := range c.entries {
+		if k.graph != name || k.engine == fairim.EngineRIS {
+			continue
+		}
+		select {
+		case <-e.ready:
+		default:
+			// In-flight build: its key binds it to the pre-update snapshot,
+			// which stays correct for requests at that version; leave it to
+			// resolve and age out.
+			continue
+		}
+		victims = append(victims, e)
+	}
+	for _, e := range victims {
+		delete(c.entries, e.key)
+		c.lru.Remove(e.elem)
+		c.invalidated++
+		dropped++
+	}
+	c.mu.Unlock()
+	for _, e := range victims {
+		if e.err == nil && e.sample != nil && e.sample.worlds != nil {
+			worldsTouched += cascade.WorldsTouchedByArcs(e.sample.worlds, arcs)
+		}
+	}
+	return dropped, worldsTouched
+}
 
 // dropEntry removes e from the index if it is still the current entry for
 // its key.

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// The unified /v1/* error envelope: every non-2xx response body is
+// {"error": {"code", "message"}}. Codes are stable, machine-readable
+// contract surface — clients branch on them, messages are for humans and
+// may change freely.
+const (
+	// CodeBadRequest marks bodies that do not parse as the endpoint's
+	// request shape at all.
+	CodeBadRequest = "bad_request"
+	// CodeBadSpec marks well-formed requests whose fields are invalid or
+	// inconsistent (unknown engine, out-of-range budgets, empty deltas...).
+	CodeBadSpec = "bad_spec"
+	// CodeGraphNotFound marks references to graph names never registered.
+	CodeGraphNotFound = "graph_not_found"
+	// CodeJobNotFound marks references to unknown job ids.
+	CodeJobNotFound = "job_not_found"
+	// CodeJobFinished marks cancellation of a job already in a terminal
+	// state.
+	CodeJobFinished = "job_finished"
+	// CodeCapacity marks requests shed because the worker pool or job
+	// queue is full; retry later.
+	CodeCapacity = "capacity"
+	// CodeVersionConflict marks graph updates whose expect_version lost a
+	// race with a concurrent update; re-read the version and retry.
+	CodeVersionConflict = "version_conflict"
+	// CodeInternal marks server-side failures.
+	CodeInternal = "internal"
+)
+
+// apiError is the machine-readable error payload.
+type apiError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// errorResponse is every non-2xx body.
+type errorResponse struct {
+	Error apiError `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorResponse{Error: apiError{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// errStatus maps a solve-pipeline failure onto an HTTP status: capacity
+// shedding and client-gone cancellations are 503, update races 409,
+// anything else is a bad request.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrCapacity), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrVersionConflict):
+		return http.StatusConflict
+	}
+	return http.StatusBadRequest
+}
+
+// errCode maps a solve-pipeline failure onto its envelope code, in the
+// same order as errStatus.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrCapacity), errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return CodeCapacity
+	case errors.Is(err, ErrVersionConflict):
+		return CodeVersionConflict
+	case errors.Is(err, ErrUnknownGraph):
+		return CodeGraphNotFound
+	}
+	return CodeBadSpec
+}
+
+func writeSolveError(w http.ResponseWriter, err error) {
+	status := errStatus(err)
+	if status == http.StatusServiceUnavailable {
+		writeError(w, status, CodeCapacity, "server at capacity; retry later")
+		return
+	}
+	writeError(w, status, errCode(err), "%v", err)
+}

@@ -409,28 +409,30 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	spec, err := req.toSpec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
 	}
 	// Resolve the graph synchronously so unknown names are a 404 at
-	// submission, not a failed job discovered later.
-	g, ok := s.getGraph(w, req.Graph)
+	// submission, not a failed job discovered later. The job solves the
+	// snapshot current at submission: an update applied while it queues
+	// does not retarget it.
+	g, version, ok := s.getGraph(w, req.Graph)
 	if !ok {
 		return
 	}
 	j, err := s.jobs.add(req.Graph, spec.Problem.String())
 	if err != nil {
-		writeError(w, http.StatusServiceUnavailable, "job queue full; retry later")
+		writeError(w, http.StatusServiceUnavailable, CodeCapacity, "job queue full; retry later")
 		return
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	j.arm(cancel)
-	go s.runJob(ctx, j, g, req.Graph, spec)
+	go s.runJob(ctx, j, g, req.Graph, version, spec)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -460,11 +462,11 @@ func (g startGate) acquire(ctx context.Context) bool {
 // job's cancellation context (fired by DELETE /v1/jobs/{id}): a queued
 // job aborts while waiting for its slot, a running solve at the next
 // greedy pick via the fairim.Config.Cancel seam.
-func (s *Server) runJob(ctx context.Context, j *job, g *graph.Graph, graphName string, spec fairim.ProblemSpec) {
+func (s *Server) runJob(ctx context.Context, j *job, g *graph.Graph, graphName string, version uint64, spec fairim.ProblemSpec) {
 	defer j.cancel() // release the context once the job is decided
 	gate := startGate{workerGate: blockingGate{s}, once: &sync.Once{}, started: j.setRunning}
 	spec.Cancel = ctx.Done()
-	resp, err := s.solve(ctx, gate, graphName, g, spec, j.appendPick)
+	resp, err := s.solve(ctx, gate, graphName, version, g, spec, j.appendPick)
 	if resp != nil {
 		// The job trace is streamed separately; keep the stored result to
 		// the synchronous shape (trace only when the request asked).
@@ -483,11 +485,11 @@ func (s *Server) runJob(ctx context.Context, j *job, g *graph.Graph, graphName s
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	if !j.requestCancel() {
-		writeError(w, http.StatusConflict, "job %q already finished", r.PathValue("id"))
+		writeError(w, http.StatusConflict, CodeJobFinished, "job %q already finished", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusAccepted, j.status())
@@ -502,7 +504,7 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.status())
@@ -515,12 +517,12 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by this connection")
+		writeError(w, http.StatusInternalServerError, CodeInternal, "streaming unsupported by this connection")
 		return
 	}
 	w.Header().Set("Content-Type", "text/event-stream")

@@ -417,7 +417,7 @@ func TestSolveCancelMidRun(t *testing.T) {
 	defer cancel()
 	spec.Cancel = ctx.Done()
 	picks := 0
-	_, err = s.solve(ctx, blockingGate{s}, "twostars", g, spec, func(fairim.IterationStat) {
+	_, err = s.solve(ctx, blockingGate{s}, "twostars", 1, g, spec, func(fairim.IterationStat) {
 		picks++
 		if picks == 1 {
 			cancel()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"container/list"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -8,6 +9,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"fairtcim/internal/cascade"
 	"fairtcim/internal/fairim"
@@ -23,19 +26,154 @@ import (
 // version-skewed, or bound to a different graph is never used — the
 // caller falls back to a cold build (and, for save, simply keeps serving
 // from memory).
+//
+// The store also garbage-collects itself: dynamic graphs mint a new file
+// per (key, graph version), so without a bound the sketch dir grows with
+// every update. maxBytes caps the total size (least-recently-used files
+// go first) and maxAge drops files untouched for longer than the window;
+// either is 0 to disable. Load order is tracked in memory and mirrored to
+// file mtimes, so the LRU survives restarts.
 type diskStore struct {
-	dir string
+	dir      string
+	maxBytes int64
+	maxAge   time.Duration
+
+	gcRemovals atomic.Int64 // files deleted by the GC, surfaced in CacheStats
 
 	mu  sync.Mutex
 	fps map[*graph.Graph]uint64 // memoized GraphFingerprint per loaded graph
+	// GC manifest: every known state file by path, LRU-ordered (front =
+	// most recently used), with the running total size.
+	files      map[string]*list.Element // of *gcFile
+	gcLRU      *list.List
+	totalBytes int64
 }
 
-// newDiskStore roots a sample store at dir, creating it if needed.
-func newDiskStore(dir string) (*diskStore, error) {
+// gcFile is one manifest row.
+type gcFile struct {
+	path string
+	size int64
+	last time.Time
+}
+
+// fpMemoCap bounds the fingerprint memo. Static deployments hold one
+// graph pointer per registered graph forever; dynamic graphs mint a new
+// immutable snapshot per update, and without a bound every superseded
+// snapshot would stay reachable through the memo alone.
+const fpMemoCap = 64
+
+// newDiskStore roots a sample store at dir, creating it if needed, and
+// scans any files a previous run left behind into the GC manifest
+// (ordered by mtime) so the bounds apply across restarts.
+func newDiskStore(dir string, maxBytes int64, maxAge time.Duration) (*diskStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("server: state dir: %w", err)
 	}
-	return &diskStore{dir: dir, fps: map[*graph.Graph]uint64{}}, nil
+	d := &diskStore{
+		dir:      dir,
+		maxBytes: maxBytes,
+		maxAge:   maxAge,
+		fps:      map[*graph.Graph]uint64{},
+		files:    map[string]*list.Element{},
+		gcLRU:    list.New(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("server: state dir: %w", err)
+	}
+	type scanned struct {
+		path string
+		size int64
+		last time.Time
+	}
+	var found []scanned
+	for _, ent := range entries {
+		if ent.IsDir() || filepath.Ext(ent.Name()) != ".sample" {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		found = append(found, scanned{filepath.Join(dir, ent.Name()), info.Size(), info.ModTime()})
+	}
+	// Oldest first, so after the PushFront loop the LRU front holds the
+	// most recently touched file.
+	for i := 1; i < len(found); i++ {
+		for j := i; j > 0 && found[j].last.Before(found[j-1].last); j-- {
+			found[j], found[j-1] = found[j-1], found[j]
+		}
+	}
+	d.mu.Lock()
+	for _, f := range found {
+		d.files[f.path] = d.gcLRU.PushFront(&gcFile{path: f.path, size: f.size, last: f.last})
+		d.totalBytes += f.size
+	}
+	d.gcLocked(time.Now())
+	d.mu.Unlock()
+	return d, nil
+}
+
+// gcLocked enforces the age window, then the size cap, deleting
+// least-recently-used files until both hold. Callers hold d.mu.
+func (d *diskStore) gcLocked(now time.Time) {
+	remove := func(el *list.Element) {
+		f := el.Value.(*gcFile)
+		d.gcLRU.Remove(el)
+		delete(d.files, f.path)
+		d.totalBytes -= f.size
+		if err := os.Remove(f.path); err == nil || errors.Is(err, fs.ErrNotExist) {
+			d.gcRemovals.Add(1)
+		}
+	}
+	if d.maxAge > 0 {
+		cutoff := now.Add(-d.maxAge)
+		for el := d.gcLRU.Back(); el != nil; {
+			f := el.Value.(*gcFile)
+			if !f.last.Before(cutoff) {
+				break // LRU order: everything further forward is newer
+			}
+			prev := el.Prev()
+			remove(el)
+			el = prev
+		}
+	}
+	if d.maxBytes > 0 {
+		for d.totalBytes > d.maxBytes && d.gcLRU.Len() > 1 {
+			// Never evict the most recently used file to make room: the
+			// entry just written must survive its own GC pass.
+			remove(d.gcLRU.Back())
+		}
+	}
+}
+
+// touch moves path to the manifest front and mirrors the use to the file
+// mtime so the LRU order survives a restart.
+func (d *diskStore) touch(path string, now time.Time) {
+	d.mu.Lock()
+	if el, ok := d.files[path]; ok {
+		el.Value.(*gcFile).last = now
+		d.gcLRU.MoveToFront(el)
+	}
+	d.mu.Unlock()
+	_ = os.Chtimes(path, now, now)
+}
+
+// record registers a freshly saved file (replacing any previous entry for
+// the same path) and runs the GC.
+func (d *diskStore) record(path string, size int64, now time.Time) {
+	d.mu.Lock()
+	if el, ok := d.files[path]; ok {
+		f := el.Value.(*gcFile)
+		d.totalBytes += size - f.size
+		f.size, f.last = size, now
+		d.gcLRU.MoveToFront(el)
+	} else {
+		d.files[path] = d.gcLRU.PushFront(&gcFile{path: path, size: size, last: now})
+		d.totalBytes += size
+	}
+	d.gcLocked(now)
+	d.mu.Unlock()
 }
 
 // fingerprint memoizes persist.GraphFingerprint — the hash walks the full
@@ -49,18 +187,22 @@ func (d *diskStore) fingerprint(g *graph.Graph) uint64 {
 	}
 	fp = persist.GraphFingerprint(g)
 	d.mu.Lock()
+	if len(d.fps) >= fpMemoCap {
+		d.fps = map[*graph.Graph]uint64{}
+	}
 	d.fps[g] = fp
 	d.mu.Unlock()
 	return fp
 }
 
 // fileName derives the stable on-disk name for a key: a sanitized graph
-// name for debuggability plus a hash of every key field, so any parameter
-// change lands on a different file.
+// name for debuggability plus a hash of every key field — including the
+// graph version, so a post-update request misses cleanly (fs.ErrNotExist,
+// a cold start) instead of tripping over the pre-update file.
 func (d *diskStore) fileName(key sampleKey) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|%016x|%016x|%d|%t",
-		key.graph, key.engine, key.model, key.tau, key.budget, key.seed,
+	fmt.Fprintf(h, "%s|%d|%d|%d|%d|%d|%d|%016x|%016x|%d|%t",
+		key.graph, key.version, key.engine, key.model, key.tau, key.budget, key.seed,
 		key.epsBits, key.deltaBits, key.sizingK, key.evalOnly)
 	safe := make([]byte, 0, len(key.graph))
 	for i := 0; i < len(key.graph) && i < 40; i++ {
@@ -75,10 +217,14 @@ func (d *diskStore) fileName(key sampleKey) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s-%016x.sample", safe, h.Sum64()))
 }
 
-// meta frames a key's payload: the codec kind/version follow the engine,
-// the fingerprint binds the file to the graph's exact structure.
+// meta frames a key's payload: the codec kind/version follow the engine;
+// the fingerprint binds the file to the graph's exact structure AND its
+// registry version. Content alone is not identity for dynamic graphs — a
+// delta and its inverse restore the structural fingerprint while the
+// version keeps moving, and the stale file must not satisfy the round
+// trip.
 func (d *diskStore) meta(key sampleKey, g *graph.Graph) persist.Meta {
-	m := persist.Meta{Fingerprint: d.fingerprint(g)}
+	m := persist.Meta{Fingerprint: persist.VersionedFingerprint(d.fingerprint(g), key.version)}
 	if key.engine == fairim.EngineRIS {
 		m.Kind, m.Version = ris.CodecKind, ris.CodecVersion
 	} else {
@@ -101,13 +247,15 @@ func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
 	if key.engine == fairim.EngineRIS {
 		minVersion = ris.CodecMinVersion
 	}
-	payload, version, err := persist.LoadRange(d.fileName(key), d.meta(key, g), minVersion)
+	path := d.fileName(key)
+	payload, version, err := persist.LoadRange(path, d.meta(key, g), minVersion)
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
 		return nil, err
 	}
+	d.touch(path, time.Now())
 	if key.engine == fairim.EngineRIS {
 		col, err := ris.DecodePayloadVersion(version, payload, g)
 		if err != nil {
@@ -138,7 +286,8 @@ func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
 	return &sample{g: g, worlds: worlds}, nil
 }
 
-// save writes a freshly built sample under the key's file name.
+// save writes a freshly built sample under the key's file name and runs
+// the GC over the grown store.
 func (d *diskStore) save(key sampleKey, smp *sample) error {
 	var payload []byte
 	if smp.col != nil {
@@ -146,5 +295,14 @@ func (d *diskStore) save(key sampleKey, smp *sample) error {
 	} else {
 		payload = cascade.EncodeWorlds(smp.worlds)
 	}
-	return persist.Save(d.fileName(key), d.meta(key, smp.g), payload)
+	path := d.fileName(key)
+	if err := persist.Save(path, d.meta(key, smp.g), payload); err != nil {
+		return err
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	d.record(path, info.Size(), time.Now())
+	return nil
 }

@@ -20,7 +20,7 @@ import (
 
 func mustDisk(t *testing.T, dir string) *diskStore {
 	t.Helper()
-	d, err := newDiskStore(dir)
+	d, err := newDiskStore(dir, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -407,5 +407,119 @@ func TestDiskFingerprintMemo(t *testing.T) {
 	}
 	if d.fingerprint(g) != d.fingerprint(g) {
 		t.Error("fingerprint unstable")
+	}
+}
+
+// TestDiskFileNamesVersioned: the graph version participates in the file
+// name, so a post-update request misses cleanly instead of reading the
+// pre-update sketch.
+func TestDiskFileNamesVersioned(t *testing.T) {
+	d := mustDisk(t, t.TempDir())
+	k1 := sampleKey{graph: "g", version: 1, engine: fairim.EngineRIS, tau: 3, budget: 10, seed: 1}
+	k2 := k1
+	k2.version = 2
+	if d.fileName(k1) == d.fileName(k2) {
+		t.Error("different graph versions share a sketch file")
+	}
+}
+
+// TestDiskStoreGC: the sketch dir is bounded by total size (LRU order,
+// surviving restarts via mtimes) and by age.
+func TestDiskStoreGC(t *testing.T) {
+	g := generate.TwoStars()
+	dir := t.TempDir()
+	keys := []sampleKey{
+		{graph: "twostars", version: 1, engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 100, seed: 1},
+		{graph: "twostars", version: 1, engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 100, seed: 2},
+		{graph: "twostars", version: 1, engine: fairim.EngineRIS, model: cascade.IC, tau: 3, budget: 100, seed: 3},
+	}
+	c := NewCache(8)
+	c.disk = mustDisk(t, dir)
+	for _, key := range keys {
+		if _, _, _, err := c.SampleFor(context.Background(), key, g, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		c.WaitFlushes() // deterministic save order = key order
+	}
+	var total int64
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 {
+		t.Fatalf("%d files on disk, want 3", len(names))
+	}
+	// Separate the mtimes so the startup scan recovers the save order on
+	// filesystems with coarse timestamps.
+	now := time.Now()
+	for i, key := range keys {
+		path := c.disk.fileName(key)
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += info.Size()
+		mt := now.Add(time.Duration(i-len(keys)) * time.Minute)
+		if err := os.Chtimes(path, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Reopening under a tighter bound prunes the least recently used
+	// (oldest mtime) files at startup.
+	d2, err := newDiskStore(dir, total-1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.gcRemovals.Load(); got < 1 {
+		t.Fatalf("gc removals = %d, want >= 1", got)
+	}
+	if _, err := os.Stat(d2.fileName(keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("oldest file should be pruned first: %v", err)
+	}
+	if _, err := os.Stat(d2.fileName(keys[2])); err != nil {
+		t.Fatalf("newest file must survive the size bound: %v", err)
+	}
+
+	// An age bound drops everything older than the window.
+	stale := time.Now().Add(-48 * time.Hour)
+	for _, key := range keys[1:] {
+		if err := os.Chtimes(d2.fileName(key), stale, stale); err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+	}
+	if _, err := newDiskStore(dir, 0, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	left, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("%d files survive a 1h age bound at 48h old", len(left))
+	}
+
+	// Save-path GC: with room for roughly one file, writing a second
+	// evicts the first but never the file just written.
+	c2 := NewCache(8)
+	d4, err := newDiskStore(dir, total/3+16, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.disk = d4
+	for _, key := range keys[:2] {
+		if _, _, _, err := c2.SampleFor(context.Background(), key, g, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		c2.WaitFlushes()
+	}
+	if _, err := os.Stat(d4.fileName(keys[1])); err != nil {
+		t.Fatalf("just-written file evicted by its own GC pass: %v", err)
+	}
+	if _, err := os.Stat(d4.fileName(keys[0])); !os.IsNotExist(err) {
+		t.Fatalf("LRU file should be evicted on save: %v", err)
+	}
+	if c2.Stats().DiskGCRemovals < 1 {
+		t.Fatalf("stats = %+v, want disk gc removals", c2.Stats())
 	}
 }

@@ -49,6 +49,18 @@ type Config struct {
 	// are journaled to StateDir/jobs.jsonl and restored at startup. Empty
 	// keeps everything in-memory (the previous behavior).
 	StateDir string
+	// StateMaxBytes bounds the total size of StateDir/sketches: once the
+	// manifest exceeds it, the least-recently-used sketch files are
+	// deleted. <= 0 means unbounded.
+	StateMaxBytes int64
+	// StateMaxAge drops persisted sketches not loaded or written for this
+	// long — version-churned files from updated graphs age out instead of
+	// accumulating forever. <= 0 means unbounded.
+	StateMaxAge time.Duration
+	// RefreshThreshold is the dirty fraction of an RR pool above which a
+	// graph update triggers a full sketch rebuild instead of an
+	// incremental refresh; <= 0 means ris.DefaultRefreshThreshold.
+	RefreshThreshold float64
 }
 
 // Server is the HTTP serving layer; see the package comment for the
@@ -93,7 +105,7 @@ func New(cfg Config) (*Server, error) {
 	var restored []jobRecord
 	if cfg.StateDir != "" {
 		var err error
-		if disk, err = newDiskStore(filepath.Join(cfg.StateDir, "sketches")); err != nil {
+		if disk, err = newDiskStore(filepath.Join(cfg.StateDir, "sketches"), cfg.StateMaxBytes, cfg.StateMaxAge); err != nil {
 			return nil, err
 		}
 		if journal, restored, err = openJobJournal(filepath.Join(cfg.StateDir, "jobs.jsonl"), retention); err != nil {
@@ -111,6 +123,8 @@ func New(cfg Config) (*Server, error) {
 		stateDir:     cfg.StateDir,
 	}
 	s.cache.disk = disk
+	s.cache.history = cfg.Registry
+	s.cache.refreshThreshold = cfg.RefreshThreshold
 	s.jobs.restore(restored)
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
@@ -121,6 +135,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
+	s.mux.HandleFunc("POST /v1/graphs/{name}/updates", s.handleGraphUpdate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s, nil
 }
@@ -228,6 +244,17 @@ type SolveResponse struct {
 	UtilityReport
 	Evaluations int  `json:"evaluations"`
 	CacheHit    bool `json:"cache_hit"`
+	// GraphVersion is the registry version of the graph snapshot this
+	// solve ran on; it moves when POST /v1/graphs/{name}/updates applies a
+	// delta batch.
+	GraphVersion uint64 `json:"graph_version,omitempty"`
+	// RRRefreshed/RRRetained report how this request's RIS sketch was
+	// produced after a graph update: RRRefreshed RR sets were resampled
+	// against the new snapshot, RRRetained carried over from the previous
+	// version's sketch. Both zero for cold builds, cache hits echo the
+	// builder's split.
+	RRRefreshed int `json:"rr_refreshed,omitempty"`
+	RRRetained  int `json:"rr_retained,omitempty"`
 	// WarmSeeds counts greedy picks replayed from the memoized seed
 	// prefix of an earlier solve instead of re-evaluated — budget-k
 	// repeats and extensions of a solved problem skip that much work.
@@ -253,46 +280,13 @@ type EstimateResponse struct {
 	Engine string `json:"engine"`
 	UtilityReport
 	CacheHit            bool    `json:"cache_hit"`
+	GraphVersion        uint64  `json:"graph_version,omitempty"`
+	RRRefreshed         int     `json:"rr_refreshed,omitempty"`
+	RRRetained          int     `json:"rr_retained,omitempty"`
 	SampleMS            float64 `json:"sample_ms"`
 	SolveMS             float64 `json:"solve_ms"`
 	ResolvedSamples     int     `json:"resolved_samples,omitempty"`
 	ResolvedRISPerGroup int     `json:"resolved_ris_per_group,omitempty"`
-}
-
-// errorResponse is every non-2xx body.
-type errorResponse struct {
-	Error string `json:"error"`
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
-}
-
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, errorResponse{Error: fmt.Sprintf(format, args...)})
-}
-
-// errStatus maps a solve-pipeline failure onto an HTTP status: capacity
-// shedding and client-gone cancellations are 503, anything else is a bad
-// request.
-func errStatus(err error) int {
-	if errors.Is(err, ErrCapacity) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return http.StatusServiceUnavailable
-	}
-	return http.StatusBadRequest
-}
-
-func writeSolveError(w http.ResponseWriter, err error) {
-	status := errStatus(err)
-	if status == http.StatusServiceUnavailable {
-		writeError(w, status, "server at capacity; retry later")
-		return
-	}
-	writeError(w, status, "%v", err)
 }
 
 // acquire takes a worker slot, queueing up to the configured timeout.
@@ -481,18 +475,21 @@ func (req SolveRequest) toSpec() (fairim.ProblemSpec, error) {
 	return spec, nil
 }
 
-// getGraph resolves a registry name, mapping unknown names to 404.
-func (s *Server) getGraph(w http.ResponseWriter, name string) (*graph.Graph, bool) {
-	g, err := s.reg.Get(name)
+// getGraph resolves a registry name to its current snapshot and version,
+// mapping unknown names to 404. The (snapshot, version) pair is read
+// atomically, so a concurrent update cannot hand a request the new
+// version number with the old adjacency or vice versa.
+func (s *Server) getGraph(w http.ResponseWriter, name string) (*graph.Graph, uint64, bool) {
+	g, version, err := s.reg.GetVersioned(name)
 	if err != nil {
-		status := http.StatusInternalServerError
+		status, code := http.StatusInternalServerError, CodeInternal
 		if errors.Is(err, ErrUnknownGraph) {
-			status = http.StatusNotFound
+			status, code = http.StatusNotFound, CodeGraphNotFound
 		}
-		writeError(w, status, "%v", err)
-		return nil, false
+		writeError(w, status, code, "%v", err)
+		return nil, 0, false
 	}
-	return g, true
+	return g, version, true
 }
 
 // solve runs the full pipeline for a decoded spec: warm sample from the
@@ -503,8 +500,8 @@ func (s *Server) getGraph(w http.ResponseWriter, name string) (*graph.Graph, boo
 // replayed prefix picks fire it too, so traces stay complete). The gate
 // decides the queueing policy — timeout-bounded for synchronous
 // requests, unbounded for jobs.
-func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g *graph.Graph, spec fairim.ProblemSpec, onIter func(fairim.IterationStat)) (*SolveResponse, error) {
-	key := sampleKeyFor(graphName, g, spec, false)
+func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, version uint64, g *graph.Graph, spec fairim.ProblemSpec, onIter func(fairim.IterationStat)) (*SolveResponse, error) {
+	key := sampleKeyFor(graphName, version, g, spec, false)
 	smp, hit, buildMS, err := s.cache.SampleFor(ctx, key, g, s.parallelism, gate)
 	if err != nil {
 		return nil, err
@@ -562,6 +559,9 @@ func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, g
 		UtilityReport:       reportOf(res),
 		Evaluations:         res.Evaluations,
 		CacheHit:            hit,
+		GraphVersion:        version,
+		RRRefreshed:         smp.rrRefreshed,
+		RRRetained:          smp.rrRetained,
 		WarmSeeds:           warmSeeds,
 		SampleMS:            buildMS,
 		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
@@ -594,19 +594,19 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	spec, err := req.toSpec()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
 	}
-	g, ok := s.getGraph(w, req.Graph)
+	g, version, ok := s.getGraph(w, req.Graph)
 	if !ok {
 		return
 	}
-	resp, err := s.solve(r.Context(), serverGate{s}, req.Graph, g, spec, nil)
+	resp, err := s.solve(r.Context(), serverGate{s}, req.Graph, version, g, spec, nil)
 	if err != nil {
 		writeSolveError(w, err)
 		return
@@ -630,19 +630,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
 		return
 	}
 	spec, err := decodeCommon(req.Graph, req.Engine, req.Model, req.Tau, req.Samples, req.RISPerGroup, req.Accuracy, req.Seed, req.Eval, "sample")
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
 	}
 	if len(req.Seeds) == 0 {
-		writeError(w, http.StatusBadRequest, "missing \"seeds\"")
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "missing \"seeds\"")
 		return
 	}
-	g, ok := s.getGraph(w, req.Graph)
+	g, version, ok := s.getGraph(w, req.Graph)
 	if !ok {
 		return
 	}
@@ -650,7 +650,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// for (fairim would reject them, but only after the build).
 	for _, v := range req.Seeds {
 		if v < 0 || int(v) >= g.N() {
-			writeError(w, http.StatusBadRequest, "seed %d out of range [0,%d)", v, g.N())
+			writeError(w, http.StatusBadRequest, CodeBadSpec, "seed %d out of range [0,%d)", v, g.N())
 			return
 		}
 	}
@@ -661,7 +661,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var buildMS float64
 	var smp *sample
 	if spec.ReportOnSample {
-		smp, hit, buildMS, err = s.cache.SampleFor(r.Context(), sampleKeyFor(req.Graph, g, spec, true), g, s.parallelism, serverGate{s})
+		smp, hit, buildMS, err = s.cache.SampleFor(r.Context(), sampleKeyFor(req.Graph, version, g, spec, true), g, s.parallelism, serverGate{s})
 		if err != nil {
 			writeSolveError(w, err)
 			return
@@ -669,14 +669,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	if !s.acquire(r.Context()) {
-		writeError(w, http.StatusServiceUnavailable, "server at capacity; retry later")
+		writeError(w, http.StatusServiceUnavailable, CodeCapacity, "server at capacity; retry later")
 		return
 	}
 	defer s.release()
 	if smp != nil {
 		est, err := smp.newEstimator(spec.Tau)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, "%v", err)
+			writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 			return
 		}
 		spec.Estimator = est
@@ -686,26 +686,54 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	res, err := fairim.Evaluate(g, req.Seeds, spec)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
 	}
 
-	writeJSON(w, http.StatusOK, EstimateResponse{
+	resp := EstimateResponse{
 		Graph:               req.Graph,
 		Engine:              spec.Engine.String(),
 		UtilityReport:       reportOf(res),
 		CacheHit:            hit,
+		GraphVersion:        version,
 		SampleMS:            buildMS,
 		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
 		ResolvedSamples:     res.Samples,
 		ResolvedRISPerGroup: res.RISPerGroup,
-	})
+	}
+	if smp != nil {
+		resp.RRRefreshed = smp.rrRefreshed
+		resp.RRRetained = smp.rrRetained
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleGraphs is GET /v1/graphs: structured per-graph objects, or the
+// pre-versioning bare name list behind ?format=names (deprecated, kept
+// for one release).
 func (s *Server) handleGraphs(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "names" {
+		writeJSON(w, http.StatusOK, struct {
+			Graphs []string `json:"graphs"`
+		}{Graphs: s.reg.Names()})
+		return
+	}
 	writeJSON(w, http.StatusOK, struct {
 		Graphs []GraphInfo `json:"graphs"`
 	}{Graphs: s.reg.Info()})
+}
+
+// handleGraphGet is GET /v1/graphs/{name}: one graph's registry row.
+// Introspection never forces a load — an unloaded graph reports
+// loaded=false with no size fields.
+func (s *Server) handleGraphGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	info, ok := s.reg.InfoFor(name)
+	if !ok {
+		writeError(w, http.StatusNotFound, CodeGraphNotFound, "server: %v %q", ErrUnknownGraph, name)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -174,8 +174,8 @@ func TestSelectErrorPaths(t *testing.T) {
 			t.Errorf("%s: status %d want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
 		}
 		var e errorResponse
-		if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
-			t.Errorf("%s: no JSON error message in %s", tc.name, body)
+		if err := json.Unmarshal(body, &e); err != nil || e.Error.Message == "" || e.Error.Code == "" {
+			t.Errorf("%s: no JSON error envelope in %s", tc.name, body)
 		}
 	}
 }

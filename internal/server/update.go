@@ -1,0 +1,92 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"fairtcim/internal/graph"
+)
+
+// GraphUpdateRequest is the body of POST /v1/graphs/{name}/updates: one
+// atomic batch of edge and group deltas. ExpectVersion, when non-zero,
+// makes the update conditional on the graph still being at that version
+// (optimistic concurrency; a lost race is a 409 version_conflict).
+type GraphUpdateRequest struct {
+	ExpectVersion uint64             `json:"expect_version,omitempty"`
+	Edges         []graph.EdgeDelta  `json:"edges,omitempty"`
+	Groups        []graph.GroupDelta `json:"groups,omitempty"`
+}
+
+// GraphUpdateInvalidation reports what the batch cost the warm state:
+// EntriesDropped cached forward-MC world sets were discarded (worlds
+// realize every edge coin, so none survive a delta), WorldsTouched of
+// their worlds had actually realized a changed arc. RR sketches are not
+// dropped — they refresh incrementally on the next request at the new
+// version.
+type GraphUpdateInvalidation struct {
+	EntriesDropped int `json:"entries_dropped"`
+	WorldsTouched  int `json:"worlds_touched"`
+}
+
+// GraphUpdateResponse is the body of a successful update: the new version
+// plus what the batch changed. TouchedHeads are the distinct heads of
+// changed arcs — exactly the nodes whose presence marks an RR set dirty
+// for the incremental refresh.
+type GraphUpdateResponse struct {
+	Graph         string                  `json:"graph"`
+	Version       uint64                  `json:"version"`
+	Nodes         int                     `json:"nodes"`
+	Edges         int                     `json:"edges"`
+	EdgesAdded    int                     `json:"edges_added"`
+	EdgesUpdated  int                     `json:"edges_updated"`
+	EdgesRemoved  int                     `json:"edges_removed"`
+	GroupsChanged int                     `json:"groups_changed"`
+	TouchedHeads  []graph.NodeID          `json:"touched_heads"`
+	Invalidation  GraphUpdateInvalidation `json:"invalidation"`
+}
+
+// handleGraphUpdate is POST /v1/graphs/{name}/updates. The batch applies
+// atomically: the registry swaps in a new immutable snapshot and bumps
+// the version, so a concurrent solve reads either the whole batch or
+// none of it, and in-flight solves on the old snapshot finish unharmed.
+func (s *Server) handleGraphUpdate(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req GraphUpdateRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	d := graph.Delta{Edges: req.Edges, Groups: req.Groups}
+	if d.Empty() {
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "empty update: no edge or group deltas")
+		return
+	}
+	ng, version, res, err := s.reg.ApplyUpdate(name, req.ExpectVersion, d)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrUnknownGraph):
+			writeError(w, http.StatusNotFound, CodeGraphNotFound, "%v", err)
+		case errors.Is(err, ErrVersionConflict):
+			writeError(w, http.StatusConflict, CodeVersionConflict, "%v", err)
+		default:
+			writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
+		}
+		return
+	}
+	dropped, touched := s.cache.invalidateGraph(name, res.TouchedArcs)
+	writeJSON(w, http.StatusOK, GraphUpdateResponse{
+		Graph:         name,
+		Version:       version,
+		Nodes:         ng.N(),
+		Edges:         ng.M(),
+		EdgesAdded:    res.EdgesAdded,
+		EdgesUpdated:  res.EdgesUpdated,
+		EdgesRemoved:  res.EdgesRemoved,
+		GroupsChanged: res.GroupsChanged,
+		TouchedHeads:  res.TouchedHeads,
+		Invalidation:  GraphUpdateInvalidation{EntriesDropped: dropped, WorldsTouched: touched},
+	})
+}
