@@ -3,7 +3,10 @@
 // world sampling, sketch encode/decode, cold and prefix-extended solves,
 // and the warm HTTP serve path — through testing.Benchmark and writes the
 // numbers (ns/op, allocs/op, bytes/op, frame sizes, derived ratios) as a
-// BENCH_<n>.json checkpoint.
+// BENCH_<n>.json checkpoint. It also drives the batched query planner's
+// sustained-load mix — 16 concurrent mixed specs answered by one
+// SolveBatch versus sixteen per-query solves — verifying the two paths
+// agree bit for bit before timing either.
 //
 //	go run ./cmd/benchtraj -out BENCH_6.json          # refresh the checkpoint
 //	go run ./cmd/benchtraj -check BENCH_6.json        # CI: fail on regression
@@ -29,6 +32,7 @@ import (
 	"testing"
 
 	"fairtcim/internal/cascade"
+	"fairtcim/internal/estimator"
 	"fairtcim/internal/fairim"
 	"fairtcim/internal/generate"
 	"fairtcim/internal/graph"
@@ -46,7 +50,7 @@ const (
 	benchWorlds   = 200
 	benchPrefixK  = 25
 	benchExtendK  = 50
-	workloadLabel = "twoblock n=500 tau=5 ris=2000/group worlds=200 solve k=25->50"
+	workloadLabel = "twoblock n=500 tau=5 ris=2000/group worlds=200 solve k=25->50 planner=16q"
 )
 
 // Metric is one benchmark's measurement. AllocsOp and BytesOp are
@@ -261,6 +265,11 @@ func measure() (*Trajectory, error) {
 		}
 	})
 
+	// --- planner: 16-query mixed batch, shared CELF vs per-query ---
+	if err := benchPlanner(g, col, traj); err != nil {
+		return nil, err
+	}
+
 	// --- warm serve: repeat select over the daemon's HTTP path ---
 	warmServe, err := benchWarmServe(g)
 	if err != nil {
@@ -272,7 +281,105 @@ func measure() (*Trajectory, error) {
 	traj.Derived["ris_frame_compression"] = float64(traj.Sizes["ris_frame_v1_bytes"]) / float64(traj.Sizes["ris_frame_v2_bytes"])
 	traj.Derived["worlds_frame_compression"] = float64(traj.Sizes["worlds_frame_v1_bytes"]) / float64(traj.Sizes["worlds_frame_v2_bytes"])
 	traj.Derived["prefix_extend_speedup"] = float64(traj.Metrics["solve_cold_k50"].NsOp) / float64(traj.Metrics["solve_prefix_extend_k25_k50"].NsOp)
+	traj.Derived["planner_batch_speedup"] = float64(traj.Metrics["planner_per_query_16"].NsOp) / float64(traj.Metrics["planner_batched_16"].NsOp)
 	return traj, nil
+}
+
+// plannerSpecs is the sustained-load planner mix: 16 concurrent queries
+// over one warm sketch, a P1 and a P4 budget sweep with the heavy-tailed
+// repetition a fleet of dashboard clients produces — a k-sweep
+// {10,20,30,40,50} under a hot k=50 asked again and again. The planner
+// coalesces each family onto one shared CELF run peeled at three budget
+// boundaries; the per-query baseline pays all 16 greedy loops, so its
+// cost grows with Σk while the batched cost grows with max k.
+func plannerSpecs() []fairim.ProblemSpec {
+	base := fairim.Config{
+		Tau:            benchTau,
+		Engine:         fairim.EngineRIS,
+		Seed:           1,
+		Parallelism:    1,
+		ReportOnSample: true,
+	}
+	var specs []fairim.ProblemSpec
+	for _, problem := range []fairim.Problem{fairim.P1, fairim.P4} {
+		for _, k := range []int{10, 25, 50, 50, 50, 50, 50, 50} {
+			specs = append(specs, fairim.ProblemSpec{
+				Problem: problem, Budget: k,
+				Sampling: fairim.Sampling{RISPerGroup: benchPool}, Config: base,
+			})
+		}
+	}
+	return specs
+}
+
+// benchPlanner measures the 16-query planner mix both ways — sequential
+// per-query solves (the pre-planner serving path: shared sketch, fresh
+// estimator and full greedy loop per query) against one SolveBatch —
+// after first proving at runtime that the two paths return identical
+// answers on this exact workload.
+func benchPlanner(g *graph.Graph, col *ris.Collection, traj *Trajectory) error {
+	specs := plannerSpecs()
+	perQuery := func() ([]*fairim.Result, error) {
+		out := make([]*fairim.Result, len(specs))
+		for i, s := range specs {
+			s.Config.Estimator = ris.NewEstimator(col)
+			r, err := fairim.Solve(g, s)
+			if err != nil {
+				return nil, fmt.Errorf("planner baseline spec %d: %w", i, err)
+			}
+			out[i] = r
+		}
+		return out, nil
+	}
+	opts := &fairim.BatchOptions{
+		Estimator: func(int, fairim.ProblemSpec) (estimator.Estimator, error) {
+			return ris.NewEstimator(col), nil
+		},
+	}
+	batched := func() ([]fairim.BatchOutcome, fairim.BatchReport) {
+		return fairim.SolveBatch(g, specs, opts)
+	}
+
+	// Parity gate: the benchmark numbers are meaningless unless the
+	// batched path answers every query bit-identically.
+	base, err := perQuery()
+	if err != nil {
+		return err
+	}
+	outs, report := batched()
+	if report.Singletons != 0 || report.Coalesced != len(specs) {
+		return fmt.Errorf("planner mix did not fully coalesce: %d groups, %d singletons", report.Groups, report.Singletons)
+	}
+	for i, o := range outs {
+		if o.Err != nil {
+			return fmt.Errorf("planner batched spec %d: %w", i, o.Err)
+		}
+		if fmt.Sprint(o.Result.Seeds) != fmt.Sprint(base[i].Seeds) {
+			return fmt.Errorf("planner spec %d: batched seeds %v diverge from per-query %v", i, o.Result.Seeds, base[i].Seeds)
+		}
+		if o.Result.Total != base[i].Total || o.Result.Disparity != base[i].Disparity {
+			return fmt.Errorf("planner spec %d: batched utilities diverge from per-query", i)
+		}
+	}
+
+	traj.Metrics["planner_per_query_16"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := perQuery(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	traj.Metrics["planner_batched_16"] = bench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			outs, _ := batched()
+			for _, o := range outs {
+				if o.Err != nil {
+					b.Fatal(o.Err)
+				}
+			}
+		}
+	})
+	return nil
 }
 
 // benchWarmServe measures a repeat /v1/select on a warmed daemon: sample
@@ -419,6 +526,9 @@ func absoluteGates(t *Trajectory) []string {
 	if s := t.Derived["prefix_extend_speedup"]; s <= 1 {
 		errs = append(errs, fmt.Sprintf("prefix-extended solve %.2fx vs cold, want >1x", s))
 	}
+	if s := t.Derived["planner_batch_speedup"]; s < 5 {
+		errs = append(errs, fmt.Sprintf("batched planner only %.2fx the per-query baseline on the 16-query mix, want >=5x", s))
+	}
 	return errs
 }
 
@@ -447,6 +557,28 @@ func compare(prev, cur *Trajectory) []string {
 		}
 		if float64(c) > float64(p)*headroom {
 			errs = append(errs, fmt.Sprintf("%s: %d bytes, checkpoint %d", name, c, p))
+		}
+	}
+	// Derived ratios are dimensionless (same-machine numerator and
+	// denominator), so unlike raw ns/op they transfer across hardware
+	// and are gated against the checkpoint. Alloc- and size-based ratios
+	// are deterministic and get the same 10%; *_speedup ratios divide two
+	// separately-timed measurements, whose run-to-run noise compounds, so
+	// they gate at half the checkpoint — loose enough not to flake, tight
+	// enough that losing the optimization (speedup collapsing toward 1x)
+	// still fails. The absoluteGates floors remain the hard guarantee.
+	for name, p := range prev.Derived {
+		c, ok := cur.Derived[name]
+		if !ok {
+			errs = append(errs, fmt.Sprintf("derived metric %q disappeared from the suite", name))
+			continue
+		}
+		derate := 0.90
+		if strings.HasSuffix(name, "_speedup") {
+			derate = 0.50
+		}
+		if c < p*derate {
+			errs = append(errs, fmt.Sprintf("%s: %.3f, checkpoint %.3f (below %.0f%%)", name, c, p, 100*derate))
 		}
 	}
 	return errs

@@ -23,6 +23,12 @@
 //	curl -s localhost:8732/v1/graphs
 //	curl -s localhost:8732/v1/stats
 //
+// Batched queries: POST /v1/select/batch answers many specs in one
+// request, coalescing compatible ones onto shared sketch passes and
+// shared CELF runs with per-query answers bit-identical to /v1/select;
+// -coalesce-window extends the same batching to concurrent /v1/select
+// traffic transparently.
+//
 // Graphs are dynamic: POST /v1/graphs/{name}/updates applies an atomic
 // batch of edge/group deltas, bumping the graph's version. Cached RIS
 // sketches carry over to the new version by resampling only the RR sets
@@ -75,6 +81,7 @@ type options struct {
 	stateMaxBytes   int64
 	stateMaxAge     time.Duration
 	refreshThresh   float64
+	coalesceWindow  time.Duration
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -105,6 +112,7 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.Int64Var(&o.stateMaxBytes, "state-max-bytes", 0, "total size bound for <state-dir>/sketches; least-recently-used files are deleted over it; 0 = unbounded")
 	fs.DurationVar(&o.stateMaxAge, "state-max-age", 0, "drop persisted sketches untouched for this long (e.g. 720h); 0 = unbounded")
 	fs.Float64Var(&o.refreshThresh, "refresh-threshold", 0, "dirty RR-set fraction above which a graph update rebuilds sketches instead of refreshing incrementally; 0 = default 0.75")
+	fs.DurationVar(&o.coalesceWindow, "coalesce-window", 0, "batch concurrent /v1/select requests arriving within this window onto shared solves (e.g. 5ms); 0 = solve each immediately")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -159,6 +167,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		StateMaxBytes:     o.stateMaxBytes,
 		StateMaxAge:       o.stateMaxAge,
 		RefreshThreshold:  o.refreshThresh,
+		CoalesceWindow:    o.coalesceWindow,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,459 @@
+package fairim
+
+import (
+	"fmt"
+	"math"
+
+	"fairtcim/internal/cascade"
+	"fairtcim/internal/estimator"
+	"fairtcim/internal/graph"
+	"fairtcim/internal/ris"
+	"fairtcim/internal/submodular"
+)
+
+// BatchOptions carries the serving layer's hooks into a batched solve.
+// All fields are optional; the zero value batches with cold sampling.
+type BatchOptions struct {
+	// Estimator, if non-nil, is asked once per coalesced group for a warm
+	// optimization estimator (built from a cached sample). rep is the
+	// group's representative spec — the member with the largest budget —
+	// which carries everything needed to key a sample cache. Returning a
+	// nil estimator (with nil error) means "no cached sample, sample
+	// cold"; an error fails every member of the group.
+	Estimator func(gid int, rep ProblemSpec) (estimator.Estimator, error)
+	// Warm, if non-nil, is asked once per budget-problem group for a
+	// memoized greedy prefix to replay (see Config.Warm). The same
+	// equivalence contract applies: the warm state must have been captured
+	// on the same graph, sample, and objective the key guarantees.
+	Warm func(gid int, rep ProblemSpec) *WarmStart
+	// OnWarm, if non-nil, receives the group's final CELF state after a
+	// budget-problem group run, for memoization. The WarmStart is
+	// immutable and covers the group's longest member.
+	OnWarm func(gid int, rep ProblemSpec, w *WarmStart)
+}
+
+// BatchOutcome is one spec's result inside a batch: exactly what the
+// sequential Solve for that spec would have returned, including its
+// error.
+type BatchOutcome struct {
+	Result *Result
+	Err    error
+}
+
+// BatchReport summarizes how SolveBatch planned a batch.
+type BatchReport struct {
+	// Groups is the number of coalesced groups — execution units that
+	// served two or more specs from one shared estimator and greedy run.
+	Groups int
+	// Singletons is the number of specs that ran alone (incompatible with
+	// every other spec in the batch, or not shareable at all).
+	Singletons int
+	// Coalesced is the number of specs served by a shared run — the sum
+	// of member counts over Groups.
+	Coalesced int
+	// GroupOf maps each spec index to its execution-unit id (units are
+	// numbered in first-occurrence order); -1 for specs rejected before
+	// planning (invalid problem/constraint).
+	GroupOf []int
+}
+
+// shareKey identifies the class of specs that may share one estimator
+// and one lazy-greedy run with bit-identical per-member answers. Two
+// specs with equal keys resolve to the same optimization sample and the
+// same objective landscape, so the CELF prefix property (see
+// submodular.Result.EvalsAt) lets one run at the largest budget answer
+// every member. Quotas are part of the objective for P2/P6, so cover
+// specs only coalesce with exact-constraint duplicates.
+type shareKey struct {
+	problem     Problem
+	engine      Engine
+	model       cascade.Model
+	tau         int32
+	samples     int
+	risPerGroup int
+	evalSamples int
+	seed        int64
+	cancel      <-chan struct{}
+	hasAcc      bool
+	epsBits     uint64
+	deltaBits   uint64
+	sizingK     int // accuracy-sized samples depend on the sizing budget
+	quotaBits   uint64
+	maxSeeds    int
+	hID         string // P4 concave function identity
+}
+
+// shareable reports whether the spec may join a coalesced group, and its
+// key when it may. Specs carrying per-request machinery the shared run
+// cannot reproduce member-by-member (candidate restrictions, group
+// weights, delayed/discounted diffusion, plain-greedy ablation,
+// streaming callbacks, injected estimators or warm state, or sampling
+// fields a solo resolve would reject) run as singletons via Solve.
+func (s ProblemSpec) shareable(g *graph.Graph) (shareKey, bool) {
+	c := &s.Config
+	if c.PlainGreedy || c.Candidates != nil || c.GroupWeights != nil ||
+		c.Delay != nil || c.Discount != 0 || c.OnIteration != nil ||
+		c.Estimator != nil || c.Warm != nil {
+		return shareKey{}, false
+	}
+	if s.Sampling.Samples < 0 || s.Sampling.RISPerGroup < 0 || c.Samples < 0 || c.EvalSamples < 0 || c.RISPerGroup < 0 {
+		return shareKey{}, false
+	}
+	acc := s.Sampling.Accuracy
+	if acc != nil {
+		if s.Sampling.Samples > 0 || s.Sampling.RISPerGroup > 0 || acc.validate() != nil {
+			return shareKey{}, false
+		}
+	}
+	samples := s.Sampling.Samples
+	if samples == 0 {
+		samples = c.Samples
+	}
+	if samples == 0 {
+		samples = DefaultSamples
+	}
+	rpg := s.Sampling.RISPerGroup
+	if rpg == 0 {
+		rpg = c.RISPerGroup
+	}
+	if rpg == 0 {
+		rpg = 20 * samples
+	}
+	k := shareKey{
+		problem:     s.Problem,
+		engine:      c.Engine,
+		model:       c.Model,
+		tau:         c.Tau,
+		samples:     samples,
+		risPerGroup: rpg,
+		evalSamples: c.EvalSamples,
+		seed:        c.Seed,
+		cancel:      c.Cancel,
+	}
+	if acc != nil {
+		k.hasAcc = true
+		k.epsBits = math.Float64bits(acc.Epsilon)
+		k.deltaBits = math.Float64bits(acc.Delta)
+		// Accuracy-sized samples grow with the sizing budget, so specs
+		// with different sizing budgets resolve to different samples and
+		// must not share.
+		k.sizingK = s.SizingSeeds(g)
+	}
+	switch s.Problem {
+	case P2, P6:
+		k.quotaBits = math.Float64bits(s.Quota)
+		k.maxSeeds = c.MaxSeeds
+	case P4:
+		k.hID = fmt.Sprintf("%#v", c.h())
+	}
+	return k, true
+}
+
+// validateConstraint mirrors Solve's up-front problem/constraint check.
+func (s ProblemSpec) validateConstraint() error {
+	switch s.Problem {
+	case P1, P4:
+		if s.Budget <= 0 {
+			return fmt.Errorf("fairim: budget must be positive, got %d", s.Budget)
+		}
+	case P2, P6:
+		if s.Quota <= 0 || s.Quota > 1 {
+			return fmt.Errorf("fairim: quota %v outside (0,1]", s.Quota)
+		}
+	default:
+		return fmt.Errorf("fairim: ProblemSpec.Problem must be P1, P2, P4 or P6, got %v", s.Problem)
+	}
+	return nil
+}
+
+// batchUnit is one execution unit of a batch: either a coalesced group
+// (shared estimator + single lazy-greedy run, answers peeled per
+// member) or a singleton delegated to Solve.
+type batchUnit struct {
+	members []int // spec indices, in arrival order
+	key     shareKey
+	shared  bool // keyed group; false = plain Solve singleton
+}
+
+// SolveBatch solves a batch of specs against one graph, coalescing
+// compatible specs onto shared work: one optimization sample and one
+// CELF lazy-greedy run per group of specs that provably walk the same
+// pick sequence, with each member's answer peeled off at its own budget
+// (cover members are exact-constraint duplicates and share the whole
+// run). Every outcome is bit-identical to what the sequential
+// Solve(g, spec) would return — seeds, utilities, disparity, trace, and
+// the Evaluations count that spec's own run would have spent (via
+// submodular.Result.EvalsAt). Specs the planner cannot share run as
+// singletons through Solve; invalid specs fail individually without
+// touching the rest of the batch.
+func SolveBatch(g *graph.Graph, specs []ProblemSpec, opts *BatchOptions) ([]BatchOutcome, BatchReport) {
+	if opts == nil {
+		opts = &BatchOptions{}
+	}
+	outcomes := make([]BatchOutcome, len(specs))
+	report := BatchReport{GroupOf: make([]int, len(specs))}
+
+	// Plan: group shareable specs by key in first-occurrence order;
+	// everything else becomes a singleton unit.
+	var units []*batchUnit
+	byKey := make(map[shareKey]*batchUnit)
+	for i, spec := range specs {
+		if err := spec.validateConstraint(); err != nil {
+			outcomes[i] = BatchOutcome{Err: err}
+			report.GroupOf[i] = -1
+			continue
+		}
+		if key, ok := spec.shareable(g); ok {
+			u := byKey[key]
+			if u == nil {
+				u = &batchUnit{key: key, shared: true}
+				byKey[key] = u
+				units = append(units, u)
+			}
+			u.members = append(u.members, i)
+			continue
+		}
+		units = append(units, &batchUnit{members: []int{i}})
+	}
+	// Unit ids are final only after planning (a group's id is fixed by
+	// its first member, later members just join).
+	for gid, u := range units {
+		for _, i := range u.members {
+			report.GroupOf[i] = gid
+		}
+		if len(u.members) >= 2 {
+			report.Groups++
+			report.Coalesced += len(u.members)
+		} else {
+			report.Singletons++
+		}
+	}
+
+	for gid, u := range units {
+		if !u.shared {
+			i := u.members[0]
+			res, err := Solve(g, specs[i])
+			outcomes[i] = BatchOutcome{Result: res, Err: err}
+			continue
+		}
+		runGroup(g, gid, u, specs, opts, outcomes)
+	}
+	return outcomes, report
+}
+
+// representative returns the group member every shared resource is
+// built for: the largest budget for budget problems (its run covers
+// every smaller member as a prefix), the first member otherwise (cover
+// members are exact duplicates of the solver-relevant fields).
+func representative(u *batchUnit, specs []ProblemSpec) int {
+	rep := u.members[0]
+	if specs[rep].Problem.IsBudget() {
+		for _, i := range u.members[1:] {
+			if specs[i].Budget > specs[rep].Budget {
+				rep = i
+			}
+		}
+	}
+	return rep
+}
+
+// failGroup records err for every member of the unit.
+func failGroup(u *batchUnit, outcomes []BatchOutcome, err error) {
+	for _, i := range u.members {
+		outcomes[i] = BatchOutcome{Err: err}
+	}
+}
+
+// runGroup executes one coalesced group: resolve the representative
+// spec, build the one estimator and objective, run a single greedy pass
+// at the largest constraint, and peel each member's Result out of it.
+func runGroup(g *graph.Graph, gid int, u *batchUnit, specs []ProblemSpec, opts *BatchOptions, outcomes []BatchOutcome) {
+	repIdx := representative(u, specs)
+	rep := specs[repIdx]
+	// Hooks always see the representative as planned — before the
+	// estimator/warm injections below, which would otherwise trip
+	// eligibility checks keyed on the wire-decoded spec.
+	orig := rep
+	if opts.Estimator != nil {
+		est, err := opts.Estimator(gid, orig)
+		if err != nil {
+			failGroup(u, outcomes, err)
+			return
+		}
+		// Injecting before resolve keeps accuracy specs from sizing (and
+		// building) a second sample the estimator already embodies.
+		rep.Config.Estimator = est
+	}
+	if opts.Warm != nil && rep.Problem.IsBudget() {
+		rep.Config.Warm = opts.Warm(gid, orig)
+	}
+	cfg, err := rep.resolve(g, rep.SizingSeeds(g), resolveSolve)
+	if err != nil {
+		failGroup(u, outcomes, err)
+		return
+	}
+	// Per-member reporting knobs are widened to the union: the shared run
+	// records whatever any member wants, peeling narrows it back.
+	cfg.Trace = false
+	reportOnSample := false
+	for _, i := range u.members {
+		cfg.Trace = cfg.Trace || specs[i].Config.Trace
+		reportOnSample = reportOnSample || specs[i].Config.ReportOnSample
+	}
+
+	eval, err := cfg.newEstimator(g)
+	if err != nil {
+		failGroup(u, outcomes, err)
+		return
+	}
+	var obj *objective
+	var target float64
+	switch rep.Problem {
+	case P1:
+		obj = newObjective(eval, totalValue{}, cfg)
+	case P4:
+		obj = newObjective(eval, concaveValue{h: cfg.h()}, cfg)
+	case P2:
+		obj = newObjective(eval, totalQuotaValue{quota: rep.Quota}, cfg)
+		target = rep.Quota - coverSlack
+	default: // P6
+		obj = newObjective(eval, groupQuotaValue{quota: rep.Quota}, cfg)
+		target = rep.Quota*float64(g.NumGroups()) - coverSlack
+	}
+	obj.recordUtil = reportOnSample
+	baseUtil := append([]float64(nil), obj.cur...)
+
+	cands := cfg.candidates(g)
+	var res submodular.Result
+	var snap *submodular.LazySnapshot
+	initialCount, warmLen := 0, 0
+	if rep.Problem.IsBudget() {
+		maxBudget := rep.Budget
+		if w := cfg.Warm; w != nil && w.Snapshot != nil && len(w.Seeds) > 0 {
+			// Replay the memoized prefix through the objective so traces
+			// and on-sample snapshots come out as in a cold run; replayed
+			// picks cost zero evaluations (EvalsAt entry 0), exactly what
+			// a sequential warm run at any covered budget reports.
+			replay := w.Seeds
+			if len(replay) > maxBudget {
+				replay = replay[:maxBudget]
+			}
+			for _, v := range replay {
+				obj.Add(v)
+				res.Seeds = append(res.Seeds, v)
+				res.Values = append(res.Values, obj.Value())
+				res.EvalsAt = append(res.EvalsAt, 0)
+				if err := obj.Stopped(); err != nil {
+					failGroup(u, outcomes, err)
+					return
+				}
+			}
+			warmLen = len(res.Seeds)
+			if warmLen < maxBudget {
+				ext, s2, err := submodular.LazyGreedyMaxResume(obj, w.Snapshot, maxBudget-warmLen)
+				res.Seeds = append(res.Seeds, ext.Seeds...)
+				res.Values = append(res.Values, ext.Values...)
+				res.EvalsAt = append(res.EvalsAt, ext.EvalsAt...)
+				res.Evaluations = ext.Evaluations
+				if err != nil {
+					failGroup(u, outcomes, err)
+					return
+				}
+				snap = s2
+			}
+		} else {
+			initial := obj.initialGains(cands, cfg.Parallelism)
+			res, snap, err = submodular.LazyGreedyMaxCapture(obj, cands, maxBudget, initial)
+			initialCount = len(cands)
+			if err != nil {
+				failGroup(u, outcomes, err)
+				return
+			}
+		}
+		if opts.OnWarm != nil && snap != nil && len(res.Seeds) > 0 {
+			opts.OnWarm(gid, orig, &WarmStart{
+				Seeds:    append([]graph.NodeID(nil), res.Seeds...),
+				Snapshot: snap,
+			})
+		}
+	} else {
+		initial := obj.initialGains(cands, cfg.Parallelism)
+		res, err = submodular.GreedyCoverInit(obj, cands, target, cfg.maxSeeds(g), initial)
+		initialCount = len(cands)
+		if err != nil {
+			failGroup(u, outcomes, err)
+			return
+		}
+	}
+
+	for _, i := range u.members {
+		outcomes[i] = peelMember(g, specs[i], cfg, obj, res, snap, baseUtil, initialCount, warmLen)
+	}
+}
+
+// peelMember extracts one member's Result from the group run,
+// reproducing exactly what Solve(g, member) would have returned.
+func peelMember(g *graph.Graph, member ProblemSpec, cfg Config, obj *objective,
+	res submodular.Result, snap *submodular.LazySnapshot, baseUtil []float64,
+	initialCount, warmLen int) BatchOutcome {
+
+	// The member's share of the pick sequence: its budget prefix for
+	// P1/P4 (CELF at budget k picks exactly the first k seeds of the
+	// shared run), the whole run for covers (exact duplicates).
+	k := len(res.Seeds)
+	if member.Problem.IsBudget() && member.Budget < k {
+		k = member.Budget
+	}
+	out := &Result{
+		Problem: member.Problem.String(),
+		Seeds:   append([]graph.NodeID(nil), res.Seeds[:k]...),
+	}
+	// Evaluations the member's own run would have spent. A run that
+	// stops inside the shared sequence spends the cumulative count at
+	// its last pick (EvalsAt); a run the shared sequence saturates
+	// (k ≥ picks) also pays the trailing no-gain pops; a run fully
+	// covered by the warm prefix is a pure replay and spends nothing.
+	switch {
+	case member.Problem.IsBudget() && member.Budget <= warmLen:
+		out.Evaluations = 0
+	case !member.Problem.IsBudget() || member.Budget >= len(res.Seeds):
+		out.Evaluations = initialCount + res.Evaluations
+	default:
+		out.Evaluations = initialCount + res.EvalsAt[k-1]
+	}
+	if member.Config.Trace {
+		out.Trace = append([]IterationStat(nil), obj.trace[:k]...)
+	}
+
+	var perGroup []float64
+	if member.Config.ReportOnSample {
+		if k == 0 {
+			perGroup = append([]float64(nil), baseUtil...)
+		} else {
+			perGroup = append([]float64(nil), obj.utilAt[k-1]...)
+		}
+	} else {
+		var err error
+		perGroup, err = cfg.estimate(g, out.Seeds)
+		if err != nil {
+			return BatchOutcome{Err: err}
+		}
+	}
+	out.PerGroup = perGroup
+	if rs, ok := obj.eval.(*ris.Estimator); ok {
+		out.RISPerGroup = rs.SampleSize()
+	} else {
+		out.Samples = obj.eval.SampleSize()
+	}
+	fillDerived(out, g)
+
+	if member.Config.CaptureWarm && member.Problem.IsBudget() &&
+		snap != nil && k > 0 && k >= len(res.Seeds) {
+		// Only the member the shared run terminated at owns the final
+		// heap snapshot; shorter members' intermediate heaps were not
+		// captured (their sequential runs would have one, but Warm is an
+		// in-process extension seam, not part of the wire result).
+		out.Warm = &WarmStart{Seeds: append([]graph.NodeID(nil), res.Seeds...), Snapshot: snap}
+	}
+	return BatchOutcome{Result: out, Err: nil}
+}

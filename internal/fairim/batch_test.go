@@ -1,0 +1,260 @@
+package fairim
+
+import (
+	"testing"
+
+	"fairtcim/internal/graph"
+)
+
+// requireSameResult asserts two Results are bit-identical in every
+// wire-visible field — the batch planner's contract.
+func requireSameResult(t *testing.T, label string, got, want *Result) {
+	t.Helper()
+	if got == nil || want == nil {
+		t.Fatalf("%s: nil result (got %v, want %v)", label, got, want)
+	}
+	if got.Problem != want.Problem {
+		t.Fatalf("%s: problem %q != %q", label, got.Problem, want.Problem)
+	}
+	if len(got.Seeds) != len(want.Seeds) {
+		t.Fatalf("%s: %d seeds != %d: %v vs %v", label, len(got.Seeds), len(want.Seeds), got.Seeds, want.Seeds)
+	}
+	for i := range got.Seeds {
+		if got.Seeds[i] != want.Seeds[i] {
+			t.Fatalf("%s: seeds diverge at %d: %v vs %v", label, i, got.Seeds, want.Seeds)
+		}
+	}
+	if got.Total != want.Total || got.NormTotal != want.NormTotal || got.Disparity != want.Disparity {
+		t.Fatalf("%s: total/normTotal/disparity (%v,%v,%v) != (%v,%v,%v)",
+			label, got.Total, got.NormTotal, got.Disparity, want.Total, want.NormTotal, want.Disparity)
+	}
+	for i := range want.PerGroup {
+		if got.PerGroup[i] != want.PerGroup[i] || got.NormPerGroup[i] != want.NormPerGroup[i] {
+			t.Fatalf("%s: group %d utilities differ: %v vs %v", label, i, got.PerGroup, want.PerGroup)
+		}
+	}
+	if got.Evaluations != want.Evaluations {
+		t.Fatalf("%s: evaluations %d != %d", label, got.Evaluations, want.Evaluations)
+	}
+	if got.Samples != want.Samples || got.RISPerGroup != want.RISPerGroup {
+		t.Fatalf("%s: samples/ris (%d,%d) != (%d,%d)", label, got.Samples, got.RISPerGroup, want.Samples, want.RISPerGroup)
+	}
+	if len(got.Trace) != len(want.Trace) {
+		t.Fatalf("%s: trace length %d != %d", label, len(got.Trace), len(want.Trace))
+	}
+	for i := range want.Trace {
+		g, w := got.Trace[i], want.Trace[i]
+		if g.Seed != w.Seed || g.Objective != w.Objective || g.Total != w.Total {
+			t.Fatalf("%s: trace entry %d differs: %+v vs %+v", label, i, g, w)
+		}
+		for j := range w.NormGroup {
+			if g.NormGroup[j] != w.NormGroup[j] {
+				t.Fatalf("%s: trace entry %d group %d differs", label, i, j)
+			}
+		}
+	}
+}
+
+// TestSolveBatchParityMatrix is the planner's load-bearing guarantee:
+// across P1/P2/P4/P6 × {forward-MC, RIS} × mixed budgets/quotas × both
+// report modes, every batched outcome is bit-identical to its
+// sequential Solve — including the Evaluations count the member's own
+// run would have spent.
+func TestSolveBatchParityMatrix(t *testing.T) {
+	g := smallSBM(t, 7)
+	engines := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"forward-mc", func() Config {
+			cfg := quickCfg(5)
+			return cfg
+		}},
+		{"ris", func() Config {
+			cfg := quickCfg(5)
+			cfg.Engine = EngineRIS
+			cfg.RISPerGroup = 400
+			return cfg
+		}},
+	}
+	for _, eng := range engines {
+		t.Run(eng.name, func(t *testing.T) {
+			base := eng.cfg()
+			traced := base
+			traced.Trace = true
+			onSample := base
+			onSample.ReportOnSample = true
+			specs := []ProblemSpec{
+				{Problem: P1, Budget: 2, Config: base},
+				{Problem: P1, Budget: 6, Config: traced},
+				{Problem: P1, Budget: 4, Config: onSample},
+				{Problem: P4, Budget: 3, Config: base},
+				{Problem: P4, Budget: 5, Config: base},
+				{Problem: P2, Quota: 0.3, Config: base},
+				{Problem: P2, Quota: 0.3, Config: onSample},
+				{Problem: P6, Quota: 0.25, Config: base},
+				{Problem: P6, Quota: 0.25, Config: traced},
+				{Problem: P2, Quota: 0.5, Config: base}, // different quota: own group
+			}
+			outcomes, report := SolveBatch(g, specs, nil)
+			if len(outcomes) != len(specs) {
+				t.Fatalf("%d outcomes for %d specs", len(outcomes), len(specs))
+			}
+			// P1 ×3, P4 ×2, P2@0.3 ×2, P6@0.25 ×2 coalesce; P2@0.5 is alone.
+			if report.Groups != 4 || report.Singletons != 1 || report.Coalesced != 9 {
+				t.Fatalf("report = %+v, want 4 groups / 1 singleton / 9 coalesced", report)
+			}
+			for i, spec := range specs {
+				if outcomes[i].Err != nil {
+					t.Fatalf("spec %d: %v", i, outcomes[i].Err)
+				}
+				want, err := Solve(g, spec)
+				if err != nil {
+					t.Fatalf("sequential spec %d: %v", i, err)
+				}
+				requireSameResult(t, spec.Problem.String(), outcomes[i].Result, want)
+			}
+		})
+	}
+}
+
+// TestSolveBatchWarmPrefix checks batches sharing a prefix-memo entry:
+// a group primed through BatchOptions.Warm reproduces what each
+// sequential solve primed with the same WarmStart returns — covered
+// budgets are zero-evaluation replays, larger ones resume the heap.
+func TestSolveBatchWarmPrefix(t *testing.T) {
+	g := smallSBM(t, 3)
+	base := quickCfg(9)
+	base.Engine = EngineRIS
+	base.RISPerGroup = 400
+
+	capture := base
+	capture.CaptureWarm = true
+	seedRun, err := Solve(g, ProblemSpec{Problem: P4, Budget: 4, Config: capture})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seedRun.Warm == nil {
+		t.Fatal("no warm state captured")
+	}
+
+	budgets := []int{2, 4, 7}
+	specs := make([]ProblemSpec, len(budgets))
+	for i, b := range budgets {
+		specs[i] = ProblemSpec{Problem: P4, Budget: b, Config: base}
+	}
+	warmCalls := 0
+	var captured *WarmStart
+	outcomes, report := SolveBatch(g, specs, &BatchOptions{
+		Warm: func(gid int, rep ProblemSpec) *WarmStart {
+			warmCalls++
+			if rep.Budget != 7 {
+				t.Fatalf("warm hook saw representative budget %d, want the max 7", rep.Budget)
+			}
+			return seedRun.Warm
+		},
+		OnWarm: func(gid int, rep ProblemSpec, w *WarmStart) { captured = w },
+	})
+	if report.Groups != 1 || report.Coalesced != 3 || warmCalls != 1 {
+		t.Fatalf("report %+v warmCalls %d, want one group of 3 primed once", report, warmCalls)
+	}
+	for i, b := range budgets {
+		warmSpec := specs[i]
+		warmSpec.Config.Warm = seedRun.Warm
+		want, err := Solve(g, warmSpec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if outcomes[i].Err != nil {
+			t.Fatalf("budget %d: %v", b, outcomes[i].Err)
+		}
+		requireSameResult(t, "warm", outcomes[i].Result, want)
+		if b <= 4 && outcomes[i].Result.Evaluations != 0 {
+			t.Fatalf("budget %d inside the warm prefix spent %d evaluations", b, outcomes[i].Result.Evaluations)
+		}
+	}
+	if captured == nil || len(captured.Seeds) != 7 {
+		t.Fatalf("OnWarm captured %v, want the full 7-seed state", captured)
+	}
+}
+
+// TestSolveBatchGrouping pins the planner's compatibility rules: mixed
+// engines never share, accuracy targets share only at equal sizing
+// budgets, non-shareable specs fall back to sequential Solve with
+// identical output, and invalid specs fail alone.
+func TestSolveBatchGrouping(t *testing.T) {
+	g := smallSBM(t, 4)
+	fw := quickCfg(2)
+	rs := quickCfg(2)
+	rs.Engine = EngineRIS
+	rs.RISPerGroup = 300
+	plain := fw
+	plain.PlainGreedy = true
+	restricted := fw
+	restricted.Candidates = []graph.NodeID{0, 1, 2, 3, 4, 5, 6, 7}
+
+	acc := &Accuracy{Epsilon: 0.4, Delta: 0.2}
+	specs := []ProblemSpec{
+		{Problem: P1, Budget: 3, Config: fw},                                    // 0: singleton (no partner)
+		{Problem: P1, Budget: 3, Config: rs},                                    // 1: other engine, own unit
+		{Problem: P1, Budget: 2, Config: plain},                                 // 2: plain greedy → Solve fallback
+		{Problem: P1, Budget: 2, Config: restricted},                            // 3: candidate-restricted → fallback
+		{Problem: P4, Budget: 3, Sampling: Sampling{Accuracy: acc}, Config: fw}, // 4: accuracy pair...
+		{Problem: P4, Budget: 3, Sampling: Sampling{Accuracy: acc}, Config: fw}, // 5: ...same sizing budget, shares
+		{Problem: P4, Budget: 5, Sampling: Sampling{Accuracy: acc}, Config: fw}, // 6: other sizing budget, alone
+		{Problem: P1, Budget: 0, Config: fw},                                    // 7: invalid budget
+		{Problem: 0, Budget: 3, Config: fw},                                     // 8: invalid problem
+	}
+	outcomes, report := SolveBatch(g, specs, nil)
+	if report.Groups != 1 || report.Coalesced != 2 {
+		t.Fatalf("report %+v, want exactly the accuracy pair coalesced", report)
+	}
+	if report.Singletons != 5 {
+		t.Fatalf("report %+v, want 5 singletons", report)
+	}
+	if report.GroupOf[4] != report.GroupOf[5] || report.GroupOf[4] == report.GroupOf[6] {
+		t.Fatalf("accuracy grouping wrong: %v", report.GroupOf)
+	}
+	if report.GroupOf[7] != -1 || report.GroupOf[8] != -1 {
+		t.Fatalf("invalid specs not rejected: %v", report.GroupOf)
+	}
+	if outcomes[7].Err == nil || outcomes[8].Err == nil {
+		t.Fatal("invalid specs did not fail")
+	}
+	for i := 0; i <= 6; i++ {
+		if outcomes[i].Err != nil {
+			t.Fatalf("spec %d: %v", i, outcomes[i].Err)
+		}
+		want, err := Solve(g, specs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "grouping", outcomes[i].Result, want)
+	}
+}
+
+// TestSolveBatchSeedsNotAliased checks peeled members own their seed
+// slices: mutating one member's seeds must not corrupt another's.
+func TestSolveBatchSeedsNotAliased(t *testing.T) {
+	g := smallSBM(t, 6)
+	base := quickCfg(11)
+	specs := []ProblemSpec{
+		{Problem: P1, Budget: 2, Config: base},
+		{Problem: P1, Budget: 4, Config: base},
+	}
+	outcomes, _ := SolveBatch(g, specs, nil)
+	for i := range outcomes {
+		if outcomes[i].Err != nil {
+			t.Fatal(outcomes[i].Err)
+		}
+	}
+	keep := append([]graph.NodeID(nil), outcomes[1].Result.Seeds...)
+	for i := range outcomes[0].Result.Seeds {
+		outcomes[0].Result.Seeds[i] = -1
+	}
+	for i, v := range outcomes[1].Result.Seeds {
+		if v != keep[i] {
+			t.Fatal("peeled seed slices alias the shared run's backing array")
+		}
+	}
+}

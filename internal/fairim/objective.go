@@ -92,6 +92,12 @@ type objective struct {
 
 	cur  []float64 // cached GroupUtilities of the current set
 	next []float64 // scratch for candidate utilities
+
+	// recordUtil asks Add to snapshot GroupUtilities after every commit;
+	// SolveBatch uses the snapshots to peel per-member on-sample reports
+	// out of one shared run.
+	recordUtil bool
+	utilAt     [][]float64 // utilAt[i] = GroupUtilities after pick i+1
 }
 
 func newObjective(eval estimator.Estimator, vf valueFn, cfg Config) *objective {
@@ -141,6 +147,9 @@ func (o *objective) Gain(v graph.NodeID) float64 {
 func (o *objective) Add(v graph.NodeID) {
 	o.eval.Add(v)
 	o.cur = o.eval.GroupUtilities()
+	if o.recordUtil {
+		o.utilAt = append(o.utilAt, append([]float64(nil), o.cur...))
+	}
 	if o.traceOn || o.onIter != nil {
 		norm := o.eval.NormGroupUtilities()
 		total := 0.0

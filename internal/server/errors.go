@@ -68,6 +68,8 @@ func errStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrVersionConflict):
 		return http.StatusConflict
+	case errors.Is(err, ErrUnknownGraph):
+		return http.StatusNotFound
 	}
 	return http.StatusBadRequest
 }

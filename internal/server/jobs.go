@@ -371,7 +371,30 @@ func (st *jobStore) noteFinished(j *job) {
 		if err := journal.append(rec); err != nil {
 			st.journalErrors.Add(1)
 		}
+		// Opportunistic compaction: once appends have grown the file past
+		// ~4× retention, rewrite it from the retained in-memory history.
+		if _, err := journal.maybeCompact(st.retainedRecords); err != nil {
+			st.journalErrors.Add(1)
+		}
 	}
+}
+
+// retainedRecords snapshots the store's retained finished jobs in
+// insertion order — exactly what a freshly compacted journal should
+// hold. Called by the journal under its own lock; the journal.mu →
+// jobStore.mu order is safe because no store method calls into the
+// journal while holding st.mu.
+func (st *jobStore) retainedRecords() []jobRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var recs []jobRecord
+	for _, j := range st.order {
+		rec := j.record()
+		if terminal(rec.Status) {
+			recs = append(recs, rec)
+		}
+	}
+	return recs
 }
 
 func (st *jobStore) stats() JobStats {

@@ -31,17 +31,21 @@ type jobRecord struct {
 // reaches a terminal state. On open, the existing log is replayed (bad
 // lines are skipped, never fatal — a torn final line after a crash must
 // not take the daemon down), trimmed to the retention bound, and
-// compacted back to disk, so the file's growth is bounded by the number
-// of jobs finished per process lifetime.
+// compacted back to disk. In-process appends keep counting lines, and
+// once the file exceeds ~4× the retention bound maybeCompact rewrites
+// it from the live store's retained history, so a long-running daemon's
+// journal stays bounded instead of growing until the next restart.
 type jobJournal struct {
-	path string
-	mu   sync.Mutex
+	path      string
+	retention int
+	mu        sync.Mutex
+	lines     int // records in the file: compacted base + appends since
 }
 
 // openJobJournal opens (creating if needed) the journal at path and
 // returns the retained records, oldest first.
 func openJobJournal(path string, retention int) (*jobJournal, []jobRecord, error) {
-	j := &jobJournal{path: path}
+	j := &jobJournal{path: path, retention: retention}
 	records, err := j.replay()
 	if err != nil {
 		return nil, nil, err
@@ -86,6 +90,10 @@ func (j *jobJournal) replay() ([]jobRecord, error) {
 func (j *jobJournal) compact(records []jobRecord) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.compactLocked(records)
+}
+
+func (j *jobJournal) compactLocked(records []jobRecord) error {
 	// Write next to the journal so the rename stays on one filesystem.
 	tmp, err := os.CreateTemp(filepath.Dir(j.path), "jobs.jsonl.tmp*")
 	if err != nil {
@@ -106,7 +114,11 @@ func (j *jobJournal) compact(records []jobRecord) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), j.path)
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return err
+	}
+	j.lines = len(records)
+	return nil
 }
 
 // append writes one finished job to the log. Failures are returned for
@@ -119,5 +131,27 @@ func (j *jobJournal) append(rec jobRecord) error {
 		return err
 	}
 	defer f.Close()
-	return json.NewEncoder(f).Encode(rec)
+	if err := json.NewEncoder(f).Encode(rec); err != nil {
+		return err
+	}
+	j.lines++
+	return nil
+}
+
+// maybeCompact opportunistically rewrites an overgrown journal from the
+// caller's authoritative retained history. It is a no-op until the file
+// holds more than ~4× the retention bound, so steady append traffic pays
+// nothing and the rewrite amortizes to O(1) per finished job. collect is
+// invoked under the journal lock (lock order: journal.mu then the job
+// store's mu); because the rewrite's source is the in-memory store, any
+// torn or foreign lines in the file vanish with the excess. Returns
+// whether a compaction ran; errors are reported on the same path as
+// failed appends.
+func (j *jobJournal) maybeCompact(collect func() []jobRecord) (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.retention <= 0 || j.lines <= 4*j.retention {
+		return false, nil
+	}
+	return true, j.compactLocked(collect())
 }

@@ -5,6 +5,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -73,6 +74,96 @@ func TestJobJournalReplayTrimsAndSkipsGarbage(t *testing.T) {
 	}
 	if strings.Contains(string(raw), "not json") {
 		t.Error("compaction kept garbage lines")
+	}
+}
+
+// TestJobJournalOpportunisticCompaction: a long-running process must
+// bound its own journal, not just trim it at the next restart. With
+// retention 3, concurrent job completions push the file past the 4×
+// threshold; the in-process compaction then rewrites it from the
+// store's retained history — so garbage injected to simulate a crash's
+// torn trailing line disappears with the excess — and the file keeps
+// oscillating below the threshold instead of growing with every finish.
+func TestJobJournalOpportunisticCompaction(t *testing.T) {
+	const retention = 3
+	path := filepath.Join(t.TempDir(), "jobs.jsonl")
+	journal, _, err := openJobJournal(path, retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newJobStore(64, retention, journal)
+
+	// A crash mid-append leaves a torn, unterminated trailing line; the
+	// next append glues onto it and replay drops the merged garbage.
+	// Only a compaction actually removes it from the file.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"torn":`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	const workers, each = 4, 5 // 20 finishes ≫ 4×retention
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j, err := st.add("g", "P1")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				j.finish(&SolveResponse{}, nil)
+				st.noteFinished(j)
+			}
+		}()
+	}
+	wg.Wait()
+
+	if n := st.journalErrors.Load(); n != 0 {
+		t.Fatalf("%d journal errors during churn", n)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"torn"`) {
+		t.Error("compaction kept the torn trailing line")
+	}
+	lineCount := 0
+	for _, l := range strings.Split(string(raw), "\n") {
+		if l != "" {
+			lineCount++
+		}
+	}
+	// maybeCompact runs after every append, so the file can never settle
+	// above the threshold (20 finishes would leave ≥20 lines without it).
+	if lineCount > 4*retention {
+		t.Errorf("journal settled at %d lines, want <= %d", lineCount, 4*retention)
+	}
+	records, err := journal.replay()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, rec := range records {
+		if !terminal(rec.Status) {
+			t.Errorf("record %d non-terminal after compaction: %+v", i, rec)
+		}
+	}
+	// A restart replays the compacted file down to exactly the retained
+	// history.
+	_, restored, err := openJobJournal(path, retention)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored) != retention {
+		t.Errorf("restart restored %d records, want %d", len(restored), retention)
 	}
 }
 

@@ -1,0 +1,372 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"fairtcim/internal/estimator"
+	"fairtcim/internal/fairim"
+	"fairtcim/internal/graph"
+)
+
+// The batched query planner. Concurrent ProblemSpecs against the same
+// graph version and sketch shape mostly differ only in their budget or
+// report mode, yet each used to pay a full greedy pass over the shared
+// sample. fairim.SolveBatch coalesces compatible specs onto one shared
+// estimator and one CELF run, peeling each query's answer at its own
+// budget boundary with bit-identical output (the parity matrix in
+// internal/fairim pins that guarantee). This file is the serving-side
+// harness: the POST /v1/select/batch endpoint, the optional coalescing
+// window that batches concurrent /v1/select traffic transparently, and
+// the planner counters in /v1/stats.
+
+// maxBatchRequests bounds one POST /v1/select/batch body; larger
+// batches should be split by the client (each sub-batch still coalesces
+// internally).
+const maxBatchRequests = 256
+
+// BatchSolveRequest is the body of POST /v1/select/batch: an ordered
+// list of SolveRequests, answered positionally. The requests may target
+// different graphs; coalescing happens per (graph, version, sample key,
+// problem shape) — see the README for the exact compatibility rules.
+type BatchSolveRequest struct {
+	Requests []SolveRequest `json:"requests"`
+}
+
+// BatchItem is one request's outcome inside a batch response: exactly
+// one of Response or Error is set. Item errors use the same envelope
+// payload as the single-request endpoints, so clients can reuse their
+// error handling per item.
+type BatchItem struct {
+	Response *SolveResponse `json:"response,omitempty"`
+	Error    *apiError      `json:"error,omitempty"`
+}
+
+// BatchSolveResponse is the body of a POST /v1/select/batch answer.
+// The planner tallies describe this batch: PlannerGroups shared runs
+// served ≥2 requests each, PlannerSingletons requests ran alone, and
+// Coalesced requests in total rode a shared run.
+type BatchSolveResponse struct {
+	Items             []BatchItem `json:"items"`
+	PlannerGroups     int         `json:"planner_groups"`
+	PlannerSingletons int         `json:"planner_singletons"`
+	Coalesced         int         `json:"coalesced"`
+}
+
+// PlannerStats is the /v1/stats roll-up of batched planning since
+// start: explicit batch requests plus coalescing-window batches.
+type PlannerStats struct {
+	Batches    int64 `json:"batches"`
+	Groups     int64 `json:"groups"`
+	Singletons int64 `json:"singletons"`
+	Coalesced  int64 `json:"coalesced"`
+}
+
+// batchItemResult is one spec's outcome from the batch core, before
+// wire encoding.
+type batchItemResult struct {
+	resp *SolveResponse
+	err  error
+}
+
+// solveBatch runs decoded specs against one graph snapshot, sharing
+// work across them: every distinct sample key is fetched (or built)
+// once up front, then a single worker slot hosts one fairim.SolveBatch
+// over all specs. Samples are prefetched before the slot is taken —
+// SampleFor acquires and releases the gate itself, and holding the
+// batch's slot across those builds would deadlock a MaxConcurrent=1
+// server against its own prefetch. Per-spec failures (bad spec, failed
+// sample build) land in that item only; the returned error is
+// batch-fatal (capacity, caller gone) and means no item ran.
+func (s *Server) solveBatch(ctx context.Context, gate workerGate, graphName string, version uint64, g *graph.Graph, specs []fairim.ProblemSpec) ([]batchItemResult, fairim.BatchReport, error) {
+	type fetched struct {
+		smp     *sample
+		hit     bool
+		buildMS float64
+		err     error
+	}
+	samples := make(map[sampleKey]*fetched)
+	keys := make([]sampleKey, len(specs))
+	for i := range specs {
+		specs[i].Parallelism = s.parallelism
+		key := sampleKeyFor(graphName, version, g, specs[i], false)
+		keys[i] = key
+		if samples[key] == nil {
+			f := &fetched{}
+			f.smp, f.hit, f.buildMS, f.err = s.cache.SampleFor(ctx, key, g, s.parallelism, gate)
+			samples[key] = f
+		}
+	}
+
+	// One worker slot hosts the whole batch solve; that single slot is
+	// the point of the planner — N queries, one unit of pool pressure.
+	if !gate.acquire(ctx) {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fairim.BatchReport{}, cerr
+		}
+		return nil, fairim.BatchReport{}, ErrCapacity
+	}
+	defer gate.release()
+
+	// warmLens records, per group id, how many memoized seeds primed the
+	// shared run; members report min(that, own budget) as warm_seeds.
+	// SolveBatch runs groups sequentially on this goroutine, so plain
+	// maps are safe.
+	warmLens := make(map[int]int)
+	opts := &fairim.BatchOptions{
+		Estimator: func(gid int, rep fairim.ProblemSpec) (estimator.Estimator, error) {
+			f := samples[sampleKeyFor(graphName, version, g, rep, false)]
+			if f == nil || f.err != nil {
+				// A failed prefetch fails the group — every member shares
+				// the sample key, so the error lands exactly on the items
+				// that needed it (nil, nil would silently rebuild inside
+				// the batch's slot instead).
+				if f != nil {
+					return nil, f.err
+				}
+				return nil, fmt.Errorf("server: no prefetched sample for batch group %d", gid)
+			}
+			return f.smp.newEstimator(rep.Tau)
+		},
+		Warm: func(gid int, rep fairim.ProblemSpec) *fairim.WarmStart {
+			pk, ok := prefixKeyFor(sampleKeyFor(graphName, version, g, rep, false), rep)
+			if !ok {
+				return nil
+			}
+			w := s.cache.warmFor(pk)
+			if w != nil {
+				warmLens[gid] = len(w.Seeds)
+			}
+			return w
+		},
+		OnWarm: func(gid int, rep fairim.ProblemSpec, w *fairim.WarmStart) {
+			if pk, ok := prefixKeyFor(sampleKeyFor(graphName, version, g, rep, false), rep); ok {
+				s.cache.storeWarm(pk, w)
+			}
+		},
+	}
+
+	start := time.Now()
+	outcomes, report := fairim.SolveBatch(g, specs, opts)
+	solveMS := float64(time.Since(start).Microseconds()) / 1000
+
+	items := make([]batchItemResult, len(specs))
+	for i, out := range outcomes {
+		if out.Err != nil {
+			items[i] = batchItemResult{err: out.Err}
+			continue
+		}
+		res := out.Result
+		f := samples[keys[i]]
+		warm := 0
+		if gid := report.GroupOf[i]; gid >= 0 && specs[i].Problem.IsBudget() {
+			if warm = warmLens[gid]; warm > specs[i].Budget {
+				warm = specs[i].Budget
+			}
+		}
+		items[i] = batchItemResult{resp: &SolveResponse{
+			Problem:             res.Problem,
+			Graph:               graphName,
+			Engine:              specs[i].Engine.String(),
+			UtilityReport:       reportOf(res),
+			Evaluations:         res.Evaluations,
+			CacheHit:            f.hit,
+			GraphVersion:        version,
+			RRRefreshed:         f.smp.rrRefreshed,
+			RRRetained:          f.smp.rrRetained,
+			WarmSeeds:           warm,
+			SampleMS:            f.buildMS,
+			SolveMS:             solveMS, // the whole shared pass; per-item attribution would be fiction
+			ResolvedSamples:     res.Samples,
+			ResolvedRISPerGroup: res.RISPerGroup,
+			Trace:               traceEvents(res.Trace),
+		}}
+	}
+	s.plannerBatches.Add(1)
+	s.plannerGroups.Add(int64(report.Groups))
+	s.plannerSingletons.Add(int64(report.Singletons))
+	s.plannerCoalesced.Add(int64(report.Coalesced))
+	return items, report, nil
+}
+
+// errItem wraps a pipeline error as a wire item, mirroring
+// writeSolveError's code mapping.
+func errItem(err error) BatchItem {
+	code := errCode(err)
+	msg := err.Error()
+	if code == CodeCapacity {
+		msg = "server at capacity; retry later"
+	}
+	return BatchItem{Error: &apiError{Code: code, Message: msg}}
+}
+
+// handleSelectBatch is POST /v1/select/batch. The response is
+// positional: items[i] answers requests[i], each item carrying either a
+// full SolveResponse or its own error envelope, so one bad spec never
+// fails its neighbors. Requests are grouped by graph; each graph's
+// snapshot is resolved exactly once, so every item for a graph reports
+// the same graph_version — a batch can never mix versions.
+func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchSolveRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+		return
+	}
+	if len(req.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "empty batch")
+		return
+	}
+	if len(req.Requests) > maxBatchRequests {
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "batch of %d exceeds the %d-request limit", len(req.Requests), maxBatchRequests)
+		return
+	}
+
+	resp := BatchSolveResponse{Items: make([]BatchItem, len(req.Requests))}
+	// Partition decodable requests by graph, preserving arrival order
+	// within each partition (group ids are assigned by first occurrence,
+	// so order is part of the planner's determinism).
+	specs := make([]fairim.ProblemSpec, len(req.Requests))
+	var graphOrder []string
+	byGraph := make(map[string][]int)
+	for i, sub := range req.Requests {
+		spec, err := sub.toSpec()
+		if err != nil {
+			resp.Items[i] = BatchItem{Error: &apiError{Code: CodeBadSpec, Message: err.Error()}}
+			continue
+		}
+		specs[i] = spec
+		if _, seen := byGraph[sub.Graph]; !seen {
+			graphOrder = append(graphOrder, sub.Graph)
+		}
+		byGraph[sub.Graph] = append(byGraph[sub.Graph], i)
+	}
+
+	for _, name := range graphOrder {
+		idxs := byGraph[name]
+		g, version, err := s.reg.GetVersioned(name)
+		if err != nil {
+			for _, i := range idxs {
+				resp.Items[i] = errItem(err)
+			}
+			continue
+		}
+		part := make([]fairim.ProblemSpec, len(idxs))
+		for j, i := range idxs {
+			part[j] = specs[i]
+		}
+		items, report, err := s.solveBatch(r.Context(), serverGate{s}, name, version, g, part)
+		if err != nil {
+			for _, i := range idxs {
+				resp.Items[i] = errItem(err)
+			}
+			continue
+		}
+		for j, i := range idxs {
+			if items[j].err != nil {
+				resp.Items[i] = errItem(items[j].err)
+			} else {
+				resp.Items[i] = BatchItem{Response: items[j].resp}
+			}
+		}
+		resp.PlannerGroups += report.Groups
+		resp.PlannerSingletons += report.Singletons
+		resp.Coalesced += report.Coalesced
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// coalescer batches concurrent single-request /v1/select traffic: the
+// first arrival for a graph opens a window; requests landing inside it
+// join the pending batch; when the window closes, the timer goroutine
+// runs one shared solveBatch and hands each waiter its own item. A
+// request pays at most the window in added latency, and under real
+// concurrency earns a shared sketch pass and a shared CELF run in
+// return. Keyed by graph name: specs for different graphs can never
+// share work, so windowing them together would only add latency.
+type coalescer struct {
+	s       *Server
+	window  time.Duration
+	mu      sync.Mutex
+	pending map[string]*pendingBatch
+}
+
+type pendingBatch struct {
+	graph string
+	items []*pendingSelect
+}
+
+type pendingSelect struct {
+	spec fairim.ProblemSpec
+	done chan batchItemResult
+}
+
+func newCoalescer(s *Server, window time.Duration) *coalescer {
+	return &coalescer{s: s, window: window, pending: make(map[string]*pendingBatch)}
+}
+
+// submit enrolls one decoded request and blocks until its result is
+// ready or the caller gives up. A caller that abandons ship leaves its
+// buffered channel behind; the leader's send completes regardless.
+func (c *coalescer) submit(ctx context.Context, graphName string, spec fairim.ProblemSpec) (*SolveResponse, error) {
+	item := &pendingSelect{spec: spec, done: make(chan batchItemResult, 1)}
+	c.mu.Lock()
+	b := c.pending[graphName]
+	if b == nil {
+		b = &pendingBatch{graph: graphName}
+		c.pending[graphName] = b
+		time.AfterFunc(c.window, func() { c.flush(b) })
+	}
+	b.items = append(b.items, item)
+	c.mu.Unlock()
+
+	select {
+	case res := <-item.done:
+		return res.resp, res.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// flush closes the window: detach the batch so new arrivals start a
+// fresh one, then solve it and distribute. Runs on the window timer's
+// goroutine — the batch occupies no HTTP handler while it executes.
+func (c *coalescer) flush(b *pendingBatch) {
+	c.mu.Lock()
+	if c.pending[b.graph] == b {
+		delete(c.pending, b.graph)
+	}
+	items := b.items
+	c.mu.Unlock()
+
+	fail := func(err error) {
+		for _, it := range items {
+			it.done <- batchItemResult{err: err}
+		}
+	}
+	g, version, err := c.s.reg.GetVersioned(b.graph)
+	if err != nil {
+		fail(err)
+		return
+	}
+	specs := make([]fairim.ProblemSpec, len(items))
+	for i, it := range items {
+		specs[i] = it.spec
+	}
+	// The window's batch is background work once waiters detach, so it
+	// runs under its own context; individual waiters' disconnects must
+	// not cancel their batchmates.
+	results, _, err := c.s.solveBatch(context.Background(), serverGate{c.s}, b.graph, version, g, specs)
+	if err != nil {
+		fail(err)
+		return
+	}
+	for i, it := range items {
+		it.done <- results[i]
+	}
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// graph update triggers a full sketch rebuild instead of an
 	// incremental refresh; <= 0 means ris.DefaultRefreshThreshold.
 	RefreshThreshold float64
+	// CoalesceWindow, when positive, batches concurrent POST /v1/select
+	// traffic: the first request for a graph waits this long for
+	// compatible companions, then all of them share one sketch pass and
+	// one CELF run (see planner.go). Zero keeps the immediate per-request
+	// path. POST /v1/select/batch coalesces regardless of this setting.
+	CoalesceWindow time.Duration
 }
 
 // Server is the HTTP serving layer; see the package comment for the
@@ -73,10 +79,19 @@ type Server struct {
 	parallelism  int
 	mux          *http.ServeMux
 	jobs         *jobStore
-	stateDir     string // empty = in-memory only
+	stateDir     string     // empty = in-memory only
+	coalesce     *coalescer // nil unless Config.CoalesceWindow > 0
 
 	queued atomic.Int64 // requests currently waiting for a worker slot
 	shed   atomic.Int64 // requests turned away at capacity
+
+	// Planner counters (see planner.go): cumulative tallies over every
+	// batched solve — explicit /v1/select/batch plus coalescing-window
+	// batches.
+	plannerBatches    atomic.Int64
+	plannerGroups     atomic.Int64
+	plannerSingletons atomic.Int64
+	plannerCoalesced  atomic.Int64
 }
 
 // New builds a Server over cfg.Registry.
@@ -126,7 +141,11 @@ func New(cfg Config) (*Server, error) {
 	s.cache.history = cfg.Registry
 	s.cache.refreshThreshold = cfg.RefreshThreshold
 	s.jobs.restore(restored)
+	if cfg.CoalesceWindow > 0 {
+		s.coalesce = newCoalescer(s, cfg.CoalesceWindow)
+	}
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
+	s.mux.HandleFunc("POST /v1/select/batch", s.handleSelectBatch)
 	s.mux.HandleFunc("POST /v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleJobList)
@@ -602,6 +621,17 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
 	}
+	if s.coalesce != nil {
+		// The coalescer resolves the graph itself when the window closes,
+		// so every request in the window sees one consistent snapshot.
+		resp, err := s.coalesce.submit(r.Context(), req.Graph, spec)
+		if err != nil {
+			writeSolveError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
 	g, version, ok := s.getGraph(w, req.Graph)
 	if !ok {
 		return
@@ -760,11 +790,12 @@ type WorkerStats struct {
 // journal append failed — non-zero means history would not survive a
 // restart.
 type StatsResponse struct {
-	Cache         CacheStats  `json:"cache"`
-	Workers       WorkerStats `json:"workers"`
-	Jobs          JobStats    `json:"jobs"`
-	StateDir      string      `json:"state_dir,omitempty"`
-	JournalErrors int64       `json:"journal_errors,omitempty"`
+	Cache         CacheStats   `json:"cache"`
+	Workers       WorkerStats  `json:"workers"`
+	Jobs          JobStats     `json:"jobs"`
+	Planner       PlannerStats `json:"planner"`
+	StateDir      string       `json:"state_dir,omitempty"`
+	JournalErrors int64        `json:"journal_errors,omitempty"`
 }
 
 // Stats snapshots all server counters (also served at GET /v1/stats).
@@ -777,7 +808,13 @@ func (s *Server) Stats() StatsResponse {
 			Queued:   s.queued.Load(),
 			Shed:     s.shed.Load(),
 		},
-		Jobs:          s.jobs.stats(),
+		Jobs: s.jobs.stats(),
+		Planner: PlannerStats{
+			Batches:    s.plannerBatches.Load(),
+			Groups:     s.plannerGroups.Load(),
+			Singletons: s.plannerSingletons.Load(),
+			Coalesced:  s.plannerCoalesced.Load(),
+		},
 		StateDir:      s.stateDir,
 		JournalErrors: s.jobs.journalErrors.Load(),
 	}

@@ -1,0 +1,88 @@
+package submodular
+
+import (
+	"testing"
+)
+
+// TestEvalsAtPrefixParity pins the property fairim.SolveBatch leans on:
+// a lazy-greedy run at budget k spends exactly EvalsAt[k-1] evaluations
+// of the budget-K run (k ≤ K), and picks the identical seed prefix — so
+// one shared run can answer every smaller budget bit-identically.
+func TestEvalsAtPrefixParity(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		factory, cands := randomCoverage(seed, 30, 50)
+		const maxK = 9
+		full, err := LazyGreedyMax(factory(), cands, maxK)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(full.EvalsAt) != len(full.Seeds) {
+			t.Fatalf("seed %d: %d EvalsAt entries for %d seeds", seed, len(full.EvalsAt), len(full.Seeds))
+		}
+		// Evaluations may exceed the last EvalsAt entry: a saturated run
+		// spends extra pops discovering no positive gain remains.
+		if last := full.EvalsAt[len(full.EvalsAt)-1]; last > full.Evaluations {
+			t.Fatalf("seed %d: final EvalsAt %d > Evaluations %d", seed, last, full.Evaluations)
+		}
+		for k := 1; k <= len(full.Seeds); k++ {
+			sub, err := LazyGreedyMax(factory(), cands, k)
+			if err != nil {
+				t.Fatalf("seed %d k=%d: %v", seed, k, err)
+			}
+			if len(sub.Seeds) != k {
+				t.Fatalf("seed %d k=%d: got %d seeds", seed, k, len(sub.Seeds))
+			}
+			for i := range sub.Seeds {
+				if sub.Seeds[i] != full.Seeds[i] {
+					t.Fatalf("seed %d k=%d: seeds %v diverge from shared prefix %v", seed, k, sub.Seeds, full.Seeds[:k])
+				}
+				if sub.Values[i] != full.Values[i] {
+					t.Fatalf("seed %d k=%d: values diverge at pick %d", seed, k, i)
+				}
+			}
+			if sub.Evaluations != full.EvalsAt[k-1] {
+				t.Fatalf("seed %d k=%d: budget-k run spent %d evaluations, shared run's EvalsAt says %d",
+					seed, k, sub.Evaluations, full.EvalsAt[k-1])
+			}
+		}
+	}
+}
+
+// TestEvalsAtResume checks the counts stay aligned across a snapshot
+// resume: replaying k picks then resuming to K matches the cold run's
+// tail counts relative to the extension.
+func TestEvalsAtResume(t *testing.T) {
+	factory, cands := randomCoverage(3, 30, 50)
+	full, _, err := LazyGreedyMaxCapture(factory(), cands, 8, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, snap, err := LazyGreedyMaxCapture(factory(), cands, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("no snapshot captured at k=4")
+	}
+	obj := factory()
+	for _, v := range head.Seeds {
+		obj.Add(v)
+	}
+	ext, _, err := LazyGreedyMaxResume(obj, snap, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext.EvalsAt) != len(ext.Seeds) {
+		t.Fatalf("%d EvalsAt entries for %d extension seeds", len(ext.EvalsAt), len(ext.Seeds))
+	}
+	for i, v := range ext.Seeds {
+		if v != full.Seeds[4+i] {
+			t.Fatalf("extension pick %d = %d, cold run picked %d", i, v, full.Seeds[4+i])
+		}
+		// Cumulative evals of the resumed run offset by the head's total
+		// must equal the cold run's cumulative count at the same pick.
+		if head.Evaluations+ext.EvalsAt[i] != full.EvalsAt[4+i] {
+			t.Fatalf("pick %d: head %d + ext %d != cold %d", 4+i, head.Evaluations, ext.EvalsAt[i], full.EvalsAt[4+i])
+		}
+	}
+}

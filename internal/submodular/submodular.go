@@ -51,6 +51,14 @@ type Result struct {
 	Seeds       []graph.NodeID
 	Values      []float64 // objective value after each pick
 	Evaluations int       // number of Gain calls
+	// EvalsAt[i] is Evaluations as of the moment Seeds[i] was committed —
+	// the cumulative Gain calls a run stopping after pick i+1 would have
+	// spent. Because a lazy-greedy run at budget k performs exactly the
+	// first k picks (and the evaluations leading to them) of any
+	// larger-budget run over the same objective, EvalsAt lets one shared
+	// run answer every smaller budget with the Evaluations count the
+	// smaller run would itself have reported (see fairim.SolveBatch).
+	EvalsAt []int
 }
 
 // GreedyMax runs the classical greedy: B rounds, each scanning every
@@ -81,6 +89,7 @@ func GreedyMax(obj Objective, candidates []graph.NodeID, budget int) (Result, er
 		obj.Add(v)
 		res.Seeds = append(res.Seeds, v)
 		res.Values = append(res.Values, obj.Value())
+		res.EvalsAt = append(res.EvalsAt, res.Evaluations)
 		if err := stopped(obj); err != nil {
 			return res, err
 		}
@@ -217,6 +226,7 @@ func lazyRun(obj Objective, h celfHeap, round, budget int, res Result) (Result, 
 		obj.Add(top.Node)
 		res.Seeds = append(res.Seeds, top.Node)
 		res.Values = append(res.Values, obj.Value())
+		res.EvalsAt = append(res.EvalsAt, res.Evaluations)
 		if err := stopped(obj); err != nil {
 			return res, nil, err
 		}
@@ -288,6 +298,7 @@ func GreedyCoverInit(obj Objective, candidates []graph.NodeID, target float64, m
 		obj.Add(top.Node)
 		res.Seeds = append(res.Seeds, top.Node)
 		res.Values = append(res.Values, obj.Value())
+		res.EvalsAt = append(res.EvalsAt, res.Evaluations)
 		if err := stopped(obj); err != nil {
 			return res, err
 		}
