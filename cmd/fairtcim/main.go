@@ -221,7 +221,14 @@ func remoteError(status int, body io.Reader) error {
 	}
 	if json.NewDecoder(body).Decode(&e) == nil && e.Error.Message != "" {
 		if e.Error.Code != "" {
-			return fmt.Errorf("server: %s: %s (HTTP %d)", e.Error.Code, e.Error.Message, status)
+			err := fmt.Errorf("server: %s: %s (HTTP %d)", e.Error.Code, e.Error.Message, status)
+			// Cluster-mode failures get a hint: peer_unreachable means the
+			// daemon (or router) exhausted every replica that could own the
+			// request — a fleet problem, not a query problem.
+			if e.Error.Code == "peer_unreachable" {
+				return fmt.Errorf("%w\n  hint: the serving fleet has no reachable owner for this request; check each replica's /healthz and /v1/stats cluster.peers_up", err)
+			}
+			return err
 		}
 		return fmt.Errorf("server: %s (HTTP %d)", e.Error.Message, status)
 	}
@@ -334,6 +341,9 @@ func printRemoteReport(stdout io.Writer, out *server.SolveResponse) {
 		fmt.Fprintf(stdout, "sampling      %d worlds\n", out.ResolvedSamples)
 	}
 	fmt.Fprintf(stdout, "cache         hit=%v sample_ms=%.1f solve_ms=%.1f\n", out.CacheHit, out.SampleMS, out.SolveMS)
+	if out.EffectiveParallelism > 0 {
+		fmt.Fprintf(stdout, "parallelism   %d (occupancy-adapted by the server)\n", out.EffectiveParallelism)
+	}
 }
 
 func printReport(w io.Writer, g *graph.Graph, res *fairim.Result) {

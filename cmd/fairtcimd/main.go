@@ -35,6 +35,23 @@
 // an update actually touched (tune with -refresh-threshold); persisted
 // sketch files are version-keyed, and -state-max-bytes/-state-max-age
 // bound the state dir as update churn accumulates files.
+//
+// Sharded multi-replica serving: with -peers and -self each replica
+// joins a consistent-hash ring over (graph, query-spec) keys, proxying
+// requests it does not own to the owner with bounded failover, fetching
+// warm sketches from peers over GET /v1/sketches/{key} instead of
+// rebuilding, and fanning out graph updates so the fleet converges on
+// one version. With -route the daemon is instead a stateless routing
+// tier in front of such a fleet (no graphs of its own). -probe-interval
+// tunes peer health probes; ring membership reacts to probe results.
+//
+//	fairtcimd -addr :8732 -self http://a:8732 -peers http://b:8732
+//	fairtcimd -addr :8730 -route http://a:8732,http://b:8732
+//
+// Observability: GET /metrics serves Prometheus text metrics (per-route
+// request counters and latency histograms plus cache/worker/cluster
+// counters), and -request-log writes one JSON line per request to a
+// file or stderr (-).
 package main
 
 import (
@@ -82,6 +99,22 @@ type options struct {
 	stateMaxAge     time.Duration
 	refreshThresh   float64
 	coalesceWindow  time.Duration
+	peers           []string // other replicas' base URLs (peer-aware mode)
+	self            string   // this replica's advertised base URL
+	route           []string // router mode: replica URLs to route across
+	probeInterval   time.Duration
+	requestLog      string // access-log path; "-" = stderr
+}
+
+// splitURLs parses a comma-separated URL list, dropping empties.
+func splitURLs(v string) []string {
+	var out []string
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, strings.TrimRight(u, "/"))
+		}
+	}
+	return out
 }
 
 func parseFlags(args []string, stderr io.Writer) (*options, error) {
@@ -113,9 +146,24 @@ func parseFlags(args []string, stderr io.Writer) (*options, error) {
 	fs.DurationVar(&o.stateMaxAge, "state-max-age", 0, "drop persisted sketches untouched for this long (e.g. 720h); 0 = unbounded")
 	fs.Float64Var(&o.refreshThresh, "refresh-threshold", 0, "dirty RR-set fraction above which a graph update rebuilds sketches instead of refreshing incrementally; 0 = default 0.75")
 	fs.DurationVar(&o.coalesceWindow, "coalesce-window", 0, "batch concurrent /v1/select requests arriving within this window onto shared solves (e.g. 5ms); 0 = solve each immediately")
+	fs.Func("peers", "comma-separated base URLs of the other replicas; enables peer-aware sharded serving (requires -self)", func(v string) error {
+		o.peers = append(o.peers, splitURLs(v)...)
+		return nil
+	})
+	fs.StringVar(&o.self, "self", "", "this replica's advertised base URL, exactly as it appears in the peers' -peers lists")
+	fs.Func("route", "router mode: comma-separated replica base URLs to route requests across (serves no graphs itself)", func(v string) error {
+		o.route = append(o.route, splitURLs(v)...)
+		return nil
+	})
+	fs.DurationVar(&o.probeInterval, "probe-interval", 0, "peer health-probe period; 0 = 2s")
+	fs.StringVar(&o.requestLog, "request-log", "", "structured JSON access log destination: a file path, or - for stderr; empty = off")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
+	if len(o.route) > 0 && (len(o.peers) > 0 || o.self != "" || len(o.graphs) > 0 || o.stateDir != "") {
+		return nil, fmt.Errorf("-route is a pure routing tier and excludes -peers, -self, -graph and -state-dir")
+	}
+	o.self = strings.TrimRight(o.self, "/")
 	return o, nil
 }
 
@@ -142,47 +190,101 @@ func buildRegistry(o *options) (*server.Registry, error) {
 	return reg, nil
 }
 
-// run parses flags, builds the server and serves until ctx is cancelled
-// (main wires an interrupt/SIGTERM context). A non-nil ready channel
-// receives the bound address once listening — used by tests to avoid
-// races.
+// openRequestLog resolves the -request-log flag: "" disables the access
+// log, "-" writes to stderr, anything else appends to that file.
+func openRequestLog(path string, stderr io.Writer) (io.Writer, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return stderr, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("opening request log: %w", err)
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// run parses flags, builds the server (or, with -route, the standalone
+// router) and serves until ctx is cancelled (main wires an
+// interrupt/SIGTERM context). A non-nil ready channel receives the bound
+// address once listening — used by tests to avoid races.
 func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- string) error {
 	o, err := parseFlags(args, stderr)
 	if err != nil {
 		return err
 	}
-	reg, err := buildRegistry(o)
+	reqLog, closeLog, err := openRequestLog(o.requestLog, stderr)
 	if err != nil {
 		return err
 	}
-	srv, err := server.New(server.Config{
-		Registry:          reg,
-		CacheSize:         o.cacheSize,
-		MaxConcurrent:     o.maxConc,
-		QueueTimeout:      o.queueTimeout,
-		SolverParallelism: o.parallelism,
-		MaxJobs:           o.maxJobs,
-		JobRetention:      o.jobRetention,
-		StateDir:          o.stateDir,
-		StateMaxBytes:     o.stateMaxBytes,
-		StateMaxAge:       o.stateMaxAge,
-		RefreshThreshold:  o.refreshThresh,
-		CoalesceWindow:    o.coalesceWindow,
-	})
-	if err != nil {
-		return err
+	defer closeLog()
+
+	var handler http.Handler
+	runProbes := func(context.Context) {}
+	flush := func() {}
+	var banner string
+	if len(o.route) > 0 {
+		rt, err := server.NewRouter(server.RouterConfig{
+			Replicas:      o.route,
+			ProbeInterval: o.probeInterval,
+			RequestLog:    reqLog,
+		})
+		if err != nil {
+			return err
+		}
+		handler = rt.Handler()
+		runProbes = rt.RunProbes
+		banner = fmt.Sprintf("routing across %s", strings.Join(o.route, ", "))
+	} else {
+		reg, err := buildRegistry(o)
+		if err != nil {
+			return err
+		}
+		srv, err := server.New(server.Config{
+			Registry:          reg,
+			CacheSize:         o.cacheSize,
+			MaxConcurrent:     o.maxConc,
+			QueueTimeout:      o.queueTimeout,
+			SolverParallelism: o.parallelism,
+			MaxJobs:           o.maxJobs,
+			JobRetention:      o.jobRetention,
+			StateDir:          o.stateDir,
+			StateMaxBytes:     o.stateMaxBytes,
+			StateMaxAge:       o.stateMaxAge,
+			RefreshThreshold:  o.refreshThresh,
+			CoalesceWindow:    o.coalesceWindow,
+			Peers:             o.peers,
+			SelfURL:           o.self,
+			ProbeInterval:     o.probeInterval,
+			RequestLog:        reqLog,
+		})
+		if err != nil {
+			return err
+		}
+		handler = srv.Handler()
+		runProbes = srv.RunClusterProbes
+		flush = srv.WaitFlushes
+		banner = fmt.Sprintf("graphs: %s", strings.Join(reg.Names(), ", "))
+		if len(o.peers) > 0 {
+			banner += fmt.Sprintf("; peers: %s", strings.Join(o.peers, ", "))
+		}
 	}
 
-	httpSrv := &http.Server{Addr: o.addr, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: o.addr, Handler: handler}
 	errc := make(chan error, 1)
 	ln, err := net.Listen("tcp", o.addr)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stderr, "fairtcimd: listening on %s (graphs: %s)\n", ln.Addr(), strings.Join(reg.Names(), ", "))
+	fmt.Fprintf(stderr, "fairtcimd: listening on %s (%s)\n", ln.Addr(), banner)
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
+	probeCtx, stopProbes := context.WithCancel(ctx)
+	defer stopProbes()
+	go runProbes(probeCtx)
 	go func() { errc <- httpSrv.Serve(ln) }()
 
 	select {
@@ -199,7 +301,7 @@ func run(ctx context.Context, args []string, stderr io.Writer, ready chan<- stri
 		}
 		// Sketch persistence is write-behind; drain it so a restart on
 		// the same state dir finds everything this process built.
-		srv.WaitFlushes()
+		flush()
 		return nil
 	}
 }

@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// ErrNotFound reports that a peer answered a sketch fetch with 404: the
+// peer is healthy but does not hold the frame. Callers move on to the
+// next candidate (or a cold build) without counting an error.
+var ErrNotFound = errors.New("cluster: peer does not hold the sketch")
+
+// maxFrameBytes bounds one fetched sketch frame. Frames on real
+// workloads are megabytes; a gigabyte means a confused or malicious
+// peer, and the fetch degrades to a cold build like any corrupt frame.
+const maxFrameBytes = 1 << 30
+
+// SketchPath returns the transfer-endpoint path for a wire key, shared
+// by the server (route registration) and the client (fetch) so the two
+// can never drift.
+func SketchPath(key string) string {
+	return "/v1/sketches/" + url.PathEscape(key)
+}
+
+// FetchSketch downloads the persist frame for key from peer. The bytes
+// are returned unvalidated — the caller must verify the frame against
+// its own graph fingerprint before decoding, exactly as it would a state
+// file; a transferred frame can make a request faster, never wrong.
+func (c *Cluster) FetchSketch(ctx context.Context, peer, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, strings.TrimRight(peer, "/")+SketchPath(key), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.mon.client.Do(req)
+	if err != nil {
+		// Transport failure: eject the peer so the next request skips it.
+		// Unless the caller's own context died — a client disconnect says
+		// nothing about the peer's health.
+		if ctx.Err() == nil {
+			c.mon.MarkDown(peer)
+		}
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, ErrNotFound
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: peer %s answered HTTP %d for sketch %q", peer, resp.StatusCode, key)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes+1))
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > maxFrameBytes {
+		return nil, fmt.Errorf("cluster: sketch frame from %s exceeds %d bytes", peer, maxFrameBytes)
+	}
+	return data, nil
+}
+
+// Forward replays one request (method, path incl. query, body) against a
+// peer. A transport-level failure marks the peer down and is returned
+// for the caller to fail over; any HTTP response — errors included — is
+// returned verbatim for pass-through, because a 409 or 503 from the
+// owner is an answer, not a reason to ask someone else. Extra headers
+// (loop guards, fanout marks) ride along via header.
+func (c *Cluster) Forward(ctx context.Context, peer, method, path string, body []byte, header http.Header) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(peer, "/")+path, rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	resp, err := c.mon.client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.mon.MarkDown(peer)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+// CopyResponse streams a forwarded response to the client: status,
+// content type, then the body with per-chunk flushing so streamed
+// payloads (the jobs SSE trace) arrive live through the proxy.
+func CopyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	fl, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if fl != nil {
+				fl.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

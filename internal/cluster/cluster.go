@@ -1,0 +1,289 @@
+// Package cluster implements the building blocks of sharded multi-replica
+// serving: a consistent-hash ring that assigns (graph, spec-key) ownership
+// to replicas, a health monitor that ejects unreachable replicas from
+// routing and readmits them when they recover, and a small HTTP client for
+// the two cross-replica exchanges — proxying a query to its owner and
+// fetching a warm sketch frame (internal/persist wire format) so a cold
+// replica never rebuilds what a peer already holds.
+//
+// Layering: cluster knows about replica base URLs, opaque routing keys and
+// raw frame bytes. What a key means, how a frame decodes, and which
+// endpoint to proxy are the concern of internal/server; cluster only
+// answers "who owns this key", "who is alive", and "move these bytes".
+package cluster
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultVirtualNodes is how many ring points each member contributes.
+// More points smooth the key distribution across members; 64 keeps the
+// worst-case imbalance under a few percent for small fleets while the
+// ring stays tiny.
+const DefaultVirtualNodes = 64
+
+// fnv1a hashes a string (FNV-1a, 64-bit, with a splitmix64 finalizer) —
+// the ring's only hash. FNV alone diffuses trailing characters poorly,
+// and vnode labels differ only in their suffix, so the finalizer is what
+// keeps ring points uniformly spread. Deterministic across processes, so
+// every replica given the same member list computes the same ownership.
+func fnv1a(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// point is one virtual node on the ring.
+type point struct {
+	hash   uint64
+	member int // index into Ring.members
+}
+
+// Ring is an immutable consistent-hash ring over member URLs. Ownership
+// moves only when the member list itself changes; a member going down is
+// handled by skipping it in Order, not by rebuilding the ring — so a
+// flapping replica never reshuffles keys among the healthy ones.
+type Ring struct {
+	members []string
+	points  []point
+}
+
+// NewRing builds a ring over members with vnodes virtual nodes each
+// (<= 0 means DefaultVirtualNodes). Members are deduplicated; order does
+// not matter — two replicas given the same set in any order agree on
+// every key's owner.
+func NewRing(members []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := map[string]bool{}
+	var uniq []string
+	for _, m := range members {
+		if m == "" || seen[m] {
+			continue
+		}
+		seen[m] = true
+		uniq = append(uniq, m)
+	}
+	sort.Strings(uniq)
+	r := &Ring{members: uniq}
+	for i, m := range uniq {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{hash: fnv1a(fmt.Sprintf("%s#%d", m, v)), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].member < r.points[b].member
+	})
+	return r
+}
+
+// Members returns the deduplicated member list (sorted).
+func (r *Ring) Members() []string { return r.members }
+
+// Owner returns the member owning key — the first ring point at or after
+// the key's hash. Empty string for an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	return r.members[r.points[r.search(key)].member]
+}
+
+// search finds the index of the first point at or clockwise-after key.
+func (r *Ring) search(key string) int {
+	h := fnv1a(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Order returns every member in ring-successor order starting at key's
+// owner, deduplicated. This is the failover order: if the owner is down,
+// the key falls to the next distinct member clockwise, and so on — the
+// same sequence every replica computes.
+func (r *Ring) Order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(r.members))
+	seen := make([]bool, len(r.members))
+	start := r.search(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}
+
+// Stats snapshots the cluster counters for /v1/stats. PeersUp counts
+// peer replicas currently believed reachable (self excluded); PeersKnown
+// the configured peer count.
+type Stats struct {
+	PeersKnown      int   `json:"peers_known"`
+	PeersUp         int   `json:"peers_up"`
+	Proxied         int64 `json:"proxied"`
+	Failovers       int64 `json:"failovers"`
+	PeerFetches     int64 `json:"peer_fetches"`
+	PeerFetchBytes  int64 `json:"peer_fetch_bytes"`
+	PeerFetchErrors int64 `json:"peer_fetch_errors"`
+	UpdateFanouts   int64 `json:"update_fanouts"`
+	Probes          int64 `json:"probes"`
+}
+
+// Cluster is one replica's view of the fleet: the ring over every member
+// (self included unless self is empty, as in a pure router), the health
+// monitor over the peers, and the cross-replica counters. Construct with
+// New; the zero value is not usable.
+type Cluster struct {
+	self  string // advertised base URL of this replica; "" for routers
+	peers []string
+	ring  *Ring
+	mon   *Monitor
+
+	// Counters, surfaced in /v1/stats as the cluster_* family.
+	Proxied         atomic.Int64 // requests forwarded to their owning replica
+	Failovers       atomic.Int64 // candidates skipped because a replica was down/unreachable
+	PeerFetches     atomic.Int64 // sketches fetched from a peer instead of built
+	PeerFetchBytes  atomic.Int64 // frame bytes transferred by those fetches
+	PeerFetchErrors atomic.Int64 // corrupt/mismatched/failed peer frames (degraded to cold build)
+	UpdateFanouts   atomic.Int64 // graph-update batches forwarded to peers
+}
+
+// Config parametrizes New. The zero value of optional fields picks the
+// documented defaults.
+type Config struct {
+	// Self is this replica's advertised base URL (what peers dial).
+	// Empty means the process is a pure router: it routes and proxies but
+	// owns no keys itself.
+	Self string
+	// Peers are the other replicas' base URLs.
+	Peers []string
+	// VirtualNodes per ring member; <= 0 means DefaultVirtualNodes.
+	VirtualNodes int
+	// ProbeInterval is the health-probe period; <= 0 means 2s.
+	ProbeInterval time.Duration
+	// Client issues every cross-replica request (probes, fetches,
+	// proxies); nil means a client with a 30s timeout. Probes always use
+	// a short per-probe timeout regardless.
+	Client *http.Client
+}
+
+// New builds a Cluster. The ring spans self (when non-empty) plus every
+// peer, so all replicas given consistent flags agree on ownership.
+func New(cfg Config) *Cluster {
+	members := append([]string(nil), cfg.Peers...)
+	if cfg.Self != "" {
+		members = append(members, cfg.Self)
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Cluster{
+		self:  cfg.Self,
+		peers: dedup(cfg.Peers),
+		ring:  NewRing(members, cfg.VirtualNodes),
+		mon:   NewMonitor(dedup(cfg.Peers), cfg.ProbeInterval, client),
+	}
+}
+
+func dedup(in []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range in {
+		if s == "" || seen[s] {
+			continue
+		}
+		seen[s] = true
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Self returns this replica's advertised URL ("" for routers).
+func (c *Cluster) Self() string { return c.self }
+
+// Peers returns the configured peer URLs (sorted, deduplicated).
+func (c *Cluster) Peers() []string { return c.peers }
+
+// Monitor exposes the health monitor (probe control, liveness marks).
+func (c *Cluster) Monitor() *Monitor { return c.mon }
+
+// Owner returns the ring owner for key, dead or alive. Routing should use
+// Candidates, which folds health in; Owner is for introspection.
+func (c *Cluster) Owner(key string) string { return c.ring.Owner(key) }
+
+// Candidates returns the members to try for key, in ring-failover order,
+// with ejected (down) peers skipped. Self, when a member, is never
+// skipped — a replica can always serve its own traffic. The down-peer
+// skips are NOT counted as failovers here: a failover is an attempt that
+// failed, counted by the caller when a dial actually fails, while an
+// ejected peer costs nothing.
+func (c *Cluster) Candidates(key string) []string {
+	order := c.ring.Order(key)
+	out := make([]string, 0, len(order))
+	for _, m := range order {
+		if m != c.self && !c.mon.Alive(m) {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// FetchOrder returns the peers to ask for a sketch key: ring order from
+// the key with self excluded and down peers skipped — the owner first,
+// because the owner is where routing concentrates that key's traffic and
+// therefore where its sketch is warmest.
+func (c *Cluster) FetchOrder(key string) []string {
+	order := c.ring.Order(key)
+	out := make([]string, 0, len(order))
+	for _, m := range order {
+		if m == c.self || !c.mon.Alive(m) {
+			continue
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// Stats snapshots every counter plus the monitor's liveness view.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		PeersKnown:      len(c.peers),
+		PeersUp:         c.mon.UpCount(),
+		Proxied:         c.Proxied.Load(),
+		Failovers:       c.Failovers.Load(),
+		PeerFetches:     c.PeerFetches.Load(),
+		PeerFetchBytes:  c.PeerFetchBytes.Load(),
+		PeerFetchErrors: c.PeerFetchErrors.Load(),
+		UpdateFanouts:   c.UpdateFanouts.Load(),
+		Probes:          c.mon.Probes.Load(),
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestRingDeterministicAcrossMemberOrder(t *testing.T) {
+	a := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	b := NewRing([]string{"http://c", "http://a", "http://b", "http://a"}, 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("graph|key-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("ring owners disagree for %q: %q vs %q", key, a.Owner(key), b.Owner(key))
+		}
+		ao, bo := a.Order(key), b.Order(key)
+		if len(ao) != 3 || len(bo) != 3 {
+			t.Fatalf("Order(%q) should cover all 3 members, got %v / %v", key, ao, bo)
+		}
+		for j := range ao {
+			if ao[j] != bo[j] {
+				t.Fatalf("failover orders disagree for %q: %v vs %v", key, ao, bo)
+			}
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	members := []string{"http://a", "http://b", "http://c", "http://d"}
+	r := NewRing(members, 0)
+	counts := map[string]int{}
+	const n = 4000
+	for i := 0; i < n; i++ {
+		counts[r.Owner(fmt.Sprintf("key-%d", i))]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("member %s owns %.1f%% of keys; ring badly unbalanced: %v", m, 100*frac, counts)
+		}
+	}
+}
+
+// Removing a member must only move that member's keys: everyone else's
+// ownership is stable (the point of consistent hashing).
+func TestRingStabilityUnderMembershipChange(t *testing.T) {
+	full := NewRing([]string{"http://a", "http://b", "http://c"}, 0)
+	reduced := NewRing([]string{"http://a", "http://b"}, 0)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if o := full.Owner(key); o != "http://c" && reduced.Owner(key) != o {
+			t.Fatalf("key %q moved from %q to %q though its owner never left", key, o, reduced.Owner(key))
+		}
+	}
+}
+
+func TestCandidatesSkipDownPeersButNeverSelf(t *testing.T) {
+	c := New(Config{Self: "http://self", Peers: []string{"http://p1", "http://p2"}})
+	key := "some|key"
+	if got := len(c.Candidates(key)); got != 3 {
+		t.Fatalf("all alive: want 3 candidates, got %d", got)
+	}
+	c.Monitor().MarkDown("http://p1")
+	c.Monitor().MarkDown("http://p2")
+	cands := c.Candidates(key)
+	if len(cands) != 1 || cands[0] != "http://self" {
+		t.Fatalf("all peers down: want [self], got %v", cands)
+	}
+	if got := c.Stats().PeersUp; got != 0 {
+		t.Fatalf("peers_up = %d with every peer down", got)
+	}
+	if fo := c.FetchOrder(key); len(fo) != 0 {
+		t.Fatalf("fetch order should exclude self and down peers, got %v", fo)
+	}
+}
+
+func TestMonitorProbeEjectsAndReadmits(t *testing.T) {
+	healthy := true
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			t.Errorf("probe hit %s, want /healthz", r.URL.Path)
+		}
+		if healthy {
+			w.WriteHeader(http.StatusOK)
+		} else {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+	}))
+	defer ts.Close()
+
+	m := NewMonitor([]string{ts.URL}, time.Hour, ts.Client())
+	if !m.Alive(ts.URL) {
+		t.Fatal("peers must start alive")
+	}
+	healthy = false
+	m.ProbeAll(context.Background())
+	if m.Alive(ts.URL) {
+		t.Fatal("failed probe did not eject the peer")
+	}
+	healthy = true
+	m.ProbeAll(context.Background())
+	if !m.Alive(ts.URL) {
+		t.Fatal("successful probe did not readmit the peer")
+	}
+	if m.UpCount() != 1 {
+		t.Fatalf("UpCount = %d, want 1", m.UpCount())
+	}
+}
+
+func TestFetchSketchTransportFailureMarksDown(t *testing.T) {
+	// A listener that is already closed: instant connection refused.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead := ts.URL
+	ts.Close()
+
+	c := New(Config{Self: "http://self", Peers: []string{dead}})
+	if _, err := c.FetchSketch(context.Background(), dead, "k"); err == nil {
+		t.Fatal("fetch from a dead peer succeeded")
+	}
+	if c.Monitor().Alive(dead) {
+		t.Fatal("transport failure did not mark the peer down")
+	}
+}
+
+func TestFetchSketchStatuses(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case SketchPath("have"):
+			w.Write([]byte("FRAMEBYTES"))
+		case SketchPath("miss"):
+			w.WriteHeader(http.StatusNotFound)
+		default:
+			w.WriteHeader(http.StatusInternalServerError)
+		}
+	}))
+	defer ts.Close()
+	c := New(Config{Self: "http://self", Peers: []string{ts.URL}, Client: ts.Client()})
+
+	data, err := c.FetchSketch(context.Background(), ts.URL, "have")
+	if err != nil || string(data) != "FRAMEBYTES" {
+		t.Fatalf("fetch(have) = %q, %v", data, err)
+	}
+	if _, err := c.FetchSketch(context.Background(), ts.URL, "miss"); err != ErrNotFound {
+		t.Fatalf("fetch(miss) err = %v, want ErrNotFound", err)
+	}
+	if _, err := c.FetchSketch(context.Background(), ts.URL, "boom"); err == nil || err == ErrNotFound {
+		t.Fatalf("fetch(boom) err = %v, want a status error", err)
+	}
+	if !c.Monitor().Alive(ts.URL) {
+		t.Fatal("HTTP-level errors must not eject a healthy peer")
+	}
+}

@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultProbeInterval is the health-probe period when none is
+// configured. Short enough that a recovered replica rejoins routing
+// within a couple of seconds, long enough that probes are noise.
+const DefaultProbeInterval = 2 * time.Second
+
+// probeTimeout bounds one /healthz probe. A peer that cannot answer a
+// trivial GET in this window is not a peer worth routing to.
+const probeTimeout = 2 * time.Second
+
+// Monitor tracks peer liveness. Two inputs move a peer's state: periodic
+// /healthz probes (Run), and MarkDown calls from request paths that hit a
+// transport failure — so a dead peer is ejected on the first failed
+// request, not a probe period later. Peers start alive: at boot the fleet
+// is assumed healthy and the first failed dial corrects the optimism
+// immediately.
+type Monitor struct {
+	peers    []string
+	interval time.Duration
+	client   *http.Client
+
+	Probes atomic.Int64 // completed probe rounds
+
+	mu   sync.Mutex
+	down map[string]bool
+}
+
+// NewMonitor builds a monitor over peers probing every interval (<= 0
+// means DefaultProbeInterval) with client.
+func NewMonitor(peers []string, interval time.Duration, client *http.Client) *Monitor {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	return &Monitor{
+		peers:    peers,
+		interval: interval,
+		client:   client,
+		down:     map[string]bool{},
+	}
+}
+
+// Alive reports whether peer is currently routable. Unknown peers are
+// alive — the monitor only tracks the configured fleet, and a caller
+// asking about self should route to it.
+func (m *Monitor) Alive(peer string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return !m.down[peer]
+}
+
+// MarkDown ejects a peer immediately (called on request-path transport
+// failures). The next successful probe readmits it.
+func (m *Monitor) MarkDown(peer string) {
+	m.mu.Lock()
+	m.down[peer] = true
+	m.mu.Unlock()
+}
+
+// UpCount counts peers currently alive.
+func (m *Monitor) UpCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, p := range m.peers {
+		if !m.down[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// ProbeAll probes every peer's /healthz once, updating liveness: a 200
+// readmits, anything else (including transport failure) ejects.
+func (m *Monitor) ProbeAll(ctx context.Context) {
+	for _, p := range m.peers {
+		alive := m.probe(ctx, p)
+		m.mu.Lock()
+		m.down[p] = !alive
+		m.mu.Unlock()
+	}
+	m.Probes.Add(1)
+}
+
+// probe is one /healthz round trip.
+func (m *Monitor) probe(ctx context.Context, peer string) bool {
+	pctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, strings.TrimRight(peer, "/")+"/healthz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := m.client.Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// Run probes every interval until ctx is cancelled. The daemon starts it
+// once alongside the HTTP server; tests drive ProbeAll directly instead.
+func (m *Monitor) Run(ctx context.Context) {
+	ticker := time.NewTicker(m.interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.ProbeAll(ctx)
+		}
+	}
+}

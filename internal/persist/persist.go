@@ -23,6 +23,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc64"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -124,6 +125,61 @@ func DecodeRange(data []byte, want Meta, minVersion uint32) ([]byte, uint32, err
 		return nil, 0, fmt.Errorf("%w: graph fingerprint %016x, want %016x", ErrMismatch, fingerprint, want.Fingerprint)
 	}
 	return payload, version, nil
+}
+
+// EncodeTo streams a framed payload to w — the same bytes Encode
+// produces, without materializing header+payload in one allocation. This
+// is the transfer-endpoint writer: a replica streaming a warm sketch to a
+// peer frames it exactly as Save would frame it to disk, so the wire
+// format and the state-file format can never diverge.
+func EncodeTo(w io.Writer, meta Meta, payload []byte) error {
+	if len(meta.Kind) != 4 {
+		return fmt.Errorf("persist: kind %q must be exactly 4 bytes", meta.Kind)
+	}
+	header := make([]byte, 0, headerSize)
+	header = append(header, magic...)
+	header = binary.LittleEndian.AppendUint32(header, meta.Version)
+	header = append(header, meta.Kind...)
+	header = binary.LittleEndian.AppendUint64(header, meta.Fingerprint)
+	header = binary.LittleEndian.AppendUint64(header, uint64(len(payload)))
+	header = binary.LittleEndian.AppendUint64(header, crc64.Checksum(payload, crcTable))
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// DecodeFrom reads one frame from r and verifies it like DecodeRange:
+// header first, then exactly the payload length the header claims, capped
+// at maxPayload (<= 0 means no cap). A short read anywhere is ErrCorrupt —
+// a truncated network stream must be indistinguishable from a truncated
+// file, and both fall back to a cold build. Returns the payload and the
+// codec version it was written under.
+func DecodeFrom(r io.Reader, want Meta, minVersion uint32, maxPayload int64) ([]byte, uint32, error) {
+	header := make([]byte, headerSize)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, 0, fmt.Errorf("%w: short header read: %v", ErrCorrupt, err)
+	}
+	if string(header[:len(magic)]) != magic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	payloadLen := binary.LittleEndian.Uint64(header[len(magic)+4+4+8:])
+	if maxPayload > 0 && payloadLen > uint64(maxPayload) {
+		return nil, 0, fmt.Errorf("%w: header claims %d payload bytes, cap is %d", ErrCorrupt, payloadLen, maxPayload)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, fmt.Errorf("%w: short payload read: %v", ErrCorrupt, err)
+	}
+	// One trailing byte distinguishes "stream over" from "stream carries
+	// trailing garbage"; DecodeRange would reject the latter for a byte
+	// slice and the stream reader must be no laxer.
+	var extra [1]byte
+	if n, _ := r.Read(extra[:]); n != 0 {
+		return nil, 0, fmt.Errorf("%w: trailing bytes after the framed payload", ErrCorrupt)
+	}
+	return DecodeRange(append(header, payload...), want, minVersion)
 }
 
 // Save atomically writes a framed payload: the frame goes to a temp file

@@ -213,3 +213,56 @@ func TestDecHelpers(t *testing.T) {
 		t.Fatalf("trailing bytes: err = %v", err)
 	}
 }
+
+func TestEncodeToMatchesEncode(t *testing.T) {
+	payload := []byte("streamed payload bytes")
+	want, err := Encode(testMeta(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := EncodeTo(&buf, testMeta(), payload); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatal("EncodeTo bytes differ from Encode — wire and disk formats diverged")
+	}
+	if err := EncodeTo(&bytes.Buffer{}, Meta{Kind: "toolong!"}, payload); err == nil {
+		t.Fatal("EncodeTo accepted a non-4-byte kind")
+	}
+}
+
+func TestDecodeFromRoundTripAndRejection(t *testing.T) {
+	payload := []byte("a payload long enough to truncate meaningfully")
+	framed, err := Encode(testMeta(), payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got, version, err := DecodeFrom(bytes.NewReader(framed), testMeta(), testMeta().Version, 0)
+	if err != nil || version != testMeta().Version || !bytes.Equal(got, payload) {
+		t.Fatalf("round trip: %q v%d %v", got, version, err)
+	}
+
+	check := func(name string, data []byte, maxPayload int64, want error) {
+		t.Helper()
+		if _, _, err := DecodeFrom(bytes.NewReader(data), testMeta(), testMeta().Version, maxPayload); !errors.Is(err, want) {
+			t.Errorf("%s: err = %v, want %v", name, err, want)
+		}
+	}
+	check("truncated header", framed[:10], 0, ErrCorrupt)
+	check("truncated payload", framed[:len(framed)-7], 0, ErrCorrupt)
+	check("empty stream", nil, 0, ErrCorrupt)
+	check("trailing garbage", append(append([]byte(nil), framed...), 'x'), 0, ErrCorrupt)
+	check("payload over cap", framed, int64(len(payload)-1), ErrCorrupt)
+
+	flipped := append([]byte(nil), framed...)
+	flipped[len(flipped)-2] ^= 0x01
+	check("bit rot", flipped, 0, ErrCorrupt)
+
+	wrong := testMeta()
+	wrong.Fingerprint++
+	if _, _, err := DecodeFrom(bytes.NewReader(framed), wrong, wrong.Version, 0); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("fingerprint skew: err = %v, want ErrMismatch", err)
+	}
+}

@@ -147,6 +147,13 @@ type Cache struct {
 	// ris.DefaultRefreshThreshold. Set once before first use.
 	refreshThreshold float64
 
+	// peers, when non-nil, answers memory+disk misses by fetching the
+	// warm frame from another replica before sampling (sharded serving).
+	// The fetch runs inside the singleflight like the disk load, so a key
+	// goes over the wire at most once per process no matter the fan-in.
+	// Set once before first use.
+	peers peerSource
+
 	// flushWG tracks write-behind disk saves in flight; flushing mirrors
 	// it as a gauge for CacheStats. WaitFlushes drains it on shutdown.
 	flushWG  sync.WaitGroup
@@ -186,6 +193,14 @@ type Cache struct {
 // sketches across graph versions; see Registry.TouchedSince.
 type versionHistory interface {
 	TouchedSince(name string, from, to uint64) (heads []graph.NodeID, groupsChanged bool, ok bool)
+}
+
+// peerSource is the cache's hook into cross-replica sketch exchange: a
+// nil return means no peer produced a usable sample (build cold). The
+// implementation (clusterState.fetchSample) validates fetched frames as
+// strictly as a disk load, so the cache can trust what it gets back.
+type peerSource interface {
+	fetchSample(ctx context.Context, key sampleKey, g *graph.Graph) *sample
 }
 
 // NewCache returns a cache holding at most capacity samples; capacity
@@ -393,12 +408,18 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 		close(e.started) // slot held: bounded joiners now commit to the wait
 		start := time.Now()
 		diskHit := false
+		peerHit := false
 		if smp := c.diskLoad(key, g); smp != nil {
 			e.sample, diskHit = smp, true
 		} else if smp := c.refreshFrom(key, g, parallelism, ctx.Done()); smp != nil {
 			// An older version's in-memory sketch was refreshed in place of
 			// a cold build; it is persisted below like any fresh build.
 			e.sample = smp
+		} else if smp := c.peerLoad(ctx, key, g); smp != nil {
+			// A warm peer answered the miss: the frame validated like a
+			// state file and nothing was sampled. Persisted below like a
+			// fresh build, so the next restart is warm without the peer.
+			e.sample, peerHit = smp, true
 		} else {
 			c.mu.Lock()
 			c.builds++
@@ -431,10 +452,43 @@ func (c *Cache) SampleFor(ctx context.Context, key sampleKey, g *graph.Graph, pa
 			// Write-behind: the response never waits on the disk tier.
 			c.diskSaveAsync(key, e.sample)
 		}
-		// A disk-loaded sample counts as a hit: nothing was sampled, the
-		// daemon restarted warm.
-		return e.sample, diskHit, e.buildMS, nil
+		// A disk-loaded or peer-fetched sample counts as a hit: nothing
+		// was sampled, the replica started warm.
+		return e.sample, diskHit || peerHit, e.buildMS, nil
 	}
+}
+
+// peerLoad tries the cluster for key's warm frame; nil without peers.
+// Counter bumps (peer_fetches, peer_fetch_errors) happen inside the
+// peerSource, which owns the cluster counters.
+func (c *Cache) peerLoad(ctx context.Context, key sampleKey, g *graph.Graph) *sample {
+	if c.peers == nil {
+		return nil
+	}
+	return c.peers.fetchSample(ctx, key, g)
+}
+
+// peek returns the ready, error-free sample cached under key without
+// joining or starting any build — the sketch transfer endpoint's read:
+// either the frame is warm right now, or the peer is told 404 and moves
+// on. Serving a peer counts as a use for the LRU.
+func (c *Cache) peek(key sampleKey) *sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		return nil
+	}
+	select {
+	case <-e.ready:
+	default:
+		return nil
+	}
+	if e.err != nil {
+		return nil
+	}
+	c.lru.MoveToFront(e.elem)
+	return e.sample
 }
 
 // diskLoad tries the persisted sample for key. Any unusable state file is

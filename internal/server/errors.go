@@ -32,6 +32,14 @@ const (
 	// CodeVersionConflict marks graph updates whose expect_version lost a
 	// race with a concurrent update; re-read the version and retry.
 	CodeVersionConflict = "version_conflict"
+	// CodePeerUnreachable marks requests that had to reach another
+	// replica (proxy, failover, job lookup) when every candidate was
+	// down; retry once the fleet recovers.
+	CodePeerUnreachable = "peer_unreachable"
+	// CodeSketchNotFound marks sketch-transfer fetches for a key this
+	// replica holds neither in memory nor on disk; the fetcher builds
+	// cold.
+	CodeSketchNotFound = "sketch_not_found"
 	// CodeInternal marks server-side failures.
 	CodeInternal = "internal"
 )

@@ -428,17 +428,32 @@ func (st *jobStore) list() []JobStatus {
 }
 
 func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var req SolveRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+	if !decodeStrict(w, body, &req) {
 		return
 	}
 	spec, err := req.toSpec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
+	}
+	// Jobs route like solves — the owner's cache hosts the sketch. The
+	// accepted job's id is remembered against the peer that took it, so
+	// status polls and trace streams landing here forward correctly.
+	if cands := s.routeCandidates(r, routeKeyFor(req.Graph, spec)); cands != nil {
+		proxied := s.proxyWithFailover(w, r, cands, "/v1/jobs", body, func(peer string, status int, data []byte) {
+			var js JobStatus
+			if status == http.StatusAccepted && json.Unmarshal(data, &js) == nil && js.ID != "" {
+				s.cluster.rememberJob(js.ID, peer)
+			}
+		})
+		if proxied {
+			return
+		}
 	}
 	// Resolve the graph synchronously so unknown names are a 404 at
 	// submission, not a failed job discovered later. The job solves the
@@ -508,6 +523,9 @@ func (s *Server) runJob(ctx context.Context, j *job, g *graph.Graph, graphName s
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
+		if s.forwardJobRequest(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -527,6 +545,9 @@ func (s *Server) handleJobList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
+		if s.forwardJobRequest(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
@@ -540,6 +561,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobTrace(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
+		// Forwarded traces stream live through the proxy (CopyResponse
+		// flushes per chunk).
+		if s.forwardJobRequest(w, r, r.PathValue("id")) {
+			return
+		}
 		writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}

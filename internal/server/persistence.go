@@ -217,20 +217,35 @@ func (d *diskStore) fileName(key sampleKey) string {
 	return filepath.Join(d.dir, fmt.Sprintf("%s-%016x.sample", safe, h.Sum64()))
 }
 
-// meta frames a key's payload: the codec kind/version follow the engine;
-// the fingerprint binds the file to the graph's exact structure AND its
-// registry version. Content alone is not identity for dynamic graphs — a
-// delta and its inverse restore the structural fingerprint while the
-// version keeps moving, and the stale file must not satisfy the round
-// trip.
-func (d *diskStore) meta(key sampleKey, g *graph.Graph) persist.Meta {
-	m := persist.Meta{Fingerprint: persist.VersionedFingerprint(d.fingerprint(g), key.version)}
+// frameMeta frames a key's payload: the codec kind/version follow the
+// engine; the fingerprint binds the frame to the graph's exact structure
+// AND its registry version. Content alone is not identity for dynamic
+// graphs — a delta and its inverse restore the structural fingerprint
+// while the version keeps moving, and the stale frame must not satisfy
+// the round trip. Shared by the disk tier and the cross-replica sketch
+// exchange: the wire format IS the state-file format.
+func frameMeta(key sampleKey, fp uint64) persist.Meta {
+	m := persist.Meta{Fingerprint: persist.VersionedFingerprint(fp, key.version)}
 	if key.engine == fairim.EngineRIS {
 		m.Kind, m.Version = ris.CodecKind, ris.CodecVersion
 	} else {
 		m.Kind, m.Version = cascade.WorldCodecKind, cascade.WorldCodecVersion
 	}
 	return m
+}
+
+// minCodecVersion is the oldest payload codec a key's engine still
+// decodes; frames from any version in [min, current] are accepted.
+func minCodecVersion(key sampleKey) uint32 {
+	if key.engine == fairim.EngineRIS {
+		return ris.CodecMinVersion
+	}
+	return cascade.WorldCodecMinVersion
+}
+
+// meta frames a key's payload for this store's graph.
+func (d *diskStore) meta(key sampleKey, g *graph.Graph) persist.Meta {
+	return frameMeta(key, d.fingerprint(g))
 }
 
 // load reads the persisted sample for key, if any. It returns (nil, nil)
@@ -243,12 +258,8 @@ func (d *diskStore) meta(key sampleKey, g *graph.Graph) persist.Meta {
 // parameters (τ, explicit budgets), so even a valid file that somehow
 // landed under the wrong name cannot serve wrong answers.
 func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
-	minVersion := uint32(cascade.WorldCodecMinVersion)
-	if key.engine == fairim.EngineRIS {
-		minVersion = ris.CodecMinVersion
-	}
 	path := d.fileName(key)
-	payload, version, err := persist.LoadRange(path, d.meta(key, g), minVersion)
+	payload, version, err := persist.LoadRange(path, d.meta(key, g), minCodecVersion(key))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -256,6 +267,16 @@ func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
 		return nil, err
 	}
 	d.touch(path, time.Now())
+	return decodeSamplePayload(key, g, payload, version)
+}
+
+// decodeSamplePayload turns a verified frame payload back into a sample,
+// then validates the decoded artifact against the key's own parameters
+// (τ, explicit budgets): even a valid frame that somehow landed under the
+// wrong name — or arrived from a confused peer — cannot serve wrong
+// answers. Shared by the disk tier and the cross-replica sketch fetch,
+// so a transferred frame passes exactly the checks a local load would.
+func decodeSamplePayload(key sampleKey, g *graph.Graph, payload []byte, version uint32) (*sample, error) {
 	if key.engine == fairim.EngineRIS {
 		col, err := ris.DecodePayloadVersion(version, payload, g)
 		if err != nil {
@@ -284,6 +305,20 @@ func (d *diskStore) load(key sampleKey, g *graph.Graph) (*sample, error) {
 		return nil, fmt.Errorf("server: persisted world set has %d worlds, key wants %d", len(worlds), key.budget)
 	}
 	return &sample{g: g, worlds: worlds}, nil
+}
+
+// rawFrame returns the stored frame bytes for key verbatim — the sketch
+// transfer endpoint streams state files as-is, and the fetching replica
+// validates the frame exactly as it would a local file. Serving counts
+// as a use for the GC's LRU.
+func (d *diskStore) rawFrame(key sampleKey) ([]byte, bool) {
+	path := d.fileName(key)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	d.touch(path, time.Now())
+	return data, true
 }
 
 // save writes a freshly built sample under the key's file name and runs

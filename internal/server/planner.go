@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
 	"net/http"
 	"sync"
@@ -112,6 +111,13 @@ func (s *Server) solveBatch(ctx context.Context, gate workerGate, graphName stri
 	}
 	defer gate.release()
 
+	// The whole batch is one occupant of the pool, so it shares one
+	// occupancy-adapted worker count (computed while holding the slot).
+	effPar := s.effectiveParallelism()
+	for i := range specs {
+		specs[i].Parallelism = effPar
+	}
+
 	// warmLens records, per group id, how many memoized seeds primed the
 	// shared run; members report min(that, own budget) as warm_seeds.
 	// SolveBatch runs groups sequentially on this goroutine, so plain
@@ -169,21 +175,22 @@ func (s *Server) solveBatch(ctx context.Context, gate workerGate, graphName stri
 			}
 		}
 		items[i] = batchItemResult{resp: &SolveResponse{
-			Problem:             res.Problem,
-			Graph:               graphName,
-			Engine:              specs[i].Engine.String(),
-			UtilityReport:       reportOf(res),
-			Evaluations:         res.Evaluations,
-			CacheHit:            f.hit,
-			GraphVersion:        version,
-			RRRefreshed:         f.smp.rrRefreshed,
-			RRRetained:          f.smp.rrRetained,
-			WarmSeeds:           warm,
-			SampleMS:            f.buildMS,
-			SolveMS:             solveMS, // the whole shared pass; per-item attribution would be fiction
-			ResolvedSamples:     res.Samples,
-			ResolvedRISPerGroup: res.RISPerGroup,
-			Trace:               traceEvents(res.Trace),
+			Problem:              res.Problem,
+			Graph:                graphName,
+			Engine:               specs[i].Engine.String(),
+			UtilityReport:        reportOf(res),
+			Evaluations:          res.Evaluations,
+			CacheHit:             f.hit,
+			GraphVersion:         version,
+			RRRefreshed:          f.smp.rrRefreshed,
+			RRRetained:           f.smp.rrRetained,
+			WarmSeeds:            warm,
+			SampleMS:             f.buildMS,
+			SolveMS:              solveMS, // the whole shared pass; per-item attribution would be fiction
+			ResolvedSamples:      res.Samples,
+			ResolvedRISPerGroup:  res.RISPerGroup,
+			Trace:                traceEvents(res.Trace),
+			EffectiveParallelism: effPar,
 		}}
 	}
 	s.plannerBatches.Add(1)
@@ -211,11 +218,12 @@ func errItem(err error) BatchItem {
 // snapshot is resolved exactly once, so every item for a graph reports
 // the same graph_version — a batch can never mix versions.
 func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var req BatchSolveRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+	if !decodeStrict(w, body, &req) {
 		return
 	}
 	if len(req.Requests) == 0 {
@@ -225,6 +233,16 @@ func (s *Server) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
 	if len(req.Requests) > maxBatchRequests {
 		writeError(w, http.StatusBadRequest, CodeBadSpec, "batch of %d exceeds the %d-request limit", len(req.Requests), maxBatchRequests)
 		return
+	}
+	// A batch whose requests all route to the same owner is proxied as a
+	// unit; mixed batches are served here (correct either way — routing
+	// only concentrates cache affinity).
+	if key, uniform := batchRouteKey(req.Requests); uniform {
+		if cands := s.routeCandidates(r, key); cands != nil {
+			if s.proxyWithFailover(w, r, cands, "/v1/select/batch", body, nil) {
+				return
+			}
+		}
 	}
 
 	resp := BatchSolveResponse{Items: make([]BatchItem, len(req.Requests))}

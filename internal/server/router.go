@@ -1,0 +1,275 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"fairtcim/internal/cluster"
+)
+
+// The standalone routing tier (fairtcimd -route). A Router holds no
+// graphs and builds no sketches: it computes the same consistent-hash
+// ring the replicas do (its own self is empty, so it owns nothing) and
+// relays every request to the key's owner with the same bounded
+// failover, so clients can talk to one stable address while the fleet
+// behind it scales, drains and recovers. Responses pass through
+// verbatim — including error envelopes — and forwarded requests carry
+// the proxied header, so a replica receiving them always serves locally
+// even if its own ring view briefly disagrees with the router's.
+
+// RouterConfig parametrizes NewRouter.
+type RouterConfig struct {
+	// Replicas are the fleet members' base URLs (required, non-empty).
+	// Every replica should run with -peers naming the same fleet so the
+	// router and the replicas agree on key ownership.
+	Replicas []string
+	// VirtualNodes per ring member; <= 0 means cluster.DefaultVirtualNodes.
+	VirtualNodes int
+	// ProbeInterval is the replica health-probe period; <= 0 means 2s.
+	ProbeInterval time.Duration
+	// Client issues the forwarded requests and probes; nil means a client
+	// with a 30s timeout.
+	Client *http.Client
+	// RequestLog, when non-nil, receives the structured access log (one
+	// JSON line per routed request); see Config.RequestLog.
+	RequestLog io.Writer
+}
+
+// Router routes requests across a replica fleet without serving any
+// itself. Construct with NewRouter, mount via Handler, and run
+// RunProbes for the process lifetime so dead replicas are ejected.
+type Router struct {
+	cs      *clusterState
+	mux     *http.ServeMux
+	metrics *httpMetrics
+}
+
+// NewRouter builds a Router over cfg.Replicas.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	if len(cfg.Replicas) == 0 {
+		return nil, fmt.Errorf("server: RouterConfig.Replicas is required")
+	}
+	c := cluster.New(cluster.Config{
+		Peers:         cfg.Replicas,
+		VirtualNodes:  cfg.VirtualNodes,
+		ProbeInterval: cfg.ProbeInterval,
+		Client:        cfg.Client,
+	})
+	rt := &Router{cs: newClusterState(c, nil), mux: http.NewServeMux(), metrics: newHTTPMetrics(cfg.RequestLog)}
+	rt.mux.HandleFunc("POST /v1/select", rt.handleSelect)
+	rt.mux.HandleFunc("POST /v1/select/batch", rt.handleSelectBatch)
+	rt.mux.HandleFunc("POST /v1/estimate", rt.handleAny)
+	rt.mux.HandleFunc("POST /v1/jobs", rt.handleJobSubmit)
+	rt.mux.HandleFunc("GET /v1/jobs", rt.handleJobList)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("DELETE /v1/jobs/{id}", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/jobs/{id}/trace", rt.handleJob)
+	rt.mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	rt.mux.HandleFunc("GET /v1/graphs", rt.handleAny)
+	rt.mux.HandleFunc("GET /v1/graphs/{name}", rt.handleAny)
+	rt.mux.HandleFunc("POST /v1/graphs/{name}/updates", rt.handleAny)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler, instrumented like the
+// replica's (per-route metrics, optional access log).
+func (rt *Router) Handler() http.Handler { return rt.metrics.wrap(rt.mux) }
+
+// RunProbes drives periodic replica health probes until ctx ends; see
+// Server.RunClusterProbes.
+func (rt *Router) RunProbes(ctx context.Context) {
+	rt.cs.c.Monitor().Run(ctx)
+}
+
+// Stats snapshots the router's cluster counters.
+func (rt *Router) Stats() cluster.Stats { return rt.cs.c.Stats() }
+
+// order returns every replica with the live ones first — the attempt
+// order for requests any replica can answer. Down replicas stay on the
+// list as a last resort: the probe view may be stale, and a dial that
+// fails costs one failover, while dropping the only live replica costs
+// the request.
+func (rt *Router) order() []string {
+	members := rt.cs.c.Peers()
+	out := make([]string, 0, len(members))
+	var down []string
+	mon := rt.cs.c.Monitor()
+	for _, m := range members {
+		if mon.Alive(m) {
+			out = append(out, m)
+		} else {
+			down = append(down, m)
+		}
+	}
+	return append(out, down...)
+}
+
+// candidates returns the keyed failover order, falling back to "try
+// everyone" when health probes have ejected the whole fleet.
+func (rt *Router) candidates(key string) []string {
+	if cands := rt.cs.c.Candidates(key); len(cands) > 0 {
+		return cands
+	}
+	return rt.order()
+}
+
+// handleSelect routes POST /v1/select to the spec's owner.
+func (rt *Router) handleSelect(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req SolveRequest
+	if !decodeStrict(w, body, &req) {
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
+		return
+	}
+	rt.cs.proxy(w, r, rt.candidates(routeKeyFor(req.Graph, spec)), "/v1/select", body, nil)
+}
+
+// handleSelectBatch routes a uniform batch to its common owner; a mixed
+// batch goes to any live replica, which coalesces and answers it whole.
+func (rt *Router) handleSelectBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req BatchSolveRequest
+	if !decodeStrict(w, body, &req) {
+		return
+	}
+	cands := rt.order()
+	if key, uniform := batchRouteKey(req.Requests); uniform {
+		cands = rt.candidates(key)
+	}
+	rt.cs.proxy(w, r, cands, "/v1/select/batch", body, nil)
+}
+
+// handleJobSubmit routes POST /v1/jobs like a solve and remembers which
+// replica accepted the job, so polls and traces for its id route back.
+func (rt *Router) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	var req SolveRequest
+	if !decodeStrict(w, body, &req) {
+		return
+	}
+	spec, err := req.toSpec()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
+		return
+	}
+	rt.cs.proxy(w, r, rt.candidates(routeKeyFor(req.Graph, spec)), "/v1/jobs", body, func(peer string, status int, data []byte) {
+		var js JobStatus
+		if status == http.StatusAccepted && json.Unmarshal(data, &js) == nil && js.ID != "" {
+			rt.cs.rememberJob(js.ID, peer)
+		}
+	})
+}
+
+// handleJob serves GET/DELETE /v1/jobs/{id} and the trace stream: a
+// remembered route forwards straight to the owner; an unknown id (the
+// router restarted, or the job was submitted directly to a replica) is
+// found by scanning the fleet for the first non-404 answer, and the
+// discovered owner is remembered for next time.
+func (rt *Router) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if rt.cs.forwardJob(w, r, id) {
+		return
+	}
+	for _, m := range rt.order() {
+		resp, err := rt.cs.c.Forward(r.Context(), m, r.Method, r.URL.Path, nil, proxyHeader())
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			rt.cs.c.Failovers.Add(1)
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			resp.Body.Close()
+			continue
+		}
+		rt.cs.rememberJob(id, m)
+		rt.cs.c.Proxied.Add(1)
+		cluster.CopyResponse(w, resp)
+		return
+	}
+	writeError(w, http.StatusNotFound, CodeJobNotFound, "unknown job %q", id)
+}
+
+// handleJobList merges every replica's job listing into one. Replicas
+// that cannot be reached are skipped — a partial listing beats a 502
+// for an observability endpoint.
+func (rt *Router) handleJobList(w http.ResponseWriter, r *http.Request) {
+	type listing struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	all := []JobStatus{}
+	for _, m := range rt.order() {
+		resp, err := rt.cs.c.Forward(r.Context(), m, http.MethodGet, "/v1/jobs", nil, proxyHeader())
+		if err != nil {
+			if r.Context().Err() != nil {
+				return
+			}
+			rt.cs.c.Failovers.Add(1)
+			continue
+		}
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+		resp.Body.Close()
+		var lr listing
+		if rerr == nil && json.Unmarshal(data, &lr) == nil {
+			all = append(all, lr.Jobs...)
+		}
+	}
+	writeJSON(w, http.StatusOK, listing{Jobs: all})
+}
+
+// handleAny relays a request any replica can answer (graph reads,
+// estimates, updates) to the first reachable one. Updates forwarded this
+// way carry no fanout header, so the receiving replica fans the batch
+// out to the rest of the fleet itself.
+func (rt *Router) handleAny(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
+	rt.cs.proxy(w, r, rt.order(), r.URL.Path, body, nil)
+}
+
+// RouterStatsResponse is the router's GET /v1/stats body: only the
+// cluster_* counter family — a router has no cache, workers or jobs.
+type RouterStatsResponse struct {
+	Role    string        `json:"role"`
+	Cluster cluster.Stats `json:"cluster"`
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, RouterStatsResponse{Role: "router", Cluster: rt.Stats()})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	rt.metrics.writeProm(w)
+	writeClusterStats(w, rt.Stats())
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Status  string `json:"status"`
+		Role    string `json:"role"`
+		PeersUp int    `json:"peers_up"`
+	}{Status: "ok", Role: "router", PeersUp: rt.cs.c.Monitor().UpCount()})
+}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startRouter mounts a Router over the given replica URLs.
+func startRouter(t *testing.T, replicas []string) (*Router, *httptest.Server) {
+	t.Helper()
+	rt, err := NewRouter(RouterConfig{Replicas: replicas})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return rt, ts
+}
+
+// TestRouterRoutesSelect: the router relays a select to the fleet and
+// returns the owner's answer; the proxied counter moves on the router,
+// and only the owner builds.
+func TestRouterRoutesSelect(t *testing.T) {
+	srvs, urls := startFleet(t, 2, nil)
+	rt, rts := startRouter(t, urls)
+	resp, body := postJSON(t, rts.URL+"/v1/select", clusterSelectBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select via router: %d %s", resp.StatusCode, body)
+	}
+	if len(decodeSolve(t, body).Seeds) != 2 {
+		t.Fatalf("bad answer: %s", body)
+	}
+	if p := rt.Stats().Proxied; p != 1 {
+		t.Fatalf("router proxied=%d, want 1", p)
+	}
+	owner, other := ownerOf(t, srvs, urls)
+	if b := srvs[owner].CacheStats().Builds; b != 1 {
+		t.Fatalf("owner builds=%d, want 1", b)
+	}
+	if b := srvs[other].CacheStats().Builds; b != 0 {
+		t.Fatalf("non-owner builds=%d, want 0", b)
+	}
+	// The router agrees with the replicas on ownership, so the receiving
+	// replica never re-proxies.
+	if p := srvs[owner].ClusterStats().Proxied; p != 0 {
+		t.Fatalf("owner re-proxied %d requests", p)
+	}
+}
+
+// TestRouterJobLifecycle: submit via the router, poll and cancel via the
+// router; the job id routes to the replica that accepted it.
+func TestRouterJobLifecycle(t *testing.T) {
+	_, urls := startFleet(t, 2, nil)
+	rt, rts := startRouter(t, urls)
+	resp, body := postJSON(t, rts.URL+"/v1/jobs", clusterSelectBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit via router: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rt.cs.jobRoute(st.ID); !ok {
+		t.Fatalf("router did not remember job %s", st.ID)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		res, err := http.Get(rts.URL + "/v1/jobs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(res.Body)
+		res.Body.Close()
+		if res.StatusCode != http.StatusOK {
+			t.Fatalf("poll via router: %d %s", res.StatusCode, data)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.Status == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", st.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The merged listing sees it too.
+	res, err := http.Get(rts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(data), st.ID) {
+		t.Fatalf("merged listing misses job %s: %s", st.ID, data)
+	}
+}
+
+// TestRouterJobScan: a job the router never saw (submitted directly to a
+// replica) is still found by scanning the fleet.
+func TestRouterJobScan(t *testing.T) {
+	_, urls := startFleet(t, 2, nil)
+	rt, rts := startRouter(t, urls)
+	resp, body := postLocal(t, urls[0], "/v1/jobs", clusterSelectBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("direct submit: %d %s", resp.StatusCode, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	res, err := http.Get(rts.URL + "/v1/jobs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("scan poll: %d %s", res.StatusCode, data)
+	}
+	if _, ok := rt.cs.jobRoute(st.ID); !ok {
+		t.Fatal("scan did not remember the discovered owner")
+	}
+	// An id nobody holds is a clean 404 envelope.
+	res, err = http.Get(rts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound || !strings.Contains(string(data), CodeJobNotFound) {
+		t.Fatalf("unknown job via router: %d %s", res.StatusCode, data)
+	}
+}
+
+// TestRouterFleetDown: with every replica unreachable the router answers
+// 502 with the peer_unreachable envelope code — the signal the CLI turns
+// into an actionable hint.
+func TestRouterFleetDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close()
+	_, rts := startRouter(t, []string{deadURL})
+	resp, body := postJSON(t, rts.URL+"/v1/select", clusterSelectBody)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("fleet-down select: %d %s", resp.StatusCode, body)
+	}
+	var env errorResponse
+	if err := json.Unmarshal(body, &env); err != nil || env.Error.Code != CodePeerUnreachable {
+		t.Fatalf("want peer_unreachable envelope, got %s (err %v)", body, err)
+	}
+}
+
+// TestRouterUpdateFanout: an update via the router lands on one replica,
+// which fans it out — the fleet converges and the response carries the
+// peer rows.
+func TestRouterUpdateFanout(t *testing.T) {
+	srvs, urls := startFleet(t, 2, nil)
+	_, rts := startRouter(t, urls)
+	resp, body := postJSON(t, rts.URL+"/v1/graphs/twostars/updates", `{"edges":[{"from":0,"to":5,"p":0.9}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("update via router: %d %s", resp.StatusCode, body)
+	}
+	var out GraphUpdateResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Peers) != 1 || out.Peers[0].Code != "" {
+		t.Fatalf("fanout rows: %+v", out.Peers)
+	}
+	for i, s := range srvs {
+		if _, v, err := s.reg.GetVersioned("twostars"); err != nil || v != out.Version {
+			t.Fatalf("replica %d at version %d (err %v), want %d", i, v, err, out.Version)
+		}
+	}
+}
+
+// TestMetricsEndpoint: per-route counters and latency histograms appear
+// in the Prometheus text format, alongside the stats counter families.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if resp, body := postJSON(t, ts.URL+"/v1/select", clusterSelectBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: %d %s", resp.StatusCode, body)
+	}
+	res, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics: %d", res.StatusCode)
+	}
+	text := string(data)
+	for _, want := range []string{
+		`fairtcim_http_requests_total{route="POST /v1/select",code="200"} 1`,
+		`fairtcim_http_request_duration_seconds_bucket{route="POST /v1/select",le="+Inf"} 1`,
+		`fairtcim_http_request_duration_seconds_count{route="POST /v1/select"} 1`,
+		"fairtcim_cache_builds_total 1",
+		"fairtcim_workers_capacity",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+	// Cluster-mode metrics include the cluster family; router /metrics too.
+	_, urls := startFleet(t, 2, nil)
+	_, rts := startRouter(t, urls)
+	res, err = http.Get(rts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ = io.ReadAll(res.Body)
+	res.Body.Close()
+	if !strings.Contains(string(data), "fairtcim_cluster_peers_known 2") {
+		t.Fatalf("router /metrics missing cluster family:\n%s", data)
+	}
+}
+
+// TestRequestLog: each completed request writes one JSON line with the
+// route pattern, status and latency.
+func TestRequestLog(t *testing.T) {
+	var buf syncBuffer
+	_, ts := newTestServer(t, Config{RequestLog: &buf})
+	if resp, body := postJSON(t, ts.URL+"/v1/select", clusterSelectBody); resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: %d %s", resp.StatusCode, body)
+	}
+	line := strings.TrimSpace(buf.String())
+	var rec struct {
+		Method string  `json:"method"`
+		Route  string  `json:"route"`
+		Status int     `json:"status"`
+		MS     float64 `json:"ms"`
+	}
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("access log line %q: %v", line, err)
+	}
+	if rec.Method != "POST" || rec.Route != "POST /v1/select" || rec.Status != 200 || rec.MS < 0 {
+		t.Fatalf("bad access record: %+v", rec)
+	}
+}
+
+// TestEffectiveParallelism pins the occupancy scaling: a lone request
+// keeps its full parallelism; a saturated pool scales down, never below
+// one; and the effective value is reported in the response.
+func TestEffectiveParallelism(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 4, SolverParallelism: 8})
+	// Simulate occupancy directly: effectiveParallelism reads len(sem)
+	// as "slots in use including mine".
+	cases := []struct{ occupied, want int }{
+		{1, 8}, // alone: (8*(4-1+1)+3)/4 = 8
+		{2, 6}, // (8*3+3)/4 = 6
+		{4, 2}, // full: (8*1+3)/4 = 2
+	}
+	for _, c := range cases {
+		for i := 0; i < c.occupied; i++ {
+			s.sem <- struct{}{}
+		}
+		if got := s.effectiveParallelism(); got != c.want {
+			t.Fatalf("occupied=%d: effectiveParallelism=%d, want %d", c.occupied, got, c.want)
+		}
+		for i := 0; i < c.occupied; i++ {
+			<-s.sem
+		}
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/select", clusterSelectBody)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select: %d %s", resp.StatusCode, body)
+	}
+	if out := decodeSolve(t, body); out.EffectiveParallelism != 8 {
+		t.Fatalf("effective_parallelism=%d, want 8: %s", out.EffectiveParallelism, body)
+	}
+}
+
+// syncBuffer is a goroutine-safe bytes buffer for the access-log test.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -13,6 +14,7 @@ import (
 	"time"
 
 	"fairtcim/internal/cascade"
+	"fairtcim/internal/cluster"
 	"fairtcim/internal/concave"
 	"fairtcim/internal/fairim"
 	"fairtcim/internal/graph"
@@ -67,6 +69,24 @@ type Config struct {
 	// one CELF run (see planner.go). Zero keeps the immediate per-request
 	// path. POST /v1/select/batch coalesces regardless of this setting.
 	CoalesceWindow time.Duration
+	// Peers lists the other replicas' base URLs; non-empty enables
+	// peer-aware sharded serving (consistent-hash routing, proxying,
+	// cross-replica sketch exchange, update fanout) and requires SelfURL.
+	Peers []string
+	// SelfURL is this replica's advertised base URL — the exact string
+	// the peers carry in their own Peers lists, so every replica's ring
+	// has identical members.
+	SelfURL string
+	// ProbeInterval is the peer health-probe period; <= 0 means 2s.
+	// Probes run only while RunClusterProbes is active.
+	ProbeInterval time.Duration
+	// ClusterClient issues cross-replica requests (probes, proxies,
+	// sketch fetches); nil means a client with a 30s timeout.
+	ClusterClient *http.Client
+	// RequestLog, when non-nil, receives one JSON line per completed
+	// request (method, route pattern, status, latency, bytes) — the
+	// structured access log behind fairtcimd -request-log.
+	RequestLog io.Writer
 }
 
 // Server is the HTTP serving layer; see the package comment for the
@@ -79,8 +99,11 @@ type Server struct {
 	parallelism  int
 	mux          *http.ServeMux
 	jobs         *jobStore
-	stateDir     string     // empty = in-memory only
-	coalesce     *coalescer // nil unless Config.CoalesceWindow > 0
+	stateDir     string        // empty = in-memory only
+	coalesce     *coalescer    // nil unless Config.CoalesceWindow > 0
+	cluster      *clusterState // nil unless Config.Peers is set
+	fpm          *fpMemo       // graph fingerprints for sketch framing
+	metrics      *httpMetrics  // per-route latency/request tallies + access log
 
 	queued atomic.Int64 // requests currently waiting for a worker slot
 	shed   atomic.Int64 // requests turned away at capacity
@@ -136,6 +159,8 @@ func New(cfg Config) (*Server, error) {
 		mux:          http.NewServeMux(),
 		jobs:         newJobStore(cfg.MaxJobs, retention, journal),
 		stateDir:     cfg.StateDir,
+		fpm:          &fpMemo{},
+		metrics:      newHTTPMetrics(cfg.RequestLog),
 	}
 	s.cache.disk = disk
 	s.cache.history = cfg.Registry
@@ -143,6 +168,18 @@ func New(cfg Config) (*Server, error) {
 	s.jobs.restore(restored)
 	if cfg.CoalesceWindow > 0 {
 		s.coalesce = newCoalescer(s, cfg.CoalesceWindow)
+	}
+	if len(cfg.Peers) > 0 {
+		if cfg.SelfURL == "" {
+			return nil, fmt.Errorf("server: Config.Peers requires SelfURL (this replica's advertised base URL)")
+		}
+		s.cluster = newClusterState(cluster.New(cluster.Config{
+			Self:          cfg.SelfURL,
+			Peers:         cfg.Peers,
+			ProbeInterval: cfg.ProbeInterval,
+			Client:        cfg.ClusterClient,
+		}), s.fpm)
+		s.cache.peers = s.cluster
 	}
 	s.mux.HandleFunc("POST /v1/select", s.handleSelect)
 	s.mux.HandleFunc("POST /v1/select/batch", s.handleSelectBatch)
@@ -156,14 +193,20 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/graphs", s.handleGraphs)
 	s.mux.HandleFunc("GET /v1/graphs/{name}", s.handleGraphGet)
 	s.mux.HandleFunc("POST /v1/graphs/{name}/updates", s.handleGraphUpdate)
+	// The sketch transfer endpoint is registered unconditionally: a solo
+	// daemon can warm a newly added replica without being reconfigured.
+	s.mux.HandleFunc("GET /v1/sketches/{key}", s.handleSketchGet)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
 }
 
 func defaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
-// Handler returns the root handler serving all endpoints.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler serving all endpoints, instrumented
+// with the per-route metrics middleware (and the access log when
+// configured).
+func (s *Server) Handler() http.Handler { return s.metrics.wrap(s.mux) }
 
 // CacheStats exposes sketch-cache counters (tests, /healthz, /v1/stats).
 func (s *Server) CacheStats() CacheStats { return s.cache.Stats() }
@@ -286,6 +329,12 @@ type SolveResponse struct {
 	ResolvedSamples     int          `json:"resolved_samples,omitempty"`
 	ResolvedRISPerGroup int          `json:"resolved_ris_per_group,omitempty"`
 	Trace               []TraceEvent `json:"trace,omitempty"`
+	// EffectiveParallelism is the per-solve worker count this request
+	// actually got after occupancy-adaptive scaling (see
+	// Server.effectiveParallelism). Sampling and solving are
+	// deterministic for fixed inputs regardless of worker count, so this
+	// affects speed only, never the answer.
+	EffectiveParallelism int `json:"effective_parallelism,omitempty"`
 }
 
 // SelectResponse is the former name of SolveResponse.
@@ -298,14 +347,15 @@ type EstimateResponse struct {
 	Graph  string `json:"graph"`
 	Engine string `json:"engine"`
 	UtilityReport
-	CacheHit            bool    `json:"cache_hit"`
-	GraphVersion        uint64  `json:"graph_version,omitempty"`
-	RRRefreshed         int     `json:"rr_refreshed,omitempty"`
-	RRRetained          int     `json:"rr_retained,omitempty"`
-	SampleMS            float64 `json:"sample_ms"`
-	SolveMS             float64 `json:"solve_ms"`
-	ResolvedSamples     int     `json:"resolved_samples,omitempty"`
-	ResolvedRISPerGroup int     `json:"resolved_ris_per_group,omitempty"`
+	CacheHit             bool    `json:"cache_hit"`
+	GraphVersion         uint64  `json:"graph_version,omitempty"`
+	RRRefreshed          int     `json:"rr_refreshed,omitempty"`
+	RRRetained           int     `json:"rr_retained,omitempty"`
+	SampleMS             float64 `json:"sample_ms"`
+	SolveMS              float64 `json:"solve_ms"`
+	ResolvedSamples      int     `json:"resolved_samples,omitempty"`
+	ResolvedRISPerGroup  int     `json:"resolved_ris_per_group,omitempty"`
+	EffectiveParallelism int     `json:"effective_parallelism,omitempty"`
 }
 
 // acquire takes a worker slot, queueing up to the configured timeout.
@@ -333,6 +383,34 @@ func (s *Server) acquire(ctx context.Context) bool {
 }
 
 func (s *Server) release() { <-s.sem }
+
+// effectiveParallelism adapts the per-solve worker count to worker-pool
+// occupancy: a solve alone on the pool gets the full configured
+// parallelism P; with A of C slots busy it gets ceil(P·(C-A+1)/C),
+// floored at 1 — so concurrent solves share the CPUs roughly evenly
+// instead of each spawning P workers and oversubscribing A·P-fold.
+// Callers invoke it while already holding their own slot (A counts
+// them). Sampling and greedy evaluation are deterministic for fixed
+// arguments regardless of worker count (see internal/ris), so the
+// scaling changes latency, never answers or cache keys.
+func (s *Server) effectiveParallelism() int {
+	p := s.parallelism
+	if p <= 0 {
+		p = defaultWorkers()
+	}
+	capacity, active := cap(s.sem), len(s.sem)
+	if active <= 1 || capacity <= 1 {
+		return p
+	}
+	if active > capacity {
+		active = capacity
+	}
+	eff := (p*(capacity-active+1) + capacity - 1) / capacity
+	if eff < 1 {
+		return 1
+	}
+	return eff
+}
 
 // blockingGate is the worker gate async jobs use: unlike the synchronous
 // path it has no queue timeout — a job occupies no HTTP worker while it
@@ -558,7 +636,8 @@ func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, v
 		return nil, err
 	}
 	spec.Estimator = est
-	spec.Parallelism = s.parallelism
+	effPar := s.effectiveParallelism()
+	spec.Parallelism = effPar
 	if onIter != nil {
 		spec.OnIteration = onIter
 	}
@@ -572,21 +651,22 @@ func (s *Server) solve(ctx context.Context, gate workerGate, graphName string, v
 		s.cache.storeWarm(pk, res.Warm)
 	}
 	resp := &SolveResponse{
-		Problem:             res.Problem,
-		Graph:               graphName,
-		Engine:              spec.Engine.String(),
-		UtilityReport:       reportOf(res),
-		Evaluations:         res.Evaluations,
-		CacheHit:            hit,
-		GraphVersion:        version,
-		RRRefreshed:         smp.rrRefreshed,
-		RRRetained:          smp.rrRetained,
-		WarmSeeds:           warmSeeds,
-		SampleMS:            buildMS,
-		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
-		ResolvedSamples:     res.Samples,
-		ResolvedRISPerGroup: res.RISPerGroup,
-		Trace:               traceEvents(res.Trace),
+		Problem:              res.Problem,
+		Graph:                graphName,
+		Engine:               spec.Engine.String(),
+		UtilityReport:        reportOf(res),
+		Evaluations:          res.Evaluations,
+		CacheHit:             hit,
+		GraphVersion:         version,
+		RRRefreshed:          smp.rrRefreshed,
+		RRRetained:           smp.rrRetained,
+		WarmSeeds:            warmSeeds,
+		SampleMS:             buildMS,
+		SolveMS:              float64(time.Since(start).Microseconds()) / 1000,
+		ResolvedSamples:      res.Samples,
+		ResolvedRISPerGroup:  res.RISPerGroup,
+		Trace:                traceEvents(res.Trace),
+		EffectiveParallelism: effPar,
 	}
 	return resp, nil
 }
@@ -609,17 +689,26 @@ func traceEvents(trace []fairim.IterationStat) []TraceEvent {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var req SolveRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+	if !decodeStrict(w, body, &req) {
 		return
 	}
 	spec, err := req.toSpec()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, CodeBadSpec, "%v", err)
 		return
+	}
+	// Route to the key's owner first: the owner's cache is where this
+	// key's sketch lives (or should start living). The owner runs its own
+	// coalescing window, so proxied traffic still batches there.
+	if cands := s.routeCandidates(r, routeKeyFor(req.Graph, spec)); cands != nil {
+		if s.proxyWithFailover(w, r, cands, "/v1/select", body, nil) {
+			return
+		}
 	}
 	if s.coalesce != nil {
 		// The coalescer resolves the graph itself when the window closes,
@@ -711,7 +800,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		spec.Estimator = est
 	}
-	spec.Parallelism = s.parallelism
+	effPar := s.effectiveParallelism()
+	spec.Parallelism = effPar
 
 	start := time.Now()
 	res, err := fairim.Evaluate(g, req.Seeds, spec)
@@ -721,15 +811,16 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := EstimateResponse{
-		Graph:               req.Graph,
-		Engine:              spec.Engine.String(),
-		UtilityReport:       reportOf(res),
-		CacheHit:            hit,
-		GraphVersion:        version,
-		SampleMS:            buildMS,
-		SolveMS:             float64(time.Since(start).Microseconds()) / 1000,
-		ResolvedSamples:     res.Samples,
-		ResolvedRISPerGroup: res.RISPerGroup,
+		Graph:                req.Graph,
+		Engine:               spec.Engine.String(),
+		UtilityReport:        reportOf(res),
+		CacheHit:             hit,
+		GraphVersion:         version,
+		SampleMS:             buildMS,
+		SolveMS:              float64(time.Since(start).Microseconds()) / 1000,
+		ResolvedSamples:      res.Samples,
+		ResolvedRISPerGroup:  res.RISPerGroup,
+		EffectiveParallelism: effPar,
 	}
 	if smp != nil {
 		resp.RRRefreshed = smp.rrRefreshed
@@ -790,18 +881,23 @@ type WorkerStats struct {
 // journal append failed — non-zero means history would not survive a
 // restart.
 type StatsResponse struct {
-	Cache         CacheStats   `json:"cache"`
-	Workers       WorkerStats  `json:"workers"`
-	Jobs          JobStats     `json:"jobs"`
-	Planner       PlannerStats `json:"planner"`
-	StateDir      string       `json:"state_dir,omitempty"`
-	JournalErrors int64        `json:"journal_errors,omitempty"`
+	Cache   CacheStats   `json:"cache"`
+	Workers WorkerStats  `json:"workers"`
+	Jobs    JobStats     `json:"jobs"`
+	Planner PlannerStats `json:"planner"`
+	// Cluster carries the cluster_* counter family (peer fetches,
+	// proxied requests, failovers, fleet liveness); absent unless the
+	// replica runs with peers.
+	Cluster       *cluster.Stats `json:"cluster,omitempty"`
+	StateDir      string         `json:"state_dir,omitempty"`
+	JournalErrors int64          `json:"journal_errors,omitempty"`
 }
 
 // Stats snapshots all server counters (also served at GET /v1/stats).
 func (s *Server) Stats() StatsResponse {
 	return StatsResponse{
-		Cache: s.cache.Stats(),
+		Cluster: s.ClusterStats(),
+		Cache:   s.cache.Stats(),
 		Workers: WorkerStats{
 			Capacity: cap(s.sem),
 			Active:   len(s.sem),

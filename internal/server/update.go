@@ -1,7 +1,6 @@
 package server
 
 import (
-	"encoding/json"
 	"errors"
 	"net/http"
 
@@ -44,6 +43,12 @@ type GraphUpdateResponse struct {
 	GroupsChanged int                     `json:"groups_changed"`
 	TouchedHeads  []graph.NodeID          `json:"touched_heads"`
 	Invalidation  GraphUpdateInvalidation `json:"invalidation"`
+	// Peers reports the fleet fanout of this batch (peer-aware mode
+	// only): each configured peer's converged version or its error. The
+	// local apply succeeds regardless — a peer row with code
+	// version_conflict or peer_unreachable is the operator's signal that
+	// a replica diverged or missed the batch.
+	Peers []PeerUpdateResult `json:"peers,omitempty"`
 }
 
 // handleGraphUpdate is POST /v1/graphs/{name}/updates. The batch applies
@@ -52,11 +57,12 @@ type GraphUpdateResponse struct {
 // none of it, and in-flight solves on the old snapshot finish unharmed.
 func (s *Server) handleGraphUpdate(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
+	body, ok := readBody(w, r)
+	if !ok {
+		return
+	}
 	var req GraphUpdateRequest
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, CodeBadRequest, "bad request body: %v", err)
+	if !decodeStrict(w, body, &req) {
 		return
 	}
 	d := graph.Delta{Edges: req.Edges, Groups: req.Groups}
@@ -77,6 +83,15 @@ func (s *Server) handleGraphUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	dropped, touched := s.cache.invalidateGraph(name, res.TouchedArcs)
+	// Fan the applied batch out to the fleet with expect_version pinned
+	// to the version this replica just moved from, so every peer either
+	// converges to the same new version or surfaces version_conflict. A
+	// batch that arrived via fanout is applied locally only — the origin
+	// reaches every peer itself.
+	var peerResults []PeerUpdateResult
+	if s.cluster != nil && r.Header.Get(fanoutHeader) == "" {
+		peerResults = s.fanoutUpdate(r.Context(), name, version-1, req)
+	}
 	writeJSON(w, http.StatusOK, GraphUpdateResponse{
 		Graph:         name,
 		Version:       version,
@@ -88,5 +103,6 @@ func (s *Server) handleGraphUpdate(w http.ResponseWriter, r *http.Request) {
 		GroupsChanged: res.GroupsChanged,
 		TouchedHeads:  res.TouchedHeads,
 		Invalidation:  GraphUpdateInvalidation{EntriesDropped: dropped, WorldsTouched: touched},
+		Peers:         peerResults,
 	})
 }
