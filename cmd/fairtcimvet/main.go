@@ -1,0 +1,86 @@
+// Command fairtcimvet runs fairtcim's invariant analyzers over the
+// repository — the contracts the code documents in comments, enforced
+// mechanically:
+//
+//	fairtcimvet ./...          # check everything (CI runs exactly this)
+//	fairtcimvet -fix ./...     # also apply suggested fixes (errenvelope)
+//	fairtcimvet -list          # print the suite and what each check owns
+//	fairtcimvet -only lockorder,statswire ./...
+//
+// Exit status is 1 when any analyzer reports a finding, 2 on usage or
+// load errors. See the README "Static analysis" section for what each
+// analyzer enforces and how to keep new code passing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fairtcim/internal/analysis"
+)
+
+func main() {
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fairtcimvet [-fix] [-only names] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	suite := analysis.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		keep := map[string]bool{}
+		for _, name := range strings.Split(*only, ",") {
+			keep[strings.TrimSpace(name)] = true
+		}
+		var filtered []*analysis.Analyzer
+		for _, a := range suite {
+			if keep[a.Name] {
+				delete(keep, a.Name)
+				filtered = append(filtered, a)
+			}
+		}
+		if len(keep) > 0 {
+			fmt.Fprintf(os.Stderr, "fairtcimvet: unknown analyzers in -only: %v\n", keep)
+			os.Exit(2)
+		}
+		suite = filtered
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, fset, err := analysis.Run(".", patterns, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fairtcimvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if *fix {
+		fixed, err := analysis.ApplyFixes(fset, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fairtcimvet: applying fixes: %v\n", err)
+			os.Exit(2)
+		}
+		for _, name := range fixed {
+			fmt.Fprintf(os.Stderr, "fairtcimvet: rewrote %s\n", name)
+		}
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}

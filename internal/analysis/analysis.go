@@ -1,0 +1,87 @@
+// Package analysis is fairtcim's static-analysis layer: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer, Pass, Diagnostic, suggested fixes) plus five
+// repo-specific analyzers that mechanically enforce invariants the rest
+// of the codebase documents only in comments:
+//
+//   - sketchmut:   ris.Collection and graph.Graph snapshots are immutable
+//     after publication; writes are confined to a constructor allowlist.
+//   - lockorder:   per-package mutex-acquisition graphs must be acyclic
+//     and must not invert documented edges (journal.mu → store.mu).
+//   - errenvelope: every /v1/* error uses the unified envelope with a
+//     registered Code* constant; no raw http.Error or bare 4xx/5xx
+//     WriteHeader calls.
+//   - statswire:   every counter in the server stats structs is both
+//     populated by a Stats() builder and exported at /metrics.
+//   - cancelloop:  sampling loops in ris/cascade poll their cancel
+//     channel (or hand it to the callee) so multi-second pools stay
+//     interruptible.
+//
+// The framework mirrors x/tools so the analyzers read idiomatically and
+// could be ported to a real multichecker by swapping the driver; it is
+// self-hosted here because the repo's only dependency is the standard
+// library. Packages are loaded the way go vet's unitchecker does it:
+// `go list -export` supplies compiler export data for every dependency,
+// and only the packages under analysis are type-checked from source.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. Run is invoked once per
+// loaded package; it reports findings through the Pass and returns an
+// error only for internal failures (not for findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass is the interface between the driver and one analyzer run on one
+// package, mirroring golang.org/x/tools/go/analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Report reports a finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	p.report(d)
+}
+
+// Diagnostic is one finding: a position, a message, and optionally a
+// mechanical fix the driver can apply under -fix.
+type Diagnostic struct {
+	Analyzer       string
+	Pos            token.Pos
+	Message        string
+	SuggestedFixes []SuggestedFix
+}
+
+// SuggestedFix is a set of edits that resolve the diagnostic.
+type SuggestedFix struct {
+	Message   string
+	TextEdits []TextEdit
+}
+
+// TextEdit replaces the source in [Pos, End) with NewText.
+type TextEdit struct {
+	Pos     token.Pos
+	End     token.Pos
+	NewText []byte
+}

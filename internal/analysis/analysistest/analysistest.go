@@ -1,0 +1,117 @@
+// Package analysistest runs one analyzer over a fixture module and
+// checks its findings against `// want "regexp"` comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-repo
+// framework.
+//
+// A fixture is a self-contained module under testdata/<analyzer>/ with
+// its own go.mod — declared as `module fairtcim` so the fixture's
+// package paths (fairtcim/internal/ris, fairtcim/internal/server, ...)
+// match the production paths the analyzers are configured with. Every
+// line that must produce a finding carries a trailing want comment with
+// one Go-quoted regexp per expected finding; lines exercising the
+// negative space (allowlisted constructors, value-copy construction,
+// registered constants) carry none, so a false positive fails the test
+// just as loudly as a miss.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fairtcim/internal/analysis"
+)
+
+// expectation is one want clause: a regexp that exactly one finding on
+// the comment's line must match.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads the fixture module rooted at dir, applies a to every package
+// in it, and fails t unless the findings and the fixture's want comments
+// agree exactly in both directions: every finding must match an
+// unconsumed want on its line, and every want must be consumed.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkgs, err := analysis.Load(dir, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("fixture %s matched no packages", dir)
+	}
+	findings, err := analysis.RunPackages(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	wants := map[string][]*expectation{} // "file:line" -> want clauses
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					for _, raw := range splitQuoted(t, text[len("want "):], pos.String()) {
+						re, err := regexp.Compile(raw)
+						if err != nil {
+							t.Fatalf("%s: bad want regexp %q: %v", pos, raw, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: raw})
+					}
+				}
+			}
+		}
+	}
+
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Position.Filename, f.Position.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.matched && w.re.MatchString(f.Message) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding at %s: [%s] %s", f.Position, f.Analyzer, f.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no %s finding matched want %q", key, a.Name, w.raw)
+			}
+		}
+	}
+}
+
+// splitQuoted parses the whitespace-separated sequence of Go-quoted
+// regexps following the want keyword.
+func splitQuoted(t *testing.T, s, pos string) []string {
+	t.Helper()
+	var out []string
+	for s = strings.TrimSpace(s); s != ""; s = strings.TrimSpace(s) {
+		prefix, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			t.Fatalf("%s: malformed want comment near %q: %v", pos, s, err)
+		}
+		raw, err := strconv.Unquote(prefix)
+		if err != nil {
+			t.Fatalf("%s: unquoting %q: %v", pos, prefix, err)
+		}
+		out = append(out, raw)
+		s = s[len(prefix):]
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// CancelLoop keeps long sampling runs interruptible. In internal/ris and
+// internal/cascade, any function that accepts a cancellation channel
+// (`cancel <-chan struct{}`) must poll it from every sampling loop — a
+// loop that drains a work channel or calls a sampling kernel (reverseBFS,
+// Sample*, *World*, simulate*) — either by receiving from the channel or
+// by passing it to the callee that does. It also closes the API
+// loophole: an exported Sample* entry point that itself runs a sampling
+// loop must either take a cancel channel or delegate to a *Cancel
+// variant, so "multi-second pool builds are uninterruptible" cannot be
+// reintroduced.
+var CancelLoop = &Analyzer{
+	Name: "cancelloop",
+	Doc:  "require sampling loops in ris/cascade to poll their cancellation channel",
+	Run:  runCancelLoop,
+}
+
+var kernelRe = regexp.MustCompile(`(?i)bfs|sample|world|cascade|simulat`)
+
+func runCancelLoop(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if !pkgPathHasSuffix(path, "internal/ris") && !pkgPathHasSuffix(path, "internal/cascade") {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			cancel := cancelParam(pass, fn)
+			if cancel != nil {
+				checkCancelLoops(pass, fn.Body, cancel)
+				continue
+			}
+			checkSamplerDelegates(pass, fn)
+		}
+	}
+	return nil
+}
+
+// cancelParam returns the function's `<-chan struct{}` parameter object,
+// if any.
+func cancelParam(pass *Pass, fn *ast.FuncDecl) types.Object {
+	if fn.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if ch, ok := obj.Type().Underlying().(*types.Chan); ok && ch.Dir() == types.RecvOnly {
+				if st, ok := ch.Elem().Underlying().(*types.Struct); ok && st.NumFields() == 0 {
+					return obj
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkCancelLoops walks body (descending into function literals, which
+// close over cancel) and reports sampling loops that neither receive
+// from cancel nor hand it to a callee.
+func checkCancelLoops(pass *Pass, body ast.Node, cancel types.Object) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		var loopBody *ast.BlockStmt
+		var pos ast.Node
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopBody, pos = n.Body, n
+		case *ast.RangeStmt:
+			loopBody, pos = n.Body, n
+		default:
+			return true
+		}
+		if !isSamplingLoop(pass, n, loopBody) {
+			return true
+		}
+		if !pollsCancel(pass, loopBody, cancel) {
+			pass.Reportf(pos.Pos(),
+				"sampling loop never polls the cancel channel; add a select on cancel or pass it to the sampling callee")
+		}
+		return true
+	})
+}
+
+// isSamplingLoop reports whether the loop does per-item sampling work: it
+// ranges over a channel (a worker draining a work queue) or its body
+// calls a sampling kernel.
+func isSamplingLoop(pass *Pass, loop ast.Node, body *ast.BlockStmt) bool {
+	if rng, ok := loop.(*ast.RangeStmt); ok {
+		if _, isChan := pass.TypesInfo.TypeOf(rng.X).Underlying().(*types.Chan); isChan {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+			return true // conversion, not a call
+		}
+		if callee := staticCallee(pass.TypesInfo, call); callee != nil &&
+			kernelRe.MatchString(callee.Name()) && !isInterfaceMethod(callee) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isInterfaceMethod reports whether fn is declared on an interface —
+// per-item draws like DelayDist.Sample, not sampling kernels.
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// pollsCancel reports whether body receives from cancel or passes it as
+// a call argument.
+func pollsCancel(pass *Pass, body ast.Node, cancel types.Object) bool {
+	uses := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == cancel
+	}
+	polls := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" && uses(n.X) {
+				polls = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if uses(arg) {
+					polls = true
+				}
+			}
+		}
+		return !polls
+	})
+	return polls
+}
+
+// checkSamplerDelegates flags exported Sample* entry points that run a
+// sampling loop with no cancellation path at all.
+func checkSamplerDelegates(pass *Pass, fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	if !fn.Name.IsExported() || !strings.HasPrefix(name, "Sample") || strings.HasSuffix(name, "Cancel") {
+		return
+	}
+	hasSamplingLoop := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			if isSamplingLoop(pass, n, n.Body) {
+				hasSamplingLoop = true
+			}
+		case *ast.RangeStmt:
+			if isSamplingLoop(pass, n, n.Body) {
+				hasSamplingLoop = true
+			}
+		}
+		return !hasSamplingLoop
+	})
+	if !hasSamplingLoop {
+		return
+	}
+	delegates := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if callee := staticCallee(pass.TypesInfo, call); callee != nil && strings.HasSuffix(callee.Name(), "Cancel") {
+				delegates = true
+			}
+		}
+		return !delegates
+	})
+	if !delegates {
+		pass.Reportf(fn.Pos(),
+			"exported sampler %s runs a sampling loop with no cancellation path; accept a cancel channel or delegate to a *Cancel variant",
+			name)
+	}
+}

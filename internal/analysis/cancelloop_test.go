@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fairtcim/internal/analysis"
+	"fairtcim/internal/analysis/analysistest"
+)
+
+func TestCancelLoop(t *testing.T) {
+	analysistest.Run(t, "testdata/cancelloop", analysis.CancelLoop)
+}

@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fairtcim/internal/analysis"
+)
+
+// TestRepositoryIsClean runs the full fairtcimvet suite over the real
+// tree and requires zero findings — the same gate CI applies via the
+// binary. A failure here means new code broke one of the documented
+// invariants (snapshot immutability, lock ordering, the error envelope,
+// stats/metrics parity, or sampler cancellation).
+func TestRepositoryIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole repository; skipped in -short")
+	}
+	findings, _, err := analysis.Run("../..", []string{"./..."}, analysis.All())
+	if err != nil {
+		t.Fatalf("running suite: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

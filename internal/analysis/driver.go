@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"sort"
+)
+
+// All returns the full fairtcimvet suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		SketchMut,
+		LockOrder,
+		ErrEnvelope,
+		StatsWire,
+		CancelLoop,
+	}
+}
+
+// Finding is one positioned diagnostic with its source location resolved.
+type Finding struct {
+	Diagnostic
+	Position token.Position
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Position, f.Analyzer, f.Message)
+}
+
+// Run loads patterns relative to dir and applies every analyzer to every
+// loaded package, returning findings sorted by position plus the shared
+// FileSet (needed to apply fixes). An analyzer error (a crash, not a
+// finding) aborts the run.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Finding, *token.FileSet, error) {
+	pkgs, err := Load(dir, patterns)
+	if err != nil {
+		return nil, nil, err
+	}
+	findings, err := RunPackages(pkgs, analyzers)
+	if err != nil {
+		return nil, nil, err
+	}
+	var fset *token.FileSet
+	if len(pkgs) > 0 {
+		fset = pkgs[0].Fset
+	}
+	return findings, fset, nil
+}
+
+// RunPackages applies analyzers to already-loaded packages.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.report = func(d Diagnostic) {
+				findings = append(findings, Finding{
+					Diagnostic: d,
+					Position:   pkg.Fset.Position(d.Pos),
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		pi, pj := findings[i].Position, findings[j].Position
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		if pi.Column != pj.Column {
+			return pi.Column < pj.Column
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	return findings, nil
+}
+
+// ApplyFixes applies every suggested fix in findings to the files on
+// disk, resolving positions through fset. Edits within one file are
+// applied back-to-front so earlier offsets stay valid; overlapping edits
+// are rejected. Returns the files rewritten.
+func ApplyFixes(fset *token.FileSet, findings []Finding) ([]string, error) {
+	type edit struct {
+		start, end int
+		text       []byte
+	}
+	byFile := map[string][]edit{}
+	for _, f := range findings {
+		for _, fix := range f.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := fset.Position(te.Pos)
+				end := fset.Position(te.End)
+				if start.Filename == "" || start.Filename != end.Filename {
+					return nil, fmt.Errorf("analysis: fix for %q spans files", f.Message)
+				}
+				byFile[start.Filename] = append(byFile[start.Filename], edit{start.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	var fixed []string
+	for name, edits := range byFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].end > edits[i-1].start {
+				return nil, fmt.Errorf("analysis: overlapping fixes in %s", name)
+			}
+		}
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, e := range edits {
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, fmt.Errorf("analysis: fix out of range in %s", name)
+			}
+			src = append(src[:e.start], append(e.text, src[e.end:]...)...)
+		}
+		if err := os.WriteFile(name, src, 0o644); err != nil {
+			return nil, err
+		}
+		fixed = append(fixed, name)
+	}
+	sort.Strings(fixed)
+	return fixed, nil
+}

@@ -1,0 +1,198 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// ErrEnvelope enforces the unified /v1/* error contract inside
+// internal/server: every non-2xx response is the
+// {"error":{"code","message"}} envelope with a registered Code*
+// constant. It flags
+//
+//   - net/http.Error calls (raw text/plain bodies bypass the envelope),
+//   - bare w.WriteHeader(4xx/5xx) with a constant status outside the
+//     envelope writers (writeJSON/writeError) and status-forwarding
+//     wrappers (methods themselves named WriteHeader, proxies relaying
+//     an upstream envelope verbatim),
+//   - writeError calls whose code argument is a string literal — the
+//     registered constant must be used, and unregistered code strings
+//     are rejected outright.
+//
+// The registered set is discovered from the package itself: every
+// string constant named Code*. Suggested fixes rewrite http.Error to
+// writeError and literal codes to their registered constant.
+var ErrEnvelope = &Analyzer{
+	Name: "errenvelope",
+	Doc:  "require the unified error envelope and registered error codes in internal/server",
+	Run:  runErrEnvelope,
+}
+
+func runErrEnvelope(pass *Pass) error {
+	if !pkgPathHasSuffix(pass.Pkg.Path(), "internal/server") {
+		return nil
+	}
+
+	// Registered codes: package-level string constants named Code*.
+	valueToConst := map[string]string{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Code") {
+			continue
+		}
+		if c.Val().Kind() == constant.String {
+			valueToConst[constant.StringVal(c.Val())] = name
+		}
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				checkEnvelopeCall(pass, fn, call, valueToConst)
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkEnvelopeCall(pass *Pass, fn *ast.FuncDecl, call *ast.CallExpr, valueToConst map[string]string) {
+	callee := staticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+
+	// http.Error bypasses the envelope entirely.
+	if callee.Pkg() != nil && callee.Pkg().Path() == "net/http" && callee.Name() == "Error" && len(call.Args) == 3 {
+		d := Diagnostic{
+			Pos:     call.Pos(),
+			Message: "http.Error writes a text/plain body outside the unified error envelope; use writeError with a registered code",
+		}
+		if fix := httpErrorFix(pass, call); fix != nil {
+			d.SuggestedFixes = []SuggestedFix{*fix}
+		}
+		pass.Report(d)
+		return
+	}
+
+	// Bare WriteHeader with a constant 4xx/5xx status.
+	if callee.Name() == "WriteHeader" && len(call.Args) == 1 {
+		if sig, ok := callee.Type().(*types.Signature); !ok || sig.Recv() == nil {
+			return
+		}
+		switch fn.Name.Name {
+		case "writeJSON", "writeError", "WriteHeader":
+			return // the envelope writers and status-forwarding wrappers
+		}
+		tv, ok := pass.TypesInfo.Types[call.Args[0]]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+			return // dynamic status (e.g. relaying an upstream response)
+		}
+		if code, ok := constant.Int64Val(tv.Value); ok && code >= 400 && code <= 599 {
+			pass.Reportf(call.Pos(),
+				"bare WriteHeader(%d) sends an error status without the envelope body; use writeError with a registered code", code)
+		}
+		return
+	}
+
+	// writeError with a literal (or unregistered) code string.
+	if callee.Name() == "writeError" && callee.Pkg() == pass.Pkg && len(call.Args) >= 3 {
+		codeArg := ast.Unparen(call.Args[2])
+		if id, ok := codeArg.(*ast.Ident); ok {
+			if c, ok := pass.TypesInfo.Uses[id].(*types.Const); ok && strings.HasPrefix(c.Name(), "Code") {
+				return // registered constant
+			}
+		}
+		if sel, ok := codeArg.(*ast.SelectorExpr); ok {
+			if c, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Const); ok && strings.HasPrefix(c.Name(), "Code") {
+				return
+			}
+		}
+		tv, ok := pass.TypesInfo.Types[codeArg]
+		if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+			return // computed at runtime (errCode(err) and friends)
+		}
+		val := constant.StringVal(tv.Value)
+		if name, registered := valueToConst[val]; registered {
+			pass.Report(Diagnostic{
+				Pos:     codeArg.Pos(),
+				Message: fmt.Sprintf("error code %q passed as a literal; use the registered constant %s", val, name),
+				SuggestedFixes: []SuggestedFix{{
+					Message:   "replace literal with " + name,
+					TextEdits: []TextEdit{{Pos: codeArg.Pos(), End: codeArg.End(), NewText: []byte(name)}},
+				}},
+			})
+			return
+		}
+		pass.Reportf(codeArg.Pos(),
+			"error code %q is not in the registered Code* set; register a constant or use an existing one", val)
+	}
+}
+
+// httpErrorFix rewrites http.Error(w, msg, status) into
+// writeError(w, status, CodeInternal, "%s", msg).
+func httpErrorFix(pass *Pass, call *ast.CallExpr) *SuggestedFix {
+	src := func(e ast.Expr) (string, bool) {
+		file := pass.Fset.File(e.Pos())
+		if file == nil {
+			return "", false
+		}
+		// Re-render via positions only when the nodes are simple; fall
+		// back to no fix otherwise.
+		switch e := e.(type) {
+		case *ast.Ident:
+			return e.Name, true
+		case *ast.BasicLit:
+			return e.Value, true
+		case *ast.SelectorExpr:
+			if x, ok := e.X.(*ast.Ident); ok {
+				return x.Name + "." + e.Sel.Name, true
+			}
+		case *ast.CallExpr:
+			if fn, ok := e.Fun.(*ast.Ident); ok && len(e.Args) == 1 {
+				if arg, ok2 := argSrc(e.Args[0]); ok2 {
+					return fn.Name + "(" + arg + ")", true
+				}
+			}
+		}
+		return "", false
+	}
+	w, ok1 := src(call.Args[0])
+	msg, ok2 := src(call.Args[1])
+	status, ok3 := src(call.Args[2])
+	if !ok1 || !ok2 || !ok3 {
+		return nil
+	}
+	text := fmt.Sprintf("writeError(%s, %s, CodeInternal, %s, %s)", w, status, strconv.Quote("%s"), msg)
+	return &SuggestedFix{
+		Message:   "rewrite to the envelope writer",
+		TextEdits: []TextEdit{{Pos: call.Pos(), End: call.End(), NewText: []byte(text)}},
+	}
+}
+
+func argSrc(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.BasicLit:
+		return e.Value, true
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name, true
+		}
+	}
+	return "", false
+}

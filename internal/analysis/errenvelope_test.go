@@ -1,0 +1,89 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"fairtcim/internal/analysis"
+	"fairtcim/internal/analysis/analysistest"
+)
+
+func TestErrEnvelope(t *testing.T) {
+	analysistest.Run(t, "testdata/errenvelope", analysis.ErrEnvelope)
+}
+
+// TestErrEnvelopeFixes applies the suggested fixes to a copy of the
+// fixture and checks that the mechanical rewrites land (http.Error ->
+// writeError, literal code -> registered constant), the result still
+// compiles, and only the findings with no mechanical fix remain.
+func TestErrEnvelopeFixes(t *testing.T) {
+	tmp := t.TempDir()
+	copyTree(t, "testdata/errenvelope", tmp)
+
+	findings, fset, err := analysis.Run(tmp, []string{"./..."}, []*analysis.Analyzer{analysis.ErrEnvelope})
+	if err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if _, err := analysis.ApplyFixes(fset, findings); err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+
+	src, err := os.ReadFile(filepath.Join(tmp, "internal/server/handlers.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantSrc := range []string{
+		`writeError(w, http.StatusInternalServerError, CodeInternal, "%s", "boom")`,
+		`writeError(w, http.StatusBadRequest, CodeBadRequest, "no graph %q", r.URL.Path)`,
+	} {
+		if !strings.Contains(string(src), wantSrc) {
+			t.Errorf("fixed source missing %q", wantSrc)
+		}
+	}
+
+	after, _, err := analysis.Run(tmp, []string{"./..."}, []*analysis.Analyzer{analysis.ErrEnvelope})
+	if err != nil {
+		t.Fatalf("re-run after fixes (fixed tree must still compile): %v", err)
+	}
+	var remaining []string
+	for _, f := range after {
+		remaining = append(remaining, f.Message)
+	}
+	if len(after) != 2 {
+		t.Fatalf("want exactly the 2 unfixable findings after -fix, got %d: %v", len(after), remaining)
+	}
+	if !strings.Contains(after[0].Message, "bare WriteHeader(400)") {
+		t.Errorf("finding 0 = %q, want the bare WriteHeader finding", after[0].Message)
+	}
+	if !strings.Contains(after[1].Message, `"mystery" is not in the registered Code* set`) {
+		t.Errorf("finding 1 = %q, want the unregistered-code finding", after[1].Message)
+	}
+}
+
+// copyTree clones the fixture so ApplyFixes can rewrite it in place.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, path)
+		if err != nil {
+			return err
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatalf("copying fixture: %v", err)
+	}
+}

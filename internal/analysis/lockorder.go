@@ -1,0 +1,443 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a per-package mutex-acquisition graph from
+// Lock/RLock call sites and reports (a) cycles, and (b) edges that
+// invert a documented ordering — for internal/server, the journal
+// compaction contract that jobJournal.mu is taken before jobStore.mu.
+//
+// Lock identity is type-scoped ("jobStore.mu" is the mu field of any
+// jobStore), so self-edges are suppressed: two instances of the same
+// type cannot be told apart statically. The walk is a linear
+// over-approximation — branch bodies are analyzed with a copy of the
+// held set, deferred unlocks hold to function end, goroutine bodies
+// start with nothing held — and call effects are propagated through
+// same-package static calls, method values, and function literals
+// passed as arguments (the shape journal.maybeCompact(store.collect)
+// takes), iterated to a fixed point.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect mutex-acquisition cycles and inversions of documented lock orderings",
+	Run:  runLockOrder,
+}
+
+// documentedLockOrders lists, per package-path suffix, orderings the
+// code documents: the first lock must always be acquired before the
+// second. An observed inverse edge is a violation even without a full
+// static cycle.
+var documentedLockOrders = map[string][][2]string{
+	"internal/server": {
+		{"jobJournal.mu", "jobStore.mu"}, // journal compaction snapshots the store under journal.mu
+	},
+}
+
+type lockKey string
+
+// lockEdge records "from held while acquiring to" with the position of
+// the acquisition that created it.
+type lockGraph struct {
+	edges map[[2]lockKey]token.Pos
+}
+
+func (g *lockGraph) add(from, to lockKey, pos token.Pos) {
+	if from == to {
+		return // same type-scoped key: almost always two instances
+	}
+	if _, ok := g.edges[[2]lockKey{from, to}]; !ok {
+		g.edges[[2]lockKey{from, to}] = pos
+	}
+}
+
+// funcSummary is what a callee contributes at a call site.
+type funcSummary struct {
+	own    map[lockKey]bool // locks acquired directly in the body
+	locks  map[lockKey]bool // locks acquired transitively
+	walked bool
+}
+
+type lockAnalysis struct {
+	pass      *Pass
+	graph     *lockGraph
+	decls     map[*types.Func]*ast.FuncDecl
+	summaries map[*types.Func]*funcSummary
+	litSums   map[*ast.FuncLit]*funcSummary
+	changed   bool
+}
+
+func runLockOrder(pass *Pass) error {
+	la := &lockAnalysis{
+		pass:      pass,
+		graph:     &lockGraph{edges: map[[2]lockKey]token.Pos{}},
+		decls:     map[*types.Func]*ast.FuncDecl{},
+		summaries: map[*types.Func]*funcSummary{},
+		litSums:   map[*ast.FuncLit]*funcSummary{},
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				la.decls[fn] = fd
+				la.summaries[fn] = &funcSummary{own: map[lockKey]bool{}, locks: map[lockKey]bool{}}
+			}
+		}
+	}
+	// Fixed point: each round rebuilds edges with the previous round's
+	// transitive lock sets; stop once no summary grows.
+	for i := 0; i < 10; i++ {
+		la.changed = false
+		la.graph = &lockGraph{edges: map[[2]lockKey]token.Pos{}}
+		la.litSums = map[*ast.FuncLit]*funcSummary{} // recompute with this round's callee summaries
+		for fn, fd := range la.decls {
+			sum := la.summaries[fn]
+			held := map[lockKey]token.Pos{}
+			la.walkStmts(fd.Body.List, held, sum)
+		}
+		if !la.changed {
+			break
+		}
+	}
+
+	la.reportCycles()
+	la.reportInversions()
+	return nil
+}
+
+// walkStmts processes a statement list in order, mutating held.
+func (la *lockAnalysis) walkStmts(stmts []ast.Stmt, held map[lockKey]token.Pos, sum *funcSummary) {
+	for _, st := range stmts {
+		la.walkStmt(st, held, sum)
+	}
+}
+
+func copyHeld(held map[lockKey]token.Pos) map[lockKey]token.Pos {
+	cp := make(map[lockKey]token.Pos, len(held))
+	for k, v := range held {
+		cp[k] = v
+	}
+	return cp
+}
+
+func (la *lockAnalysis) walkStmt(st ast.Stmt, held map[lockKey]token.Pos, sum *funcSummary) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		la.walkStmts(st.List, held, sum)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			la.walkStmt(st.Init, held, sum)
+		}
+		la.walkExpr(st.Cond, held, sum)
+		la.walkStmt(st.Body, copyHeld(held), sum)
+		if st.Else != nil {
+			la.walkStmt(st.Else, copyHeld(held), sum)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			la.walkStmt(st.Init, copyHeld(held), sum)
+		}
+		la.walkStmt(st.Body, copyHeld(held), sum)
+	case *ast.RangeStmt:
+		la.walkExpr(st.X, held, sum)
+		la.walkStmt(st.Body, copyHeld(held), sum)
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			la.walkStmt(c, copyHeld(held), sum)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			la.walkStmt(c, copyHeld(held), sum)
+		}
+	case *ast.CaseClause:
+		la.walkStmts(st.Body, held, sum)
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			la.walkStmt(c, copyHeld(held), sum)
+		}
+	case *ast.CommClause:
+		la.walkStmts(st.Body, held, sum)
+	case *ast.GoStmt:
+		// A spawned goroutine holds nothing from its parent; its locks
+		// still count toward the enclosing function's transitive set.
+		la.walkExpr(st.Call, map[lockKey]token.Pos{}, sum)
+	case *ast.DeferStmt:
+		if key, isUnlock := la.lockCallKey(st.Call, false); isUnlock && key != "" {
+			// Deferred unlock: the lock stays held for the remainder of
+			// the walk, which is exactly the conservative answer.
+			return
+		}
+		la.walkExpr(st.Call, copyHeld(held), sum)
+	default:
+		ast.Inspect(st, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				la.handleCall(n, held, sum)
+				return true
+			case *ast.FuncLit:
+				ls := la.litSummary(n, sum)
+				for k := range ls.locks {
+					la.noteLock(sum, k)
+				}
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func (la *lockAnalysis) walkExpr(e ast.Expr, held map[lockKey]token.Pos, sum *funcSummary) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			la.handleCall(n, held, sum)
+			return true
+		case *ast.FuncLit:
+			ls := la.litSummary(n, sum)
+			for k := range ls.locks {
+				la.noteLock(sum, k)
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// handleCall updates held and the edge graph for one call.
+func (la *lockAnalysis) handleCall(call *ast.CallExpr, held map[lockKey]token.Pos, sum *funcSummary) {
+	if key, isLock := la.lockCallKey(call, true); isLock {
+		if key == "" {
+			return
+		}
+		for h := range held {
+			la.graph.add(h, key, call.Pos())
+		}
+		held[key] = call.Pos()
+		la.noteOwn(sum, key)
+		return
+	}
+	if key, isUnlock := la.lockCallKey(call, false); isUnlock {
+		delete(held, key)
+		return
+	}
+
+	callee := staticCallee(la.pass.TypesInfo, call)
+	var calleeSum *funcSummary
+	if callee != nil {
+		calleeSum = la.summaries[callee]
+	}
+	if calleeSum != nil {
+		for h := range held {
+			for l := range calleeSum.locks {
+				la.graph.add(h, l, call.Pos())
+			}
+		}
+		for l := range calleeSum.locks {
+			la.noteLock(sum, l)
+		}
+	}
+	// Function-valued arguments (literals or method values) may be
+	// invoked by the callee while it holds its own locks: the
+	// journal.maybeCompact(store.collect) shape.
+	for _, arg := range call.Args {
+		argSum := la.argSummary(arg, sum)
+		if argSum == nil {
+			continue
+		}
+		for l := range argSum.locks {
+			la.noteLock(sum, l)
+			for h := range held {
+				la.graph.add(h, l, call.Pos())
+			}
+			if calleeSum != nil {
+				for o := range calleeSum.own {
+					la.graph.add(o, l, call.Pos())
+				}
+			}
+		}
+	}
+}
+
+// argSummary resolves a function-valued argument to its lock summary.
+func (la *lockAnalysis) argSummary(arg ast.Expr, sum *funcSummary) *funcSummary {
+	switch arg := ast.Unparen(arg).(type) {
+	case *ast.FuncLit:
+		return la.litSummary(arg, sum)
+	case *ast.Ident, *ast.SelectorExpr:
+		if fn := funcObj(la.pass.TypesInfo, arg.(ast.Expr)); fn != nil {
+			return la.summaries[fn]
+		}
+	}
+	return nil
+}
+
+// litSummary walks a function literal (with nothing held — it may be
+// invoked from anywhere) and caches its lock set.
+func (la *lockAnalysis) litSummary(lit *ast.FuncLit, enclosing *funcSummary) *funcSummary {
+	if s, ok := la.litSums[lit]; ok && s.walked {
+		return s
+	}
+	s := &funcSummary{own: map[lockKey]bool{}, locks: map[lockKey]bool{}, walked: true}
+	la.litSums[lit] = s
+	if lit.Body != nil {
+		la.walkStmts(lit.Body.List, map[lockKey]token.Pos{}, s)
+	}
+	return s
+}
+
+func (la *lockAnalysis) noteOwn(sum *funcSummary, k lockKey) {
+	if !sum.own[k] {
+		sum.own[k] = true
+		la.changed = true
+	}
+	la.noteLock(sum, k)
+}
+
+func (la *lockAnalysis) noteLock(sum *funcSummary, k lockKey) {
+	if !sum.locks[k] {
+		sum.locks[k] = true
+		la.changed = true
+	}
+}
+
+// lockCallKey classifies call as a Lock/RLock (wantLock) or
+// Unlock/RUnlock acquisition on a sync.Mutex/RWMutex and derives its
+// type-scoped key. An empty key with ok=true means "a lock we cannot
+// name" (local mutex variables) — tracked as a no-op.
+func (la *lockAnalysis) lockCallKey(call *ast.CallExpr, wantLock bool) (lockKey, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	name := sel.Sel.Name
+	if wantLock && name != "Lock" && name != "RLock" {
+		return "", false
+	}
+	if !wantLock && name != "Unlock" && name != "RUnlock" {
+		return "", false
+	}
+	fn, _ := la.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false
+	}
+	if n := namedOf(recv.Type()); n == nil || (n.Obj().Name() != "Mutex" && n.Obj().Name() != "RWMutex") {
+		return "", false
+	}
+	return la.keyOf(sel.X), true
+}
+
+// keyOf names the mutex operand: "Type.field" for struct-held mutexes
+// (including embedded ones), the variable name for package-level
+// mutexes, "" for locals.
+func (la *lockAnalysis) keyOf(e ast.Expr) lockKey {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if sel := la.pass.TypesInfo.Selections[e]; sel != nil && sel.Kind() == types.FieldVal {
+			if owner := namedOf(sel.Recv()); owner != nil {
+				return lockKey(owner.Obj().Name() + "." + e.Sel.Name)
+			}
+		}
+		return lockKey("?." + e.Sel.Name)
+	case *ast.Ident:
+		if v, ok := la.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			if v.Parent() == la.pass.Pkg.Scope() {
+				return lockKey(v.Name())
+			}
+			// Embedded mutex promoted through a named struct receiver.
+			if n := namedOf(v.Type()); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() != "sync" {
+				return lockKey(n.Obj().Name() + ".(embedded)")
+			}
+		}
+		return ""
+	}
+	return ""
+}
+
+func (la *lockAnalysis) reportCycles() {
+	adj := map[lockKey][]lockKey{}
+	for e := range la.graph.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+	}
+	for k := range adj {
+		sort.Slice(adj[k], func(i, j int) bool { return adj[k][i] < adj[k][j] })
+	}
+	nodes := make([]lockKey, 0, len(adj))
+	for k := range adj {
+		nodes = append(nodes, k)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[lockKey]int{}
+	var stack []lockKey
+	reported := map[string]bool{}
+	var visit func(k lockKey)
+	visit = func(k lockKey) {
+		color[k] = gray
+		stack = append(stack, k)
+		for _, next := range adj[k] {
+			switch color[next] {
+			case white:
+				visit(next)
+			case gray:
+				// Found a back edge: stack from next..k is the cycle.
+				i := len(stack) - 1
+				for i >= 0 && stack[i] != next {
+					i--
+				}
+				cycle := append(append([]lockKey{}, stack[i:]...), next)
+				msg := make([]string, len(cycle))
+				for j, c := range cycle {
+					msg[j] = string(c)
+				}
+				key := strings.Join(msg, " -> ")
+				if !reported[key] {
+					reported[key] = true
+					pos := la.graph.edges[[2]lockKey{k, next}]
+					la.pass.Reportf(pos, "mutex acquisition cycle: %s (deadlock risk)", key)
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		color[k] = black
+	}
+	for _, k := range nodes {
+		if color[k] == white {
+			visit(k)
+		}
+	}
+}
+
+func (la *lockAnalysis) reportInversions() {
+	for suffix, pairs := range documentedLockOrders {
+		if !pkgPathHasSuffix(la.pass.Pkg.Path(), suffix) {
+			continue
+		}
+		for _, pair := range pairs {
+			before, after := lockKey(pair[0]), lockKey(pair[1])
+			if pos, ok := la.graph.edges[[2]lockKey{after, before}]; ok {
+				la.pass.Reportf(pos,
+					"lock ordering violation: %s acquired while holding %s, inverting the documented %s -> %s order",
+					before, after, before, after)
+			}
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fairtcim/internal/analysis"
+	"fairtcim/internal/analysis/analysistest"
+)
+
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/lockorder", analysis.LockOrder)
+}

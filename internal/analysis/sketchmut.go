@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SketchMut enforces the snapshot-immutability contract the cache,
+// cluster, and planner layers depend on: a published *ris.Collection or
+// *graph.Graph is never mutated. Construction happens behind an
+// allowlist (builders, ApplyDelta, Refresh, the payload decoders build
+// fresh values via composite literals); everywhere else, assigning to a
+// field of either type through a pointer — or storing into one of their
+// CSR backing slices, including slices obtained from aliasing accessors
+// like Graph.OutCSR — is an error, not a style problem.
+var SketchMut = &Analyzer{
+	Name: "sketchmut",
+	Doc:  "flag writes to ris.Collection / graph.Graph snapshots outside their construction allowlist",
+	Run:  runSketchMut,
+}
+
+// protectedType names one immutable-after-publication type: which
+// functions may write its fields, and which accessor methods return
+// slices aliasing its backing arrays (so writes through them are writes
+// to the snapshot).
+type protectedType struct {
+	pkgPath string
+	name    string
+	allow   map[string]bool
+	shared  map[string]bool
+}
+
+var protectedTypes = []protectedType{
+	{
+		pkgPath: "fairtcim/internal/ris",
+		name:    "Collection",
+		allow:   set("Refresh"),
+		shared:  set("PoolSizes"),
+	},
+	{
+		pkgPath: "fairtcim/internal/graph",
+		name:    "Graph",
+		allow:   set("Build", "MustBuild", "buildGroupIndex", "WithGroups", "ApplyDelta"),
+		shared: set("OutCSR", "InCSR", "OutThresholds", "InThresholds", "OutEdges",
+			"InEdges", "OutNeighbors", "InNeighbors", "GroupMembers", "GroupSizes"),
+	},
+}
+
+func protectedOf(t types.Type) *protectedType {
+	for i := range protectedTypes {
+		p := &protectedTypes[i]
+		if isNamedType(t, p.pkgPath, p.name) {
+			return p
+		}
+	}
+	return nil
+}
+
+func runSketchMut(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if ok && fn.Body != nil {
+				checkFuncMut(pass, fn)
+			}
+		}
+	}
+	return nil
+}
+
+func checkFuncMut(pass *Pass, fn *ast.FuncDecl) {
+	// Slices returned by aliasing accessors share the snapshot's backing
+	// arrays: record locals bound to such calls so index writes through
+	// them are caught too.
+	tainted := map[types.Object]string{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(pass.TypesInfo, call)
+		if callee == nil {
+			return true
+		}
+		recv := callee.Type().(*types.Signature).Recv()
+		if recv == nil {
+			return true
+		}
+		p := protectedOf(recv.Type())
+		if p == nil || !p.shared[callee.Name()] {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					tainted[obj] = p.name + "." + callee.Name()
+				} else if obj := pass.TypesInfo.Uses[id]; obj != nil {
+					tainted[obj] = p.name + "." + callee.Name()
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				checkWriteMut(pass, fn, tainted, lhs)
+			}
+		case *ast.IncDecStmt:
+			checkWriteMut(pass, fn, tainted, n.X)
+		}
+		return true
+	})
+}
+
+func checkWriteMut(pass *Pass, fn *ast.FuncDecl, tainted map[types.Object]string, lhs ast.Expr) {
+	lhs = ast.Unparen(lhs)
+	indexWrite := false
+	if ix, ok := lhs.(*ast.IndexExpr); ok {
+		indexWrite = true
+		lhs = ast.Unparen(ix.X)
+	}
+
+	// Index writes through accessor-returned slices.
+	if id, ok := lhs.(*ast.Ident); ok && indexWrite {
+		if obj := pass.TypesInfo.Uses[id]; obj != nil {
+			if acc, shared := tainted[obj]; shared {
+				pass.Reportf(id.Pos(),
+					"write to slice returned by %s aliases the snapshot's backing array; copy before modifying", acc)
+				return
+			}
+		}
+	}
+
+	sel, ok := lhs.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection := pass.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	p := protectedOf(selection.Recv())
+	if p == nil {
+		return
+	}
+	if p.allow[fn.Name.Name] {
+		return
+	}
+	// Writing a field of a local *value* copy before it is published is
+	// construction, not mutation (refresh's `nc := *c; nc.g = newG`
+	// pattern) — but only for direct field stores: an index write into a
+	// copied struct still lands in the shared backing array.
+	if !indexWrite {
+		if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+			if _, isPtr := pass.TypesInfo.TypeOf(base).(*types.Pointer); !isPtr {
+				if v, ok := pass.TypesInfo.Uses[base].(*types.Var); ok && !v.IsField() {
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(sel.Pos(),
+		"write to %s.%s field %s outside its construction allowlist (%s is immutable once published)",
+		p.pkgPath, p.name, sel.Sel.Name, p.name)
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"fairtcim/internal/analysis"
+	"fairtcim/internal/analysis/analysistest"
+)
+
+func TestSketchMut(t *testing.T) {
+	analysistest.Run(t, "testdata/sketchmut", analysis.SketchMut)
+}

@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"reflect"
+	"strings"
+)
+
+// StatsWire keeps /v1/stats and /metrics from drifting apart. Inside
+// internal/server it checks that every numeric counter field on the
+// stats wire structs (types named *Stats plus StatsResponse) is
+//
+//  1. populated by a stats builder — referenced in at least one
+//     ordinary function, typically the Stats() snapshot that /v1/stats
+//     serializes — and
+//  2. exported at /metrics — referenced inside an exposition function,
+//     identified as any function whose body contains a "fairtcim_"
+//     metric-name literal.
+//
+// It also checks the sources: every atomic.Int64 counter field declared
+// in the package must be read by some *Stats/stats* snapshot method, so
+// a new counter cannot be incremented forever yet never reported.
+var StatsWire = &Analyzer{
+	Name: "statswire",
+	Doc:  "cross-check that every stats counter reaches both /v1/stats and /metrics",
+	Run:  runStatsWire,
+}
+
+func runStatsWire(pass *Pass) error {
+	if !pkgPathHasSuffix(pass.Pkg.Path(), "internal/server") {
+		return nil
+	}
+
+	type statsField struct {
+		structName string
+		v          *types.Var
+		jsonTag    string
+		pos        ast.Node
+	}
+	var universe []statsField
+	fieldObjs := map[*types.Var]int{} // → index into universe
+	var atomicCounters []*types.Var
+	atomicPos := map[*types.Var]*ast.Field{}
+
+	// Collect the wire structs and atomic counter fields from syntax so
+	// diagnostics land on the field declarations.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			isWire := strings.HasSuffix(ts.Name.Name, "Stats") || ts.Name.Name == "StatsResponse"
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+					if !ok {
+						continue
+					}
+					if isNamedType(v.Type(), "sync/atomic", "Int64") {
+						atomicCounters = append(atomicCounters, v)
+						atomicPos[v] = field
+						continue
+					}
+					if !isWire || !name.IsExported() {
+						continue
+					}
+					if b, ok := v.Type().Underlying().(*types.Basic); !ok || b.Info()&types.IsNumeric == 0 {
+						continue
+					}
+					tag := ""
+					if field.Tag != nil {
+						raw := strings.Trim(field.Tag.Value, "`")
+						tag = strings.Split(reflect.StructTag(raw).Get("json"), ",")[0]
+					}
+					fieldObjs[v] = len(universe)
+					universe = append(universe, statsField{ts.Name.Name, v, tag, field})
+				}
+			}
+			return true
+		})
+	}
+	if len(universe) == 0 {
+		return nil
+	}
+
+	// Classify functions and record which stats fields each side touches.
+	inExposition := make([]bool, len(universe))
+	inBuilder := make([]bool, len(universe))
+	atomicRead := map[*types.Var]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			exposition := isExpositionFunc(fn)
+			statsBuilder := strings.Contains(strings.ToLower(fn.Name.Name), "stats")
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+				if !ok {
+					return true
+				}
+				if i, ok := fieldObjs[v]; ok {
+					if exposition {
+						inExposition[i] = true
+					} else {
+						inBuilder[i] = true
+					}
+				}
+				if statsBuilder {
+					for _, ac := range atomicCounters {
+						if v == ac {
+							atomicRead[v] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	for i, f := range universe {
+		if f.jsonTag == "" || f.jsonTag == "-" {
+			pass.Reportf(f.pos.Pos(),
+				"stats field %s.%s has no json tag, so it never reaches the /v1/stats payload",
+				f.structName, f.v.Name())
+			continue
+		}
+		if !inBuilder[i] {
+			pass.Reportf(f.pos.Pos(),
+				"stats field %s.%s (json %q) is never populated by a stats builder; /v1/stats will always report zero",
+				f.structName, f.v.Name(), f.jsonTag)
+		}
+		if !inExposition[i] {
+			pass.Reportf(f.pos.Pos(),
+				"stats field %s.%s (json %q) is served by /v1/stats but missing from the /metrics exposition",
+				f.structName, f.v.Name(), f.jsonTag)
+		}
+	}
+	for _, ac := range atomicCounters {
+		if !atomicRead[ac] {
+			pass.Reportf(atomicPos[ac].Pos(),
+				"atomic counter %s is incremented but never read by a Stats() snapshot; it reaches neither /v1/stats nor /metrics",
+				ac.Name())
+		}
+	}
+	return nil
+}
+
+// isExpositionFunc reports whether fn renders Prometheus text: any
+// function whose body mentions a fairtcim_-prefixed series name.
+func isExpositionFunc(fn *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.BasicLit); ok && strings.Contains(lit.Value, "fairtcim_") {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,55 @@
+// Package cascade is the cancelloop fixture's sampler API surface: an
+// exported Sample* entry point that runs a sampling loop must take a
+// cancel channel or delegate to its *Cancel variant.
+package cascade
+
+func sampleWorld(i int) int { return i }
+
+// SampleWorlds draws r worlds with no way to stop early.
+func SampleWorlds(r int) []int { // want `exported sampler SampleWorlds runs a sampling loop with no cancellation path`
+	out := make([]int, r)
+	for i := 0; i < r; i++ {
+		out[i] = sampleWorld(i)
+	}
+	return out
+}
+
+// SampleGood delegates to the cancellable variant: the uninterruptible
+// path no longer exists.
+func SampleGood(r int) []int {
+	out, _ := SampleGoodCancel(r, nil)
+	return out
+}
+
+// SampleGoodCancel is the common implementation; its loop polls cancel.
+func SampleGoodCancel(r int, cancel <-chan struct{}) ([]int, bool) {
+	out := make([]int, r)
+	for i := 0; i < r; i++ { // ok: polls cancel each world
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return nil, false
+			default:
+			}
+		}
+		out[i] = sampleWorld(i)
+	}
+	return out, true
+}
+
+// delayDist mirrors DelayDist: per-item draws through an interface
+// method are not sampling kernels, so a cheap single-draw helper is not
+// forced to grow a cancel parameter.
+type delayDist interface {
+	Sample() int32
+}
+
+// SampleDelays draws one delay per slot; dist.Sample is a per-edge draw,
+// not a kernel, so no finding.
+func SampleDelays(dist delayDist, n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = dist.Sample()
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+// Package ris is the cancelloop fixture's pool builder: worker loops
+// draining a work channel must poll the cancel channel they were handed,
+// either directly or by passing it to the per-item callee.
+package ris
+
+func reverseBFS(v int) int { return v }
+
+func sampleOne(v int, cancel <-chan struct{}) int {
+	select {
+	case <-cancel:
+		return 0
+	default:
+	}
+	return reverseBFS(v)
+}
+
+// buildPool drains work without ever looking at cancel: a multi-second
+// pool build nobody can interrupt.
+func buildPool(work chan int, cancel <-chan struct{}) int {
+	total := 0
+	for v := range work { // want `sampling loop never polls the cancel channel`
+		total += reverseBFS(v)
+	}
+	return total
+}
+
+// buildPoolPolling polls cancel between items, the standard pattern.
+func buildPoolPolling(work chan int, cancel <-chan struct{}) int {
+	total := 0
+	for v := range work { // ok: polls cancel each iteration
+		select {
+		case <-cancel:
+			return total
+		default:
+		}
+		total += reverseBFS(v)
+	}
+	return total
+}
+
+// buildPoolDelegating hands cancel to the per-item callee.
+func buildPoolDelegating(work chan int, cancel <-chan struct{}) int {
+	total := 0
+	for v := range work { // ok: cancel flows into the callee
+		total += sampleOne(v, cancel)
+	}
+	return total
+}
+
+// buildPoolWorkers spawns worker goroutines: the closure bodies close
+// over cancel and are checked too.
+func buildPoolWorkers(work chan int, cancel <-chan struct{}) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for v := range work { // want `sampling loop never polls the cancel channel`
+			reverseBFS(v)
+		}
+	}()
+	<-done
+}

@@ -1,0 +1,64 @@
+// Package server is the errenvelope fixture: a registered Code* set,
+// the envelope writers, and handlers that bypass them in every way the
+// analyzer must catch.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// Registered error codes, discovered by the analyzer as the package's
+// Code* string constants.
+const (
+	CodeBadRequest = "bad_request"
+	CodeInternal   = "internal"
+)
+
+// errorEnvelope is the unified wire shape.
+type errorEnvelope struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
+
+// writeJSON is the envelope writer: its WriteHeader is the one
+// legitimate status write.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status) // ok: the envelope writer itself
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeError renders the envelope with a registered code.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, errorEnvelope{Code: code, Message: fmt.Sprintf(format, args...)})
+}
+
+// statusRecorder forwards statuses; a method itself named WriteHeader is
+// a relay, not an error site.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code) // ok: status-forwarding wrapper
+}
+
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError)                          // want `http\.Error writes a text/plain body outside the unified error envelope`
+	w.WriteHeader(http.StatusBadRequest)                                           // want `bare WriteHeader\(400\) sends an error status without the envelope body`
+	writeError(w, http.StatusBadRequest, "bad_request", "no graph %q", r.URL.Path) // want `error code "bad_request" passed as a literal; use the registered constant CodeBadRequest`
+	writeError(w, http.StatusBadRequest, "mystery", "what")                        // want `error code "mystery" is not in the registered Code\* set`
+}
+
+func handleGood(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeError(w, http.StatusBadRequest, CodeBadRequest, "bad spec: %v", err) // ok: registered constant
+	writeError(w, status, errCode(err), "%v", err)                            // ok: code computed at runtime
+	w.WriteHeader(http.StatusNoContent)                                       // ok: success status
+	w.WriteHeader(status)                                                     // ok: dynamic status relay
+}
+
+func errCode(error) string { return CodeInternal }

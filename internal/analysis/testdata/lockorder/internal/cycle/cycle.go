@@ -1,0 +1,54 @@
+// Package cycle exercises the pure cycle detector (no documented
+// ordering here): two lock types acquired in both orders deadlock, two
+// instances of one type do not.
+package cycle
+
+import "sync"
+
+type alpha struct {
+	mu sync.Mutex
+	n  int
+}
+
+type beta struct {
+	mu sync.Mutex
+	n  int
+}
+
+// lockAB establishes alpha.mu -> beta.mu. On its own this is fine.
+func lockAB(a *alpha, b *beta) {
+	a.mu.Lock()
+	b.mu.Lock()
+	b.n = a.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// lockBA establishes the reverse edge, closing the cycle.
+func lockBA(a *alpha, b *beta) {
+	b.mu.Lock()
+	a.mu.Lock() // want `mutex acquisition cycle: alpha\.mu -> beta\.mu -> alpha\.mu`
+	a.n = b.n
+	a.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// merge locks two instances of one type: the type-scoped key suppresses
+// the self-edge, so no finding.
+func merge(a, b *alpha) {
+	a.mu.Lock()
+	b.mu.Lock() // ok: same type-scoped key, two instances
+	a.n += b.n
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// handoff releases beta.mu before taking alpha.mu: sequential, no edge.
+func handoff(a *alpha, b *beta) {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	a.mu.Lock() // ok: nothing held
+	a.n++
+	a.mu.Unlock()
+}

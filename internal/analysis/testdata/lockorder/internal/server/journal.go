@@ -1,0 +1,56 @@
+// Package server is the lockorder fixture's replica of the journal
+// compaction contract: jobJournal.mu is documented to come before
+// jobStore.mu, and the edge is only derivable interprocedurally —
+// compact holds journal.mu while invoking a method value that locks the
+// store, exactly the shape the real jobStore.noteFinished takes.
+package server
+
+import "sync"
+
+type jobRecord struct{ id string }
+
+// jobJournal's mu is documented to be acquired before jobStore's mu.
+type jobJournal struct {
+	mu    sync.Mutex
+	lines []jobRecord
+}
+
+type jobStore struct {
+	mu   sync.Mutex
+	jobs map[string]jobRecord
+}
+
+// compact holds journal.mu while collect runs: callers hand in a method
+// value that takes store.mu, establishing journal.mu -> store.mu.
+func (j *jobJournal) compact(collect func() []jobRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.lines = collect()
+}
+
+// retained snapshots the store under its own lock.
+func (st *jobStore) retained() []jobRecord {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]jobRecord, 0, len(st.jobs))
+	for _, r := range st.jobs {
+		out = append(out, r)
+	}
+	return out
+}
+
+// finish follows the documented order: the journal.mu -> store.mu edge
+// flows through the method-value argument. No finding.
+func (st *jobStore) finish(j *jobJournal) {
+	j.compact(st.retained) // ok: documented direction
+}
+
+// inverted takes store.mu first, closing the cycle against the edge
+// finish established and violating the documented ordering.
+func (st *jobStore) inverted(j *jobJournal) {
+	st.mu.Lock()
+	j.mu.Lock() // want `mutex acquisition cycle` `lock ordering violation: jobJournal\.mu acquired while holding jobStore\.mu`
+	j.lines = nil
+	j.mu.Unlock()
+	st.mu.Unlock()
+}

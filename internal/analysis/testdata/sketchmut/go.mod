@@ -1,0 +1,3 @@
+module fairtcim
+
+go 1.24

@@ -1,0 +1,26 @@
+// Package consumer exercises sketchmut from outside the protected
+// packages: writes through aliasing accessors are writes to the
+// snapshot, copies are fine.
+package consumer
+
+import (
+	"fairtcim/internal/graph"
+	"fairtcim/internal/ris"
+)
+
+// clobber writes through accessor-returned slices that alias the
+// snapshots' backing arrays.
+func clobber(g *graph.Graph, c *ris.Collection) {
+	off, _ := g.OutCSR()
+	off[0] = 7 // want `write to slice returned by Graph\.OutCSR aliases the snapshot's backing array`
+	sizes := c.PoolSizes()
+	sizes[0]++ // want `write to slice returned by Collection\.PoolSizes aliases the snapshot's backing array`
+}
+
+// safe copies before modifying and only reads the aliases.
+func safe(g *graph.Graph, c *ris.Collection) int {
+	off, _ := g.OutCSR()
+	cp := append([]int32(nil), off...)
+	cp[0] = 7 // ok: cp owns its backing array
+	return c.PoolSizes()[0] + int(cp[0])
+}

@@ -1,0 +1,52 @@
+// Package graph is the sketchmut fixture's stand-in for the real CSR
+// graph: same type name, same allowlisted constructors, same aliasing
+// accessor shape.
+package graph
+
+// NodeID mirrors the real graph's node identifier.
+type NodeID int32
+
+// Graph is a CSR snapshot, immutable once published.
+type Graph struct {
+	outOff  []int32
+	targets []NodeID
+	groups  []int32
+}
+
+// Build is the constructor: field writes here are allowlisted.
+func Build(n int) *Graph {
+	g := &Graph{}
+	g.outOff = make([]int32, n+1) // ok: Build is on the allowlist
+	g.targets = nil               // ok
+	return g
+}
+
+// ApplyDelta rebuilds via the value-copy idiom: writes land in a fresh
+// copy before publication, and the function is allowlisted anyway.
+func (g *Graph) ApplyDelta(off []int32) *Graph {
+	ng := *g
+	ng.outOff = off // ok: allowlisted + value copy
+	return &ng
+}
+
+// OutCSR returns slices aliasing the snapshot's backing arrays.
+func (g *Graph) OutCSR() ([]int32, []NodeID) { return g.outOff, g.targets }
+
+// GroupSizes aliases the group index.
+func (g *Graph) GroupSizes() []int32 { return g.groups }
+
+// poison mutates a published snapshot: both the field reassignment and
+// the in-place element store are violations.
+func poison(g *Graph) {
+	g.groups = nil  // want `write to fairtcim/internal/graph\.Graph field groups outside its construction allowlist`
+	g.outOff[0] = 1 // want `write to fairtcim/internal/graph\.Graph field outOff outside its construction allowlist`
+}
+
+// copyConstruct builds a fresh value copy: direct field stores are
+// construction, but an index write still lands in the shared array.
+func copyConstruct(g *Graph) Graph {
+	ng := *g
+	ng.groups = nil  // ok: direct store into a local value copy
+	ng.outOff[0] = 1 // want `write to fairtcim/internal/graph\.Graph field outOff outside its construction allowlist`
+	return ng
+}

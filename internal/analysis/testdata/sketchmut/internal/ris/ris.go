@@ -1,0 +1,38 @@
+// Package ris is the sketchmut fixture's stand-in for the real sketch
+// collection: Refresh is the one allowlisted mutator, PoolSizes aliases
+// the backing array.
+package ris
+
+// Collection is an RR-sketch snapshot, immutable once published.
+type Collection struct {
+	tau  int32
+	pool []int
+}
+
+// New builds a collection; composite literals are construction, not
+// mutation, so no allowlist entry is needed.
+func New(tau int32, pool []int) *Collection {
+	return &Collection{tau: tau, pool: pool}
+}
+
+// PoolSizes returns a slice aliasing the snapshot's backing array.
+func (c *Collection) PoolSizes() []int { return c.pool }
+
+// Refresh rebuilds via the allowlisted value-copy idiom.
+func (c *Collection) Refresh(tau int32) *Collection {
+	nc := *c
+	nc.tau = tau // ok: Refresh is on the allowlist
+	return &nc
+}
+
+// stomp mutates a published collection in place.
+func stomp(c *Collection) {
+	c.tau = 9 // want `write to fairtcim/internal/ris\.Collection field tau outside its construction allowlist`
+}
+
+// copyThenSet is the unlisted value-copy pattern: still construction.
+func copyThenSet(c *Collection) Collection {
+	nc := *c
+	nc.tau = 3 // ok: direct store into a local value copy
+	return nc
+}

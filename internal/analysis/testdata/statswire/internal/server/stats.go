@@ -1,0 +1,50 @@
+// Package server is the statswire fixture: wire structs whose fields
+// drift from the /metrics exposition in each way the analyzer reports,
+// plus atomic counters with and without a Stats() reader.
+package server
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// CacheStats is a /v1/stats wire struct (name suffix Stats).
+type CacheStats struct {
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"` // want `stats field CacheStats\.Misses \(json "misses"\) is served by /v1/stats but missing from the /metrics exposition`
+	Orphan int64 // want `stats field CacheStats\.Orphan has no json tag`
+}
+
+// StatsResponse is the top-level /v1/stats payload.
+type StatsResponse struct {
+	Queued int64 `json:"queued"`
+	Ghost  int64 `json:"ghost"` // want `stats field StatsResponse\.Ghost \(json "ghost"\) is never populated by a stats builder` `stats field StatsResponse\.Ghost \(json "ghost"\) is served by /v1/stats but missing from the /metrics exposition`
+}
+
+// srv holds the raw counters feeding the wire structs.
+type srv struct {
+	shed atomic.Int64
+	lost atomic.Int64 // want `atomic counter lost is incremented but never read by a Stats\(\) snapshot`
+}
+
+// Stats is the /v1/stats builder: it must read every atomic counter and
+// populate every wire field.
+func (s *srv) Stats() (CacheStats, StatsResponse) {
+	c := CacheStats{Hits: 1, Misses: 2, Orphan: 3}
+	r := StatsResponse{Queued: s.shed.Load()}
+	return c, r
+}
+
+// handleMetrics is the /metrics exposition (it mentions fairtcim_
+// series names): fields it never renders are drift.
+func (s *srv) handleMetrics(w io.Writer) {
+	c, r := s.Stats()
+	fmt.Fprintf(w, "fairtcim_cache_hits_total %d\n", c.Hits)
+	fmt.Fprintf(w, "fairtcim_requests_queued %d\n", r.Queued)
+}
+
+func (s *srv) work() {
+	s.shed.Add(1)
+	s.lost.Add(1)
+}

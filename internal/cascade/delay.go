@@ -2,10 +2,12 @@ package cascade
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"fairtcim/internal/graph"
 	"fairtcim/internal/xrand"
@@ -141,6 +143,16 @@ func SampleDelayedWorld(g *graph.Graph, dist DelayDist, rng *xrand.RNG) *Weighte
 // SampleDelayedWorlds draws r weighted worlds in parallel, deterministic
 // for fixed (g, dist, r, seed) as in SampleWorlds.
 func SampleDelayedWorlds(g *graph.Graph, dist DelayDist, r int, seed int64, parallelism int) []*WeightedWorld {
+	worlds, _ := SampleDelayedWorldsCancel(g, dist, r, seed, parallelism, nil)
+	return worlds
+}
+
+// SampleDelayedWorldsCancel is SampleDelayedWorlds with cooperative
+// cancellation, matching SampleWorldsCancel: once cancel is closed,
+// workers stop between worlds and the call returns context.Canceled. A
+// nil cancel never fires, making this the common implementation for both
+// entry points.
+func SampleDelayedWorldsCancel(g *graph.Graph, dist DelayDist, r int, seed int64, parallelism int, cancel <-chan struct{}) ([]*WeightedWorld, error) {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
@@ -152,6 +164,7 @@ func SampleDelayedWorlds(g *graph.Graph, dist DelayDist, r int, seed int64, para
 	}
 	root := xrand.New(seed)
 	worlds := make([]*WeightedWorld, r)
+	var canceled atomic.Bool
 	var wg sync.WaitGroup
 	work := make(chan int, r)
 	for i := 0; i < r; i++ {
@@ -163,12 +176,23 @@ func SampleDelayedWorlds(g *graph.Graph, dist DelayDist, r int, seed int64, para
 		go func() {
 			defer wg.Done()
 			for i := range work {
+				if cancel != nil {
+					select {
+					case <-cancel:
+						canceled.Store(true)
+						return
+					default:
+					}
+				}
 				worlds[i] = SampleDelayedWorld(g, dist, root.SplitN(int64(i)))
 			}
 		}()
 	}
 	wg.Wait()
-	return worlds
+	if canceled.Load() {
+		return nil, context.Canceled
+	}
+	return worlds, nil
 }
 
 // distHeap is a binary min-heap of (node, dist) pairs for the bounded

@@ -246,6 +246,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promCounter(w, "fairtcim_cache_disk_errors_total", st.Cache.DiskErrors)
 	promCounter(w, "fairtcim_cache_refreshes_total", st.Cache.Refreshes)
 	promCounter(w, "fairtcim_cache_invalidated_total", st.Cache.Invalidated)
+	promCounter(w, "fairtcim_cache_disk_gc_removals_total", st.Cache.DiskGCRemovals)
+	promGauge(w, "fairtcim_cache_disk_flushes_inflight", st.Cache.FlushesInFlight)
+	promCounter(w, "fairtcim_cache_rr_refreshed_total", st.Cache.RRRefreshed)
+	promCounter(w, "fairtcim_cache_rr_retained_total", st.Cache.RRRetained)
+	promGauge(w, "fairtcim_cache_prefix_entries", int64(st.Cache.PrefixEntries))
+	promCounter(w, "fairtcim_cache_prefix_hits_total", st.Cache.PrefixHits)
+	promCounter(w, "fairtcim_cache_prefix_stores_total", st.Cache.PrefixStores)
 	promGauge(w, "fairtcim_workers_capacity", int64(st.Workers.Capacity))
 	promGauge(w, "fairtcim_workers_active", int64(st.Workers.Active))
 	promGauge(w, "fairtcim_requests_queued", st.Workers.Queued)
@@ -255,6 +262,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	promCounter(w, "fairtcim_jobs_done_total", st.Jobs.Done)
 	promCounter(w, "fairtcim_jobs_failed_total", st.Jobs.Failed)
 	promCounter(w, "fairtcim_jobs_canceled_total", st.Jobs.Canceled)
+	promCounter(w, "fairtcim_jobs_journal_errors_total", st.JournalErrors)
 	promCounter(w, "fairtcim_planner_batches_total", st.Planner.Batches)
 	promCounter(w, "fairtcim_planner_groups_total", st.Planner.Groups)
 	promCounter(w, "fairtcim_planner_singletons_total", st.Planner.Singletons)
